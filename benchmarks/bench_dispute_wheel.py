@@ -1,0 +1,45 @@
+"""E11 — dispute wheels versus convergence guarantees (Sec. 4, Ex. A.1).
+
+"The absence of a dispute wheel is the broadest-known sufficient
+condition for convergence … the existence of a dispute wheel does not
+imply divergence."  The benchmark reproduces the full table: wheel
+presence, stable-solution count, and model-checked oscillation verdict
+for each gadget, plus detection throughput on random instances.
+"""
+
+from repro.analysis.experiments import experiment_dispute_wheels
+from repro.core.dispute import find_dispute_wheel, has_dispute_wheel
+from repro.core.generators import instance_family
+from repro.core.instances import bad_gadget, disagree
+
+from conftest import once
+
+
+def test_dispute_wheel_table(benchmark):
+    result = once(benchmark, experiment_dispute_wheels)
+    rows = {name: (wheel, sols, osc) for name, wheel, sols, osc in result.rows}
+    # DISAGREE: wheel, 2 solutions, oscillation possible (in RMS).
+    assert rows["DISAGREE"] == (True, 2, True)
+    # BAD GADGET: wheel, no solution, necessarily divergent.
+    assert rows["BAD-GADGET"] == (True, 0, True)
+    # GOOD GADGET / shortest paths: wheel-free, unique solution, safe.
+    assert rows["GOOD-GADGET"] == (False, 1, False)
+    assert rows["SHORTEST-RING-3"] == (False, 1, False)
+    print()
+    print(result.summary)
+
+
+def test_wheel_detection_throughput(benchmark):
+    instances = list(instance_family(20, base_seed=21, n_nodes=5))
+
+    def sweep():
+        return [has_dispute_wheel(instance) for instance in instances]
+
+    verdicts = benchmark(sweep)
+    assert len(verdicts) == 20
+
+
+def test_wheel_reconstruction(benchmark):
+    wheel = benchmark(find_dispute_wheel, bad_gadget())
+    assert wheel is not None
+    assert set(wheel.pivots) == {"1", "2", "3"}

@@ -1,0 +1,110 @@
+"""E8 — Example A.6: multi-node polling can oscillate on DISAGREE.
+
+With one node updating per step, polling models cannot oscillate on
+DISAGREE (E3).  Activating x and y *simultaneously* — each polling one
+channel with f = ∞ — restores the oscillation; the benchmark replays
+the paper's schedule and certifies a state recurrence with two distinct
+assignments, and also confirms the paper's modified-fairness remark
+(staggered activations converge).
+"""
+
+from repro.analysis.experiments import experiment_multinode
+from repro.core.instances import disagree
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.engine.convergence import is_fixed_point
+from repro.engine.execution import Execution
+
+from conftest import once
+
+
+def test_exa6_simultaneous_polling_oscillates(benchmark):
+    result = once(benchmark, experiment_multinode)
+    assert result.oscillates
+    print()
+    print(result.summary)
+
+
+def test_exa6_exhaustive_multinode_verification(benchmark):
+    """Beyond replay: complete bounded search over the multi-node state
+    graph proves both halves of Ex. A.6 — simultaneous R1A oscillates,
+    and the modified fairness (solo activations required infinitely
+    often) removes every oscillation."""
+    from repro.engine.multinode import can_oscillate_multinode
+    from repro.models.taxonomy import model
+
+    def verify():
+        lockstep = can_oscillate_multinode(
+            disagree(), model("R1A"), queue_bound=2
+        )
+        staggered = can_oscillate_multinode(
+            disagree(),
+            model("R1A"),
+            queue_bound=2,
+            require_solo_activations=True,
+        )
+        return lockstep, staggered
+
+    lockstep, staggered = once(benchmark, verify)
+    assert lockstep.oscillates and lockstep.complete
+    assert not staggered.oscillates and staggered.complete
+
+
+def test_exa6_simultaneity_defeats_every_safe_model(benchmark):
+    """New result: with unrestricted simultaneous activation, DISAGREE
+    oscillates under *every* model — including REO/REF/REA, which are
+    provably safe in the paper's one-node-per-step setting."""
+    from repro.engine.multinode import can_oscillate_multinode
+    from repro.models.taxonomy import model
+
+    def sweep():
+        return {
+            name: can_oscillate_multinode(
+                disagree(), model(name), queue_bound=2
+            )
+            for name in ("REA", "RMA", "R1A", "REO", "REF", "R1O", "RMS")
+        }
+
+    results = once(benchmark, sweep)
+    assert all(result.oscillates for result in results.values())
+
+
+def test_exa6_staggered_activations_converge(benchmark):
+    """If x and y are also activated separately (the paper's modified
+    fairness), the Ex. A.1 argument kicks back in and the run settles."""
+
+    def run():
+        instance = disagree()
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("x", "d"), count=INFINITY))
+        # Simultaneous rounds first…
+        for _ in range(3):
+            execution.step(
+                ActivationEntry(
+                    nodes=["x", "y"],
+                    channels=[("d", "x"), ("d", "y")],
+                    reads={("d", "x"): INFINITY, ("d", "y"): INFINITY},
+                )
+            )
+            execution.step(
+                ActivationEntry(
+                    nodes=["x", "y"],
+                    channels=[("y", "x"), ("x", "y")],
+                    reads={("y", "x"): INFINITY, ("x", "y"): INFINITY},
+                )
+            )
+        # …then individual ones: x polls y, then y polls x, then drain.
+        for node, channel in (
+            ("x", ("y", "x")), ("y", ("x", "y")),
+            ("x", ("y", "x")), ("y", ("x", "y")),
+            ("x", ("d", "x")), ("y", ("d", "y")),
+            ("d", ("x", "d")), ("d", ("y", "d")),
+            ("x", ("y", "x")), ("y", ("x", "y")),
+            ("d", ("x", "d")), ("d", ("y", "d")),
+        ):
+            execution.step(
+                ActivationEntry.single(node, channel, count=INFINITY)
+            )
+        return execution
+
+    execution = benchmark(run)
+    assert is_fixed_point(execution.instance, execution.state)

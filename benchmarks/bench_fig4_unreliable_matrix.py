@@ -1,0 +1,31 @@
+"""E2 — regenerate Figure 4 (realization by unreliable-channel models).
+
+Same derivation as E1, compared against the unreliable-realizer
+columns: all 288 published cells must match exactly, including the
+headline result that UMS exactly realizes every model in the taxonomy.
+"""
+
+from repro.analysis.experiments import experiment_figure4
+from repro.models.taxonomy import ALL_MODELS, model
+from repro.realization.closure import derive_matrix
+from repro.realization.relations import Level
+
+
+def test_fig4_matches_published_table(benchmark):
+    result = benchmark(experiment_figure4)
+    assert result.matches == 288
+    assert result.tighter == 0
+    assert not result.problems
+    print()
+    print(result.matrix_text)
+
+
+def test_fig4_ums_is_universal_exact_realizer(benchmark):
+    def derive_and_check():
+        matrix = derive_matrix()
+        ums = model("UMS")
+        return all(
+            matrix.get(m, ums).lo == Level.EXACT for m in ALL_MODELS
+        )
+
+    assert benchmark(derive_and_check)

@@ -1,0 +1,36 @@
+"""E5 — Figure 7 / Example A.3: REO ⊀ R1O under exact realization.
+
+The scripted 10-step REO execution is re-run and checked against the
+paper's table, then an exhaustive search proves that no fair R1O
+activation sequence induces the same π-sequence exactly — the stale
+``vbd`` message forces any fair continuation through ``svbd``.
+"""
+
+from repro.analysis.experiments import (
+    FIG7_REO_EXPECTED,
+    FIG7_REO_SCHEDULE,
+    experiment_fig7,
+)
+from repro.analysis.traces import matches_paper_trace
+from repro.core.instances import fig7_gadget
+from repro.engine.execution import Execution
+
+from conftest import once
+
+
+def test_fig7_scripted_reo_trace(benchmark):
+    def run():
+        execution = Execution(fig7_gadget())
+        execution.run_nodes(FIG7_REO_SCHEDULE, kind="one-each")
+        return execution.trace
+
+    trace = benchmark(run)
+    assert matches_paper_trace(trace, FIG7_REO_EXPECTED)
+
+
+def test_fig7_no_exact_r1o_realization(benchmark):
+    result = once(benchmark, experiment_fig7)
+    assert result.trace_matches
+    assert result.impossible_proved
+    print()
+    print(result.summary)

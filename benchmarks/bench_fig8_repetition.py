@@ -1,0 +1,44 @@
+"""E6 — Figure 8 / Example A.4: REA ⊀ R1O under realization-with-repetition.
+
+Checks both directions of the example: the 6-step REA execution cannot
+be realized with repetition in R1O (exhaustive proof), yet *is*
+realizable as a subsequence — including via the paper's own explicit
+witness schedule, which interleaves the extra ``suad`` state.
+"""
+
+from repro.analysis.experiments import (
+    FIG8_REA_EXPECTED,
+    FIG8_REA_SCHEDULE,
+    experiment_fig8,
+)
+from repro.analysis.traces import matches_paper_trace
+from repro.core.instances import fig8_gadget
+from repro.engine.execution import Execution
+
+from conftest import once
+
+
+def test_fig8_scripted_rea_trace(benchmark):
+    def run():
+        execution = Execution(fig8_gadget())
+        execution.run_nodes(FIG8_REA_SCHEDULE, kind="poll")
+        return execution.trace
+
+    trace = benchmark(run)
+    assert matches_paper_trace(trace, FIG8_REA_EXPECTED)
+    # Before the last step the channel (u, s) holds [uad, ubd] — the
+    # stale uad is what blocks realization-with-repetition in R1O.
+    states = trace.states
+    assert states[-2].channel_contents(("u", "s")) == (
+        ("u", "a", "d"),
+        ("u", "b", "d"),
+    )
+
+
+def test_fig8_repetition_impossible_subsequence_possible(benchmark):
+    result = once(benchmark, experiment_fig8)
+    assert result.trace_matches
+    assert result.impossible_proved  # no R1O realization with repetition
+    assert result.possible_schedule is not None  # subsequence exists
+    print()
+    print(result.summary)

@@ -1,0 +1,53 @@
+"""E7 — Figure 9 / Example A.5: REA (and REO) ⊀ R1S under exact realization.
+
+The 8-step REA execution (ending with s switching to sxd) is verified
+against the paper's table; exhaustive search then proves no fair R1S
+sequence induces it exactly, while realization *with repetition*
+remains possible (Figure 3's REA row, R1S column reads "3").
+"""
+
+from repro.analysis.experiments import (
+    FIG9_REA_EXPECTED,
+    FIG9_REA_SCHEDULE,
+    experiment_fig9,
+)
+from repro.analysis.traces import matches_paper_trace
+from repro.core.instances import fig9_gadget
+from repro.engine.execution import Execution
+from repro.models.taxonomy import model
+from repro.realization.search import RealizationSearch
+
+from conftest import once
+
+
+def test_fig9_scripted_rea_trace(benchmark):
+    def run():
+        execution = Execution(fig9_gadget())
+        execution.run_nodes(FIG9_REA_SCHEDULE, kind="poll")
+        return execution.trace
+
+    trace = benchmark(run)
+    assert matches_paper_trace(trace, FIG9_REA_EXPECTED)
+
+
+def test_fig9_no_exact_r1s_realization(benchmark):
+    result = once(benchmark, experiment_fig9)
+    assert result.trace_matches
+    assert result.impossible_proved
+    print()
+    print(result.summary)
+
+
+def test_fig9_repetition_in_r1s_is_possible(benchmark):
+    instance = fig9_gadget()
+    execution = Execution(instance)
+    execution.run_nodes(FIG9_REA_SCHEDULE, kind="poll")
+    target = execution.trace.pi_sequence
+
+    def search():
+        return RealizationSearch(
+            instance, model("R1S"), queue_bound=4
+        ).find_with_repetition(target)
+
+    outcome = once(benchmark, search)
+    assert outcome.realizable

@@ -1,0 +1,82 @@
+"""E9 — the constructive realization results (Props. 3.3/3.4/3.6, Thms 3.5/3.7).
+
+Each benchmark records a fair random execution in the source model,
+applies the proof's transformation, re-executes in the target model,
+and asserts the claimed π-sequence relation — then reports how fast the
+construction runs.
+"""
+
+import pytest
+
+from repro.core.instances import fig6_gadget
+from repro.engine.activation import INFINITY
+from repro.engine.execution import Execution
+from repro.engine.schedulers import RandomScheduler
+from repro.models.taxonomy import model
+from repro.realization.transforms import (
+    batch_u1o_to_r1s,
+    expand_r1s_to_r1o,
+    expand_u1s_to_u1o,
+    pad_to_every_scope,
+    split_multi_scope,
+)
+from repro.realization.verify import is_exact, is_repetition, is_subsequence
+
+STEPS = 150
+
+
+def record(instance, model_name, seed=0, drop_prob=0.2):
+    execution = Execution(instance)
+    scheduler = RandomScheduler(
+        instance, model(model_name), seed=seed, drop_prob=drop_prob
+    )
+    schedule = []
+    for _ in range(STEPS):
+        entry = scheduler.next_entry(execution.state)
+        schedule.append(entry)
+        execution.step(entry)
+    return tuple(schedule), execution.trace.pi_sequence
+
+
+def replay(instance, schedule):
+    return Execution(instance).run(schedule).pi_sequence
+
+
+def test_prop34_pad_rms_to_res(benchmark):
+    instance = fig6_gadget()
+    schedule, source_pi = record(instance, "RMS")
+    padded = benchmark(pad_to_every_scope, instance, schedule)
+    assert is_exact(source_pi, replay(instance, padded))
+
+
+@pytest.mark.parametrize(
+    "source, padding", [("RMS", 1), ("RMA", INFINITY), ("UMF", 1)]
+)
+def test_thm35_split_multi(benchmark, source, padding):
+    instance = fig6_gadget()
+    schedule, source_pi = record(instance, source)
+    split = benchmark(
+        split_multi_scope, instance, schedule, padding_count=padding
+    )
+    assert is_repetition(source_pi, replay(instance, split))
+
+
+def test_prop36_r1s_to_r1o(benchmark):
+    instance = fig6_gadget()
+    schedule, source_pi = record(instance, "R1S", drop_prob=0)
+    expanded = benchmark(expand_r1s_to_r1o, instance, schedule)
+    assert is_subsequence(source_pi, replay(instance, expanded))
+
+
+def test_prop36_u1s_to_u1o(benchmark):
+    instance = fig6_gadget()
+    schedule, source_pi = record(instance, "U1S", drop_prob=0.3)
+    expanded = benchmark(expand_u1s_to_u1o, instance, schedule)
+    assert is_repetition(source_pi, replay(instance, expanded))
+
+
+def test_thm37_u1o_to_r1s(benchmark):
+    instance = fig6_gadget()
+    schedule, source_pi = record(instance, "U1O", drop_prob=0.3)
+    batched = benchmark(batch_u1o_to_r1s, instance, schedule)
+    assert is_exact(source_pi, replay(instance, batched))

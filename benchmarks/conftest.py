@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+the experiment index in DESIGN.md) and *asserts* the reproduced shape
+before reporting timing.  Heavyweight exhaustive searches run a single
+round via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a benchmark exactly once (for minutes-long verifications)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Gao–Rexford commercial policies: convergence without coordination.
+
+Run with::
+
+    python examples/bgp_commercial_policies.py [seed]
+
+The paper's related work (reference [6], Gao & Rexford) shows that the
+Internet's commercial structure guarantees BGP convergence: customer
+routes beat peer routes beat provider routes, and peer/provider-learned
+routes are exported to customers only.  In this package's vocabulary:
+Gao–Rexford instances contain **no dispute wheel**, so they converge
+under *every* communication model of the taxonomy — including fully
+unreliable ones.
+
+This example builds a random AS hierarchy, derives its SPP instance,
+verifies wheel-freedom, solves it constructively, and then runs it to a
+fixed point under several models with the genuine Gao–Rexford export
+rule plugged into the engine (the only experiment where Def. 2.3
+step 4's "if prescribed by export policy" clause changes behaviour).
+"""
+
+import sys
+
+from repro.core.dispute import has_dispute_wheel
+from repro.core.gao_rexford import (
+    classify_route,
+    gao_rexford_export_policy,
+    gao_rexford_instance,
+    random_as_graph,
+)
+from repro.core.paths import format_path
+from repro.core.solutions import greedy_solve
+from repro.engine.convergence import is_fixed_point
+from repro.engine.execution import Execution
+from repro.engine.schedulers import RandomScheduler
+from repro.models.taxonomy import model
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    graph = random_as_graph(seed, n_nodes=6, tiers=3)
+    instance = gao_rexford_instance(graph, name=f"GAO-REXFORD-{seed}")
+    print(instance.describe())
+    print(f"\ndispute wheel present: {has_dispute_wheel(instance)}")
+
+    solution = greedy_solve(instance)
+    print("\ngreedy (coordination-free) solution:")
+    for node, path in sorted(solution.items()):
+        if node == instance.dest:
+            continue
+        kind = (
+            classify_route(graph, node, path).value if len(path) > 1 else "—"
+        )
+        print(f"  {node}: {format_path(path):<10} ({kind} route)")
+
+    print("\nprotocol runs with the real Gao–Rexford export rule:")
+    export = gao_rexford_export_policy(graph)
+    for name in ("R1O", "REO", "RMS", "REA", "UMS"):
+        execution = Execution(instance, export_policy=export)
+        scheduler = RandomScheduler(
+            instance, model(name), seed=seed, drop_prob=0.3
+        )
+        steps = 0
+        for steps in range(1, 4001):
+            execution.step(scheduler.next_entry(execution.state))
+            if is_fixed_point(instance, execution.state):
+                break
+        fixed = is_fixed_point(instance, execution.state)
+        print(f"  {name}: fixed point={fixed} after {steps} steps")
+
+    print(
+        "\nEvery model converges — wheel-freedom makes the communication\n"
+        "model irrelevant to *whether* BGP converges (only to how fast)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Convergence-rate survey across the taxonomy (experiment E10).
+
+Run with::
+
+    python examples/convergence_survey.py [n_instances] [seeds]
+
+Generates random policy instances, runs fair random executions of each
+under a spread of communication models, and tabulates how often each
+model reaches a fixed point — the quantitative counterpart of the
+paper's qualitative ordering (polling ≥ everything; reliability alone
+changes little).
+"""
+
+import sys
+
+from repro.analysis.stats import survey_convergence
+from repro.core.dispute import has_dispute_wheel
+from repro.core.generators import instance_family
+from repro.models.taxonomy import model
+
+MODELS = ("R1O", "REO", "R1S", "RMS", "REA", "RMA", "U1O", "UMS", "UEA")
+
+
+def main() -> None:
+    n_instances = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    from repro.core.instances import bad_gadget, disagree
+
+    instances = list(
+        instance_family(n_instances, base_seed=100, n_nodes=4, policy="random")
+    )
+    # Mix in the paper's gadgets so the model separation is visible even
+    # when the random draw happens to be benign.
+    instances += [disagree(), bad_gadget()]
+    wheels = sum(has_dispute_wheel(instance) for instance in instances)
+    print(
+        f"{len(instances)} instances ({wheels} contain dispute wheels, "
+        "including DISAGREE and BAD-GADGET), "
+        f"{seeds} fair executions per (instance, model), "
+        f"{len(MODELS)} models\n"
+    )
+
+    survey = survey_convergence(
+        instances,
+        [model(name) for name in MODELS],
+        seeds_per_instance=seeds,
+        max_steps=250,
+    )
+    print(survey.format_table())
+    print()
+
+    print(
+        f"poll-all (REA): {survey.rate('REA'):.0%} vs event-driven "
+        f"message passing (R1O): {survey.rate('R1O'):.0%}.\n"
+        "Polling discards stale queue contents, which removes entire\n"
+        "classes of oscillations (Figure 3's -1 columns); the residual\n"
+        "failures on both sides are BAD-GADGET, which no model can save."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Route Refresh (RFC 2918) as a communication-model switch.
+
+Run with::
+
+    python examples/route_refresh.py
+
+Sec. 4 of the paper observes that BGP's optional *Route Refresh
+Capability* lets a router learn a neighbor's **current** route choice
+on demand — which is exactly what the polling models (count A) capture:
+an activation discards the queued backlog and acts on the newest
+announcement only.
+
+This example makes the observation concrete on the Fig. 6 gadget,
+whose fate differs between the two deployment styles:
+
+* plain event-driven BGP (model REO: act on one queued update per
+  neighbor) — the gadget can oscillate forever;
+* BGP with route refresh (model REA: always act on the neighbor's
+  current state) — the gadget provably cannot oscillate.
+"""
+
+from repro.analysis.experiments import (
+    FIG6_REO_EXPECTED,
+    FIG6_REO_SCHEDULE,
+    run_fig6_reo_trace,
+)
+from repro.core.instances import fig6_gadget
+from repro.engine.convergence import simulate
+from repro.engine.explorer import can_oscillate
+from repro.models.taxonomy import model
+
+
+def main() -> None:
+    instance = fig6_gadget()
+    print(instance.describe())
+
+    # --- Without route refresh: the REO oscillation of Ex. A.2. --------
+    _, matched, recurrence = run_fig6_reo_trace()
+    print("\nPlain message-queue processing (REO):")
+    print(f"  paper's 13-step schedule reproduced exactly: {matched}")
+    print(f"  oscillation certified (state recurrence): {recurrence}")
+    print(f"  schedule: {' '.join(FIG6_REO_SCHEDULE)}")
+    print(f"  choices:  {' '.join(FIG6_REO_EXPECTED)}")
+
+    # --- With route refresh: polling semantics. -------------------------
+    print("\nWith Route Refresh (REA semantics):")
+    verdict = can_oscillate(instance, model("REA"), queue_bound=2)
+    print(
+        f"  oscillation possible: {verdict.oscillates} "
+        f"(complete search over {verdict.states_explored} states)"
+    )
+    for seed in range(3):
+        result = simulate(instance, model("REA"), seed=seed)
+        print(
+            f"  fair run (seed {seed}): converged={result.converged} "
+            f"in {result.steps} steps"
+        )
+
+    print(
+        "\nEnabling refresh turns the same router code from 'may diverge'\n"
+        "into 'provably converges' on this topology — the operational\n"
+        "reading of the paper's polling-model results."
+    )
+
+
+if __name__ == "__main__":
+    main()

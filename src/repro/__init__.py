@@ -1,0 +1,41 @@
+"""repro — reproduction of "The Impact of Communication Models on
+Routing-Algorithm Convergence" (Jaggard, Ramachandran, Wright; ICDCS 2009).
+
+Public API highlights
+---------------------
+
+* :mod:`repro.core` — the Stable Paths Problem, canonical gadgets,
+  stable-solution solvers, dispute-wheel analysis.
+* :mod:`repro.models` — the 24-model communication taxonomy.
+* :mod:`repro.engine` — the routing algorithm of Def. 2.3, fair
+  schedulers, convergence detection, and a bounded model checker for
+  oscillation reachability.
+* :mod:`repro.realization` — realization relations between models,
+  the paper's foundational facts, the transitivity closure that
+  regenerates Figures 3 and 4, and constructive sequence transforms.
+* :mod:`repro.analysis` — experiment drivers and reporting.
+"""
+
+from . import analysis, core, engine, models, realization
+from .core import SPPBuilder, SPPInstance
+from .core import instances as canonical
+from .engine import can_oscillate, simulate
+from .models import ALL_MODELS, CommunicationModel, model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS",
+    "CommunicationModel",
+    "SPPBuilder",
+    "SPPInstance",
+    "analysis",
+    "canonical",
+    "can_oscillate",
+    "core",
+    "engine",
+    "model",
+    "models",
+    "realization",
+    "simulate",
+]

@@ -1,0 +1,42 @@
+"""Experiment drivers, statistics, and reporting."""
+
+from . import ablation, artifacts, experiments, reporting, stats, traces
+from .artifacts import generate_artifacts
+from .experiments import (
+    experiment_convergence_rates,
+    experiment_disagree,
+    experiment_dispute_wheels,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_figure3,
+    experiment_figure4,
+    experiment_message_overhead,
+    experiment_multinode,
+)
+from .stats import ConvergenceSurvey, ModelStats, survey_convergence
+
+__all__ = [
+    "ConvergenceSurvey",
+    "ModelStats",
+    "experiment_convergence_rates",
+    "experiment_disagree",
+    "experiment_dispute_wheels",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig9",
+    "experiment_figure3",
+    "experiment_figure4",
+    "experiment_message_overhead",
+    "experiment_multinode",
+    "ablation",
+    "artifacts",
+    "generate_artifacts",
+    "experiments",
+    "reporting",
+    "stats",
+    "survey_convergence",
+    "traces",
+]

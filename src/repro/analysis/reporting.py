@@ -1,0 +1,165 @@
+"""ASCII rendering of realization matrices and experiment summaries.
+
+The goal is byte-for-byte comparability with the paper: matrices print
+in the row/column order of Figures 3 and 4 using the paper's cell
+notation (``4``, ``>=3``, ``2,3``, ``-1``, blank).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from ..models.taxonomy import MODELS_BY_NAME
+from ..realization.closure import RealizationMatrix
+from ..realization.paper_tables import (
+    FIGURE3_COLUMNS,
+    FIGURE4_COLUMNS,
+    ROW_ORDER,
+    EntryComparison,
+)
+
+__all__ = [
+    "render_matrix",
+    "render_realization_dot",
+    "render_figure3",
+    "render_figure4",
+    "render_comparison_summary",
+    "render_oscillation_table",
+]
+
+
+def render_matrix(
+    matrix: RealizationMatrix,
+    columns: Sequence[str],
+    rows: Sequence[str] = ROW_ORDER,
+    diagonal: str = "~",
+) -> str:
+    """Render the matrix region with the given rows and columns."""
+    width = 5
+    header = "     |" + "".join(f"{c:>{width}}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row_name in rows:
+        realized = MODELS_BY_NAME[row_name]
+        cells = []
+        for column_name in columns:
+            realizer = MODELS_BY_NAME[column_name]
+            if realizer is realized:
+                cells.append(f"{diagonal:>{width}}")
+                continue
+            text = matrix.get(realized, realizer).render() or "."
+            cells.append(f"{text:>{width}}")
+        lines.append(f"{row_name:<5}|" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure3(matrix: RealizationMatrix) -> str:
+    """The derived counterpart of the paper's Figure 3."""
+    return render_matrix(matrix, FIGURE3_COLUMNS)
+
+
+def render_figure4(matrix: RealizationMatrix) -> str:
+    """The derived counterpart of the paper's Figure 4."""
+    return render_matrix(matrix, FIGURE4_COLUMNS)
+
+
+def render_comparison_summary(comparisons: Iterable[EntryComparison]) -> str:
+    """Aggregate verdicts plus a listing of every non-matching entry."""
+    comparisons = list(comparisons)
+    counts = Counter(comparison.verdict for comparison in comparisons)
+    lines = [
+        "entries compared: "
+        + ", ".join(f"{verdict}={count}" for verdict, count in sorted(counts.items()))
+    ]
+    for comparison in comparisons:
+        if comparison.verdict != "match":
+            lines.append(
+                f"  {comparison.realized.name} realized by "
+                f"{comparison.realizer.name}: paper={comparison.published} "
+                f"derived={comparison.derived} [{comparison.verdict}]"
+            )
+    return "\n".join(lines)
+
+
+def render_realization_dot(
+    matrix: RealizationMatrix,
+    level_name: str = "EXACT",
+    transitive_reduction: bool = True,
+) -> str:
+    """Graphviz DOT source for the realizes-at-≥level digraph.
+
+    An edge ``A -> B`` means "B realizes A at level ≥ ``level_name``".
+    With ``transitive_reduction`` (default) implied edges are omitted,
+    yielding the Hasse-style diagram of the taxonomy's power structure.
+    The output is plain text — render with ``dot -Tsvg`` if Graphviz is
+    available, or read directly (the structure is small).
+    """
+    from ..realization.relations import Level
+
+    level = Level[level_name.upper()]
+    models = matrix.models
+    edge_set = {
+        (a, b)
+        for a in models
+        for b in models
+        if a is not b and matrix.get(a, b).lo >= level
+    }
+    if transitive_reduction:
+        # Remove an edge only when reachability survives without it —
+        # correct even on the cyclic (mutual-realization) components,
+        # where the classical DAG reduction is not applicable.
+        def reachable(edges, source, target):
+            frontier = [source]
+            seen = {source}
+            while frontier:
+                current = frontier.pop()
+                for x, y in edges:
+                    if x is current and y not in seen:
+                        if y is target:
+                            return True
+                        seen.add(y)
+                        frontier.append(y)
+            return False
+
+        reduced = set(edge_set)
+        for edge in sorted(edge_set, key=lambda e: (e[0].name, e[1].name)):
+            trial = reduced - {edge}
+            if reachable(trial, edge[0], edge[1]):
+                reduced = trial
+        edge_set = reduced
+    lines = [
+        "digraph realization {",
+        '  rankdir="BT";',
+        f'  label="B realizes A at >= {level.name} (edge from A to B)";',
+        "  node [shape=box, fontname=monospace];",
+    ]
+    for m in models:
+        shape = []
+        if m.is_queueing:
+            shape.append("style=filled fillcolor=lightgrey")
+        lines.append(
+            f'  "{m.name}"' + (f" [{' '.join(shape)}];" if shape else ";")
+        )
+    for a, b in sorted(edge_set, key=lambda e: (e[0].name, e[1].name)):
+        lines.append(f'  "{a.name}" -> "{b.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_oscillation_table(results: dict) -> str:
+    """Tabulate explorer verdicts: model → can the instance oscillate?
+
+    ``results`` maps model name → ExplorationResult.
+    """
+    lines = ["model | oscillates | proof    | states"]
+    lines.append("-" * 44)
+    for name in sorted(results):
+        result = results[name]
+        proof = "complete" if result.complete else (
+            "witness" if result.oscillates else "bounded"
+        )
+        lines.append(
+            f"{name:<5} | {str(result.oscillates):<10} | {proof:<8} | "
+            f"{result.states_explored}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Convergence-rate statistics across models and instance families.
+
+The paper's conclusions predict a qualitative ordering: polling models
+(count A) converge on instances where message-passing models may not,
+and the queueing models admit every behaviour any model admits.  The
+survey here quantifies that shape on random instance families
+(experiment E10 in DESIGN.md): for each (instance, model) pair it runs
+many independent fair random executions and reports how often they
+reach a fixed point within the step budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable, Sequence
+
+from ..core.spp import SPPInstance
+from ..engine.convergence import simulate
+from ..engine.schedulers import RandomScheduler
+from ..models.taxonomy import CommunicationModel
+
+__all__ = ["ModelStats", "ConvergenceSurvey", "survey_convergence"]
+
+
+@dataclass
+class ModelStats:
+    """Aggregated outcomes of many runs under one model."""
+
+    model_name: str
+    runs: int = 0
+    converged: int = 0
+    steps_to_converge: list = field(default_factory=list)
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged / self.runs if self.runs else 0.0
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean steps to fixed point among converged runs."""
+        return mean(self.steps_to_converge) if self.steps_to_converge else 0.0
+
+    def steps_percentile(self, fraction: float) -> float:
+        """Steps-to-convergence percentile (0 < fraction ≤ 1).
+
+        Nearest-rank over the converged runs; 0.0 when none converged.
+        Tail latency (p95) separates deployment styles more sharply
+        than the mean — polling's worst cases stay close to its median,
+        while queue-backlog models exhibit long tails.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.steps_to_converge:
+            return 0.0
+        ordered = sorted(self.steps_to_converge)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return float(ordered[rank - 1])
+
+    def record(self, converged: bool, steps: int) -> None:
+        self.runs += 1
+        if converged:
+            self.converged += 1
+            self.steps_to_converge.append(steps)
+
+
+@dataclass
+class ConvergenceSurvey:
+    """Results of a full sweep: per-model statistics plus metadata."""
+
+    per_model: dict
+    instances: int
+    seeds_per_instance: int
+    max_steps: int
+
+    def rate(self, model_name: str) -> float:
+        return self.per_model[model_name].convergence_rate
+
+    def ordered_by_rate(self) -> list:
+        return sorted(
+            self.per_model.values(),
+            key=lambda stats: (-stats.convergence_rate, stats.model_name),
+        )
+
+    def format_table(self) -> str:
+        lines = ["model | runs | converged | rate   | mean steps | p95 steps"]
+        lines.append("-" * 64)
+        for stats in self.ordered_by_rate():
+            lines.append(
+                f"{stats.model_name:<5} | {stats.runs:>4} | "
+                f"{stats.converged:>9} | {stats.convergence_rate:6.2%} | "
+                f"{stats.mean_steps:8.1f}   | {stats.steps_percentile(0.95):7.0f}"
+            )
+        return "\n".join(lines)
+
+
+def survey_convergence(
+    instances: Sequence[SPPInstance],
+    models: Iterable[CommunicationModel],
+    seeds_per_instance: int = 5,
+    max_steps: int = 600,
+    drop_prob: float = 0.2,
+) -> ConvergenceSurvey:
+    """Run the sweep: every instance × model × seed."""
+    models = tuple(models)
+    per_model = {m.name: ModelStats(model_name=m.name) for m in models}
+    for instance in instances:
+        for model in models:
+            for seed in range(seeds_per_instance):
+                scheduler = RandomScheduler(
+                    instance, model, seed=seed, drop_prob=drop_prob
+                )
+                result = simulate(
+                    instance,
+                    model,
+                    scheduler=scheduler,
+                    max_steps=max_steps,
+                )
+                per_model[model.name].record(result.converged, result.steps)
+    return ConvergenceSurvey(
+        per_model=per_model,
+        instances=len(instances),
+        seeds_per_instance=seeds_per_instance,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,101 @@
+"""Trace inspection utilities — render executions the way the paper does.
+
+The paper presents executions as tables of ``t``, the activated node
+``U(t)``, and the path chosen by that node, ``π_{U(t)}(t)``.  This
+module produces and checks such tables against recorded
+:class:`~repro.engine.execution.Trace` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.paths import format_path, parse_path
+from ..engine.execution import Trace
+
+__all__ = [
+    "active_node_choices",
+    "format_channel_timeline",
+    "format_trace_table",
+    "matches_paper_trace",
+    "node_assignment_sequence",
+]
+
+
+def active_node_choices(trace: Trace) -> tuple:
+    """``(node, chosen path)`` per step, for single-node schedules.
+
+    This is the paper's ``π_{U(t)}(t)`` row.
+    """
+    choices = []
+    for state, record in zip(trace.states, trace.records):
+        node = record.entry.node
+        choices.append((node, state.path_of(node)))
+    return tuple(choices)
+
+
+def node_assignment_sequence(trace: Trace, node) -> tuple:
+    """The sequence of assignments of one node across all steps."""
+    return tuple(state.path_of(node) for state in trace.states)
+
+
+def matches_paper_trace(trace: Trace, expected: Sequence[str]) -> bool:
+    """Check ``π_{U(t)}(t)`` against the paper's compact path strings.
+
+    ``expected`` uses the paper notation: ``"xyd"`` for a path, ``"e"``
+    or ``"ε"`` for the empty route.  Only as many steps as given are
+    checked.
+    """
+    choices = active_node_choices(trace)
+    if len(choices) < len(expected):
+        return False
+    for (node, path), text in zip(choices, expected):
+        want = parse_path(text if text not in ("e",) else "ε")
+        if path != want:
+            return False
+    return True
+
+
+def format_channel_timeline(trace: Trace, max_channels: int = 12) -> str:
+    """Per-step queue depths, one column per channel.
+
+    Renders how backlog builds and drains over an execution — the
+    quantity the message-count dimension (O/S/F/A) manipulates.  ``*``
+    marks channels processed at that step.
+    """
+    channels = [
+        channel
+        for channel in trace.instance.channels
+        if any(state.channel_contents(channel) for state in trace.states)
+    ][:max_channels]
+    if not channels:
+        return "(no channel ever held a message)"
+    header = "  t | " + " ".join(
+        f"{channel[0]}->{channel[1]}" for channel in channels
+    )
+    lines = [header, "-" * len(header)]
+    for index, (state, record) in enumerate(
+        zip(trace.states, trace.records), start=1
+    ):
+        cells = []
+        for channel in channels:
+            depth = state.message_count(channel)
+            mark = "*" if channel in record.entry.channels else " "
+            width = len(f"{channel[0]}->{channel[1]}")
+            cells.append(f"{depth}{mark}".center(width))
+        lines.append(f"{index:>3} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_trace_table(trace: Trace) -> str:
+    """A paper-style table: step, activated node(s), chosen path(s)."""
+    lines = ["  t | U(t)        | pi_U(t)"]
+    lines.append("-" * 40)
+    for index, (state, record) in enumerate(
+        zip(trace.states, trace.records), start=1
+    ):
+        nodes = sorted(record.entry.nodes, key=repr)
+        chosen = ", ".join(format_path(state.path_of(n)) for n in nodes)
+        names = ",".join(str(n) for n in nodes)
+        lines.append(f"{index:>3} | {names:<11} | {chosen}")
+    return "\n".join(lines)

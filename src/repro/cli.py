@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+* ``list`` — the taxonomy and the canonical instances.
+* ``matrix`` — print the derived Figure 3/4 matrices and the comparison
+  against the paper's published entries.
+* ``simulate`` — run one fair random execution of an instance under a
+  model and report convergence.
+* ``explore`` — bounded model checking: can the instance oscillate
+  under the model?
+* ``trace`` — print the scripted Appendix A executions.
+* ``experiments`` — run the full experiment suite.
+* ``explain`` / ``solve`` / ``wheel`` / ``sat`` / ``artifacts`` — targeted
+  derivations, solution enumeration, dispute wheels, the NP-completeness
+  reduction, and artifact regeneration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import experiments, reporting
+from .analysis.traces import format_trace_table
+from .core.instances import ALL_NAMED_INSTANCES
+from .engine.convergence import simulate
+from .engine.execution import Execution
+from .engine.explorer import can_oscillate
+from .models.taxonomy import ALL_MODELS, model
+from .realization.closure import derive_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Impact of Communication Models on "
+            "Routing-Algorithm Convergence' (ICDCS 2009)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models and canonical instances")
+
+    matrix = sub.add_parser("matrix", help="derive and print Figures 3/4")
+    matrix.add_argument("--figure", choices=("3", "4", "both"), default="both")
+
+    sim = sub.add_parser("simulate", help="run one fair random execution")
+    sim.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
+    sim.add_argument("--model", default="RMS")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-steps", type=int, default=2000)
+
+    explore = sub.add_parser("explore", help="bounded oscillation search")
+    explore.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
+    explore.add_argument("--model", default="R1O")
+    explore.add_argument("--queue-bound", type=int, default=3)
+    explore.add_argument("--max-states", type=int, default=500_000)
+
+    trace = sub.add_parser("trace", help="print a scripted Appendix A execution")
+    trace.add_argument("--example", choices=("fig6", "fig7", "fig8", "fig9"), default="fig6")
+
+    exp = sub.add_parser("experiments", help="run the experiment suite")
+    exp.add_argument(
+        "--full",
+        action="store_true",
+        help="include the minutes-long exhaustive fig6 polling verification",
+    )
+
+    explain = sub.add_parser(
+        "explain", help="derive one matrix cell with its proof chain"
+    )
+    explain.add_argument("realized", help="the realized model, e.g. REA")
+    explain.add_argument("realizer", help="the realizing model, e.g. R1O")
+
+    solve = sub.add_parser("solve", help="enumerate stable solutions")
+    solve.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
+
+    wheel = sub.add_parser("wheel", help="find a dispute wheel")
+    wheel.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
+
+    sat = sub.add_parser(
+        "sat", help="encode a CNF formula as an SPP instance (GSW reduction)"
+    )
+    sat.add_argument(
+        "formula",
+        help='compact CNF: clauses split by ";", literals by "," — e.g. "1,-2;2,3;-1,-3"',
+    )
+
+    artifacts = sub.add_parser(
+        "artifacts", help="regenerate every paper artifact into a directory"
+    )
+    artifacts.add_argument("--out", default="artifacts")
+    artifacts.add_argument("--full", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Communication models (Sec. 2.2):")
+    for m in ALL_MODELS:
+        families = []
+        if m.is_polling:
+            families.append("polling")
+        if m.is_message_passing:
+            families.append("message-passing")
+        if m.is_queueing:
+            families.append("queueing")
+        suffix = f"  ({', '.join(families)})" if families else ""
+        print(f"  {m.name}{suffix}")
+    print("\nCanonical instances:")
+    for name, factory in sorted(ALL_NAMED_INSTANCES.items()):
+        print(f"  {name}: {factory().describe().splitlines()[0]}")
+    return 0
+
+
+def _cmd_matrix(figure: str) -> int:
+    matrix = derive_matrix()
+    if figure in ("3", "both"):
+        print("Derived Figure 3 (rows: realized model; columns: reliable realizers)")
+        print(reporting.render_figure3(matrix))
+        print()
+        print(experiments.experiment_figure3().summary)
+        print()
+    if figure in ("4", "both"):
+        print("Derived Figure 4 (rows: realized model; columns: unreliable realizers)")
+        print(reporting.render_figure4(matrix))
+        print()
+        print(experiments.experiment_figure4().summary)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    instance = ALL_NAMED_INSTANCES[args.instance]()
+    result = simulate(
+        instance, model(args.model), seed=args.seed, max_steps=args.max_steps
+    )
+    print(f"instance: {instance.name}   model: {args.model}   seed: {args.seed}")
+    print(f"converged: {result.converged} after {result.steps} steps")
+    from .core.paths import format_path
+
+    for node in sorted(result.final_assignment, key=repr):
+        print(f"  {node}: {format_path(result.final_assignment[node])}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    instance = ALL_NAMED_INSTANCES[args.instance]()
+    result = can_oscillate(
+        instance,
+        model(args.model),
+        queue_bound=args.queue_bound,
+        max_states=args.max_states,
+    )
+    print(f"instance: {instance.name}   model: {args.model}")
+    print(
+        f"oscillates: {result.oscillates}   complete search: {result.complete}"
+        f"   states: {result.states_explored}"
+    )
+    if result.witness:
+        print(
+            f"witness: prefix of {len(result.witness.prefix)} steps, "
+            f"cycle of period {result.witness.period()}"
+        )
+    return 0
+
+
+def _cmd_trace(example: str) -> int:
+    from .core import instances as canonical
+
+    scripted = {
+        "fig6": (canonical.fig6_gadget, experiments.FIG6_REO_SCHEDULE, "one-each"),
+        "fig7": (canonical.fig7_gadget, experiments.FIG7_REO_SCHEDULE, "one-each"),
+        "fig8": (canonical.fig8_gadget, experiments.FIG8_REA_SCHEDULE, "poll"),
+        "fig9": (canonical.fig9_gadget, experiments.FIG9_REA_SCHEDULE, "poll"),
+    }
+    factory, schedule, kind = scripted[example]
+    instance = factory()
+    print(instance.describe())
+    print()
+    execution = Execution(instance)
+    execution.run_nodes(schedule, kind=kind)
+    print(format_trace_table(execution.trace))
+    return 0
+
+
+def _cmd_experiments(full: bool) -> int:
+    print("— E1/E2: Figures 3 and 4 —")
+    print(experiments.experiment_figure3().summary)
+    print(experiments.experiment_figure4().summary)
+    print("\n— E3: DISAGREE (Ex. A.1) —")
+    print(experiments.experiment_disagree().summary)
+    print("\n— E4: Fig. 6 separation (Ex. A.2) —")
+    polling = ("R1A", "RMA", "REA") if full else ("REA",)
+    print(experiments.experiment_fig6(polling_models=polling).summary)
+    print("\n— E5/E6/E7: Figs. 7–9 (Ex. A.3–A.5) —")
+    print(experiments.experiment_fig7().summary)
+    print(experiments.experiment_fig8().summary)
+    print(experiments.experiment_fig9().summary)
+    print("\n— E8: multi-node activation (Ex. A.6) —")
+    print(experiments.experiment_multinode().summary)
+    from .engine.multinode import can_oscillate_multinode
+
+    lockstep = can_oscillate_multinode(
+        ALL_NAMED_INSTANCES["disagree"](), model("R1A"), queue_bound=2
+    )
+    staggered = can_oscillate_multinode(
+        ALL_NAMED_INSTANCES["disagree"](),
+        model("R1A"),
+        queue_bound=2,
+        require_solo_activations=True,
+    )
+    print(
+        f"exhaustive: lockstep R1A oscillates={lockstep.oscillates}, "
+        f"with solo-activation fairness={staggered.oscillates}"
+    )
+    print("\n— E11: dispute wheels —")
+    print(experiments.experiment_dispute_wheels().summary)
+    print("\n— E13: message overhead —")
+    print(experiments.experiment_message_overhead().summary)
+    print("\n— E10: convergence-rate survey —")
+    print(experiments.experiment_convergence_rates().format_table())
+    return 0
+
+
+def _cmd_explain(realized_name: str, realizer_name: str) -> int:
+    matrix = derive_matrix()
+    lines = matrix.explain(model(realized_name), model(realizer_name))
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_solve(instance_name: str) -> int:
+    from .core.paths import format_path
+    from .core.solutions import enumerate_stable_solutions, greedy_solve
+
+    instance = ALL_NAMED_INSTANCES[instance_name]()
+    solutions = list(enumerate_stable_solutions(instance))
+    print(f"{instance.name}: {len(solutions)} stable solution(s)")
+    for index, solution in enumerate(solutions, start=1):
+        rendered = ", ".join(
+            f"{node}={format_path(path)}"
+            for node, path in sorted(solution.items(), key=lambda kv: repr(kv[0]))
+        )
+        print(f"  #{index}: {rendered}")
+    greedy = greedy_solve(instance)
+    print(f"greedy construction succeeds: {greedy is not None}")
+    return 0
+
+
+def _cmd_wheel(instance_name: str) -> int:
+    from .core.dispute import find_dispute_wheel
+
+    instance = ALL_NAMED_INSTANCES[instance_name]()
+    wheel = find_dispute_wheel(instance)
+    if wheel is None:
+        print(f"{instance.name}: no dispute wheel (convergence guaranteed)")
+    else:
+        print(f"{instance.name}: {wheel.describe()}")
+    return 0
+
+
+def _cmd_sat(text: str) -> int:
+    from .core.sat import dpll, parse_formula
+    from .core.satgadgets import formula_to_spp, solution_from_assignment
+    from .core.paths import format_path
+    from .core.solutions import is_solution
+
+    formula = parse_formula(text)
+    instance = formula_to_spp(formula)
+    print(
+        f"formula {formula} → instance {instance.name} "
+        f"({len(instance.nodes)} nodes, {len(instance.edges)} edges)"
+    )
+    model_ = dpll(formula)
+    if model_ is None:
+        print("UNSATISFIABLE — the network has no stable routing and")
+        print("oscillates under every communication model.")
+        return 0
+    print(f"satisfying assignment: {model_}")
+    solution = solution_from_assignment(formula, model_)
+    assert is_solution(instance, solution)
+    print("corresponding stable routing:")
+    for node, path in sorted(solution.items()):
+        print(f"  {node}: {format_path(path)}")
+    return 0
+
+
+def main(argv: "list | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "matrix":
+        return _cmd_matrix(args.figure)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "trace":
+        return _cmd_trace(args.example)
+    if args.command == "experiments":
+        return _cmd_experiments(args.full)
+    if args.command == "explain":
+        return _cmd_explain(args.realized, args.realizer)
+    if args.command == "solve":
+        return _cmd_solve(args.instance)
+    if args.command == "wheel":
+        return _cmd_wheel(args.instance)
+    if args.command == "sat":
+        return _cmd_sat(args.formula)
+    if args.command == "artifacts":
+        from .analysis.artifacts import generate_artifacts
+
+        written = generate_artifacts(args.out, full=args.full)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core substrate: the Stable Paths Problem and its canonical instances."""
+
+from .builders import SPPBuilder
+from .dispute import DisputeWheel, find_dispute_wheel, has_dispute_wheel
+from .paths import EPSILON, Node, Path, extend, format_path, parse_path
+from .solutions import (
+    PathAssignment,
+    best_response,
+    enumerate_stable_solutions,
+    greedy_solve,
+    initial_assignment,
+    is_consistent,
+    is_solution,
+    is_stable,
+)
+from .spp import Channel, SPPInstance, SPPValidationError
+from . import compose, gao_rexford, generators, instances, sat, satgadgets, serialization
+
+__all__ = [
+    "EPSILON",
+    "Node",
+    "Path",
+    "Channel",
+    "SPPBuilder",
+    "SPPInstance",
+    "SPPValidationError",
+    "DisputeWheel",
+    "PathAssignment",
+    "best_response",
+    "enumerate_stable_solutions",
+    "extend",
+    "find_dispute_wheel",
+    "format_path",
+    "compose",
+    "gao_rexford",
+    "generators",
+    "greedy_solve",
+    "has_dispute_wheel",
+    "initial_assignment",
+    "instances",
+    "sat",
+    "satgadgets",
+    "is_consistent",
+    "is_solution",
+    "is_stable",
+    "parse_path",
+    "serialization",
+]

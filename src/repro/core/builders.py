@@ -1,0 +1,103 @@
+"""Fluent construction of SPP instances.
+
+The builder mirrors how the paper presents its gadgets: for each node,
+list its permitted paths "from top to bottom in order of decreasing
+preference".  Edges can be declared explicitly or inferred from the
+paths themselves.
+
+Example — DISAGREE (Fig. 5)::
+
+    instance = (
+        SPPBuilder("d")
+        .node("x", "xyd", "xd")
+        .node("y", "yxd", "yd")
+        .build("DISAGREE")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .paths import Node, Path, edges_of, parse_path
+from .spp import SPPInstance
+
+__all__ = ["SPPBuilder"]
+
+
+class SPPBuilder:
+    """Incrementally assemble an :class:`~repro.core.spp.SPPInstance`."""
+
+    def __init__(self, dest: Node) -> None:
+        self._dest = dest
+        self._edges: set = set()
+        self._permitted: dict = {}
+        self._rank: dict = {}
+        self._auto_edges = True
+
+    def edge(self, u: Node, v: Node) -> "SPPBuilder":
+        """Declare an undirected edge ``{u, v}``."""
+        self._edges.add(frozenset((u, v)))
+        return self
+
+    def edges(self, pairs: Iterable[Sequence[Node]]) -> "SPPBuilder":
+        """Declare several undirected edges."""
+        for u, v in pairs:
+            self.edge(u, v)
+        return self
+
+    def without_auto_edges(self) -> "SPPBuilder":
+        """Do not infer edges from permitted paths (edges must be explicit)."""
+        self._auto_edges = False
+        return self
+
+    def node(self, node: Node, *paths: "str | Sequence[Node]") -> "SPPBuilder":
+        """Declare a node with its permitted paths, most preferred first.
+
+        Paths may be given as tuples of nodes, or — for the
+        single-character node names used in the paper — as compact
+        strings such as ``"xyd"``.
+        """
+        parsed = tuple(self._parse(node, p) for p in paths)
+        if node in self._permitted:
+            raise ValueError(f"node {node!r} declared twice")
+        self._permitted[node] = parsed
+        self._rank[node] = {path: index for index, path in enumerate(parsed)}
+        return self
+
+    def ranked_node(
+        self, node: Node, ranked_paths: Iterable[tuple]
+    ) -> "SPPBuilder":
+        """Declare a node with explicit ``(path, rank)`` pairs.
+
+        Needed when exercising the tie rule (equal ranks through a
+        shared next hop).
+        """
+        pairs = [(self._parse(node, path), rank) for path, rank in ranked_paths]
+        if node in self._permitted:
+            raise ValueError(f"node {node!r} declared twice")
+        self._permitted[node] = tuple(path for path, _ in pairs)
+        self._rank[node] = dict(pairs)
+        return self
+
+    def _parse(self, node: Node, path: "str | Sequence[Node]") -> Path:
+        parsed = parse_path(path) if isinstance(path, str) else tuple(path)
+        if parsed and parsed[0] != node:
+            raise ValueError(f"path {parsed!r} does not start at {node!r}")
+        return parsed
+
+    def build(self, name: str = "") -> SPPInstance:
+        """Validate and return the finished instance."""
+        edges = set(self._edges)
+        if self._auto_edges:
+            for paths in self._permitted.values():
+                for path in paths:
+                    for u, v in edges_of(path):
+                        edges.add(frozenset((u, v)))
+        return SPPInstance(
+            dest=self._dest,
+            edges=edges,
+            permitted=self._permitted,
+            rank=self._rank,
+            name=name,
+        )

@@ -1,0 +1,115 @@
+"""Composition of SPP instances.
+
+Disjoint unions over a shared destination let small, well-understood
+gadgets scale into large workloads whose behaviour is predictable:
+stable solutions multiply, dispute wheels and oscillations carry over
+from any component, and safety carries over from all of them (the
+components cannot interact — the only shared node is the destination,
+whose assignment is constant).
+
+``disagree_grid`` in :mod:`repro.core.instances` is the special case of
+k DISAGREE copies; this module provides the general combinator plus
+node-renaming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .paths import Path
+from .spp import SPPInstance
+
+__all__ = ["rename_nodes", "shared_destination_union"]
+
+
+def rename_nodes(
+    instance: SPPInstance,
+    renamer: "Callable | None" = None,
+    prefix: str = "",
+    name: str = "",
+) -> SPPInstance:
+    """A copy of the instance with nodes renamed.
+
+    Either pass ``renamer`` (node → new node) or a string ``prefix``
+    prepended to every non-destination node.  The destination keeps its
+    identity unless ``renamer`` maps it explicitly.
+    """
+    if renamer is None:
+        if not prefix:
+            raise ValueError("provide a renamer or a non-empty prefix")
+
+        def renamer(node):  # noqa: F811 - deliberate fallback binding
+            return node if node == instance.dest else f"{prefix}{node}"
+
+    def rename_path(path: Path) -> tuple:
+        return tuple(renamer(node) for node in path)
+
+    return SPPInstance(
+        dest=renamer(instance.dest),
+        edges=[tuple(renamer(n) for n in edge) for edge in instance.edges],
+        permitted={
+            renamer(node): [rename_path(p) for p in instance.permitted_at(node)]
+            for node in instance.nodes
+            if node != instance.dest
+        },
+        rank={
+            renamer(node): {
+                rename_path(path): value
+                for path, value in instance.rank[node].items()
+            }
+            for node in instance.nodes
+            if node != instance.dest
+        },
+        name=name or f"{instance.name}-RENAMED",
+    )
+
+
+def shared_destination_union(
+    instances: Sequence[SPPInstance],
+    name: str = "",
+    auto_prefix: bool = True,
+) -> SPPInstance:
+    """Join instances at their (common) destination.
+
+    All inputs must use the same destination node.  With
+    ``auto_prefix`` each component's non-destination nodes are renamed
+    ``c{i}.<node>`` so components never collide; pass ``False`` if the
+    caller guarantees disjointness.
+    """
+    if not instances:
+        raise ValueError("need at least one instance")
+    dest = instances[0].dest
+    if any(instance.dest != dest for instance in instances):
+        raise ValueError("all components must share the destination node")
+
+    components = list(instances)
+    if auto_prefix:
+        components = [
+            rename_nodes(instance, prefix=f"c{index}.")
+            for index, instance in enumerate(components)
+        ]
+    else:
+        seen: set = {dest}
+        for instance in components:
+            overlap = (instance.nodes - {dest}) & seen
+            if overlap:
+                raise ValueError(f"components share nodes: {sorted(map(repr, overlap))}")
+            seen |= instance.nodes
+
+    edges: set = set()
+    permitted: dict = {}
+    rank: dict = {}
+    for instance in components:
+        edges |= set(instance.edges)
+        for node in instance.nodes:
+            if node == dest:
+                continue
+            permitted[node] = instance.permitted_at(node)
+            rank[node] = dict(instance.rank[node])
+    return SPPInstance(
+        dest=dest,
+        edges=edges,
+        permitted=permitted,
+        rank=rank,
+        name=name or "+".join(instance.name for instance in instances),
+    )

@@ -1,0 +1,140 @@
+"""Dispute-wheel detection (Griffin–Shepherd–Wilfong).
+
+A *dispute wheel* is a cyclic structure of pivot nodes ``u_0 … u_{k-1}``
+with "spoke" paths ``Q_i`` (permitted at ``u_i``) and "rim" paths
+``R_i`` from ``u_i`` to ``u_{i+1}`` such that the rim route
+``R_i · Q_{i+1}`` is permitted at ``u_i`` and is ranked at least as
+preferred as the spoke ``Q_i``.  Absence of a dispute wheel is the
+broadest known sufficient condition for convergence of path-vector
+protocols (discussed around Ex. A.1); DISAGREE and BAD GADGET both
+contain wheels, while GOOD GADGET and shortest-paths policies do not.
+
+We detect wheels by building the *dispute relation* on (node, spoke)
+pairs — an arc ``(u, Q_u) → (w, Q_w)`` exists when some permitted path
+at ``u`` of the form ``R · Q_w`` (a rim through ``w``) is ranked at
+least as well as ``Q_u`` — and searching it for a cycle.  A cycle in
+this relation is precisely a dispute wheel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .paths import Node, Path, format_path
+from .spp import SPPInstance
+
+__all__ = ["DisputeWheel", "dispute_relation", "find_dispute_wheel", "has_dispute_wheel"]
+
+
+@dataclass(frozen=True)
+class DisputeWheel:
+    """A concrete dispute wheel: pivots with their spoke and rim paths."""
+
+    pivots: tuple
+    spokes: tuple
+    rims: tuple
+
+    def __len__(self) -> int:
+        return len(self.pivots)
+
+    def describe(self) -> str:
+        parts = []
+        for i, pivot in enumerate(self.pivots):
+            parts.append(
+                f"{pivot!r}: spoke {format_path(self.spokes[i])}, "
+                f"rim {format_path(self.rims[i])}"
+            )
+        return "DisputeWheel(" + "; ".join(parts) + ")"
+
+
+def _rim_arcs(instance: SPPInstance, node: Node, spoke: Path):
+    """Yield ``(w, Q_w, rim_path)`` arcs out of ``(node, spoke)``.
+
+    A permitted path ``P`` at ``node`` gives an arc to ``(w, Q_w)``
+    whenever ``P = R · Q_w`` for an interior node ``w`` of ``P``, the
+    suffix ``Q_w`` is permitted at ``w``, and ``λ(P) ≤ λ(spoke)``.
+    """
+    spoke_rank = instance.rank_of(node, spoke)
+    for candidate in instance.permitted_at(node):
+        if instance.rank_of(node, candidate) > spoke_rank:
+            continue
+        # Split P = R·Q_w at every interior node w (exclude the trivial
+        # split at the source and the destination-only suffix).
+        for cut in range(1, len(candidate) - 1):
+            w = candidate[cut]
+            suffix = candidate[cut:]
+            if instance.is_permitted(w, suffix):
+                yield w, suffix, candidate
+
+
+def dispute_relation(instance: SPPInstance) -> dict:
+    """The full dispute relation as an adjacency mapping.
+
+    Keys and values are ``(node, spoke_path)`` pairs; an entry
+    ``(u, Q_u) → {(w, Q_w), …}`` records every rim arc.
+    """
+    relation: dict = {}
+    for node, spoke in instance.all_paths():
+        if node == instance.dest:
+            continue
+        relation[(node, spoke)] = {
+            (w, suffix) for w, suffix, _ in _rim_arcs(instance, node, spoke)
+        }
+    return relation
+
+
+def find_dispute_wheel(instance: SPPInstance) -> DisputeWheel | None:
+    """Return some dispute wheel of the instance, or ``None``.
+
+    Performs a DFS for a cycle in the dispute relation and reconstructs
+    the pivot/spoke/rim structure from the cycle found.
+    """
+    arcs: dict = {}
+    rim_for: dict = {}
+    for node, spoke in instance.all_paths():
+        if node == instance.dest:
+            continue
+        key = (node, spoke)
+        arcs[key] = []
+        for w, suffix, rim in _rim_arcs(instance, node, spoke):
+            target = (w, suffix)
+            arcs[key].append(target)
+            rim_for[(key, target)] = rim
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {key: WHITE for key in arcs}
+    stack: list = []
+
+    def dfs(key) -> list | None:
+        color[key] = GRAY
+        stack.append(key)
+        for target in arcs.get(key, ()):
+            if target not in color:
+                continue
+            if color[target] == GRAY:
+                cycle_start = stack.index(target)
+                return stack[cycle_start:] + [target]
+            if color[target] == WHITE:
+                found = dfs(target)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[key] = BLACK
+        return None
+
+    for key in sorted(arcs, key=repr):
+        if color[key] == WHITE:
+            cycle = dfs(key)
+            if cycle is not None:
+                pivots = tuple(node for node, _ in cycle[:-1])
+                spokes = tuple(spoke for _, spoke in cycle[:-1])
+                rims = tuple(
+                    rim_for[(cycle[i], cycle[i + 1])] for i in range(len(cycle) - 1)
+                )
+                return DisputeWheel(pivots=pivots, spokes=spokes, rims=rims)
+    return None
+
+
+def has_dispute_wheel(instance: SPPInstance) -> bool:
+    """True iff the instance contains a dispute wheel."""
+    return find_dispute_wheel(instance) is not None

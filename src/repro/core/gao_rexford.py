@@ -1,0 +1,252 @@
+"""Gao–Rexford commercial routing policies (paper reference [6]).
+
+Gao and Rexford showed that the Internet's commercial structure —
+every AS relationship is customer/provider or peer/peer, preferences
+rank customer routes over peer routes over provider routes, and routes
+learned from peers or providers are exported only to customers —
+guarantees BGP convergence *without global coordination*.  In this
+package's terms: Gao–Rexford instances are dispute-wheel-free, so every
+communication model converges on them (experiment E11's sufficient
+condition, exercised end-to-end in the benchmarks).
+
+This module builds such instances:
+
+* a random AS-hierarchy generator (a DAG of customer→provider edges
+  plus same-tier peering);
+* valley-free permitted paths (no customer→provider or peer→peer edge
+  after a provider/peer edge is traversed);
+* rankings by (relationship class, path length, tiebreak); and
+* the matching export policy for the execution engine (routes learned
+  from a peer or provider are announced to customers only) —
+  Gao–Rexford is the one place in the paper's surroundings where the
+  export-policy hook of Def. 2.3 step 4 is load-bearing.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from .paths import EPSILON, Node, Path
+from .spp import SPPInstance
+
+__all__ = [
+    "Relationship",
+    "ASGraph",
+    "random_as_graph",
+    "gao_rexford_instance",
+    "gao_rexford_export_policy",
+    "classify_route",
+]
+
+
+class Relationship(enum.Enum):
+    """The business relationship of an edge, from the first node's view."""
+
+    CUSTOMER = "customer"  # the neighbor is my customer (routes best)
+    PEER = "peer"
+    PROVIDER = "provider"  # the neighbor is my provider (routes worst)
+
+    @property
+    def preference_class(self) -> int:
+        """Lower = more preferred (customer < peer < provider)."""
+        return {"customer": 0, "peer": 1, "provider": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class ASGraph:
+    """An AS-level topology annotated with business relationships.
+
+    ``relationship[(u, v)]`` is v's role *as seen from u* — e.g.
+    ``Relationship.CUSTOMER`` means v is u's customer.  The mapping is
+    consistent: customer/provider pairs invert, peer pairs match.
+    """
+
+    nodes: tuple
+    relationship: dict
+
+    def __post_init__(self) -> None:
+        for (u, v), rel in self.relationship.items():
+            inverse = self.relationship.get((v, u))
+            if inverse is None:
+                raise ValueError(f"edge ({u!r},{v!r}) lacks its inverse")
+            expected = {
+                Relationship.CUSTOMER: Relationship.PROVIDER,
+                Relationship.PROVIDER: Relationship.CUSTOMER,
+                Relationship.PEER: Relationship.PEER,
+            }[rel]
+            if inverse is not expected:
+                raise ValueError(
+                    f"inconsistent relationship on ({u!r},{v!r}): "
+                    f"{rel.value} vs {inverse.value}"
+                )
+
+    def neighbors(self, node: Node) -> tuple:
+        return tuple(
+            sorted((v for (u, v) in self.relationship if u == node), key=repr)
+        )
+
+    def relation(self, node: Node, neighbor: Node) -> Relationship:
+        """``neighbor``'s role from ``node``'s point of view."""
+        return self.relationship[(node, neighbor)]
+
+    @property
+    def edges(self) -> set:
+        return {frozenset((u, v)) for (u, v) in self.relationship}
+
+
+def random_as_graph(
+    seed: int,
+    n_nodes: int = 6,
+    tiers: int = 3,
+    peer_prob: float = 0.3,
+    extra_provider_prob: float = 0.25,
+) -> ASGraph:
+    """Generate a random tiered AS hierarchy containing ``d``.
+
+    ``d`` sits at the top tier (a "tier-1" destination).  Every lower-
+    tier AS gets at least one provider in a strictly higher tier (so the
+    customer→provider digraph is acyclic, as Gao–Rexford requires), and
+    same-tier pairs peer with probability ``peer_prob``.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one AS besides the destination")
+    rng = random.Random(seed)
+    names = ["d"] + [f"a{i}" for i in range(n_nodes)]
+    tier_of = {"d": 0}
+    for name in names[1:]:
+        tier_of[name] = rng.randint(1, max(1, tiers - 1))
+
+    relationship: dict = {}
+
+    def connect(low: Node, high: Node) -> None:
+        """``high`` becomes a provider of ``low``."""
+        relationship[(low, high)] = Relationship.PROVIDER
+        relationship[(high, low)] = Relationship.CUSTOMER
+
+    def peer(a: Node, b: Node) -> None:
+        relationship[(a, b)] = Relationship.PEER
+        relationship[(b, a)] = Relationship.PEER
+
+    for name in names[1:]:
+        uppers = [
+            other
+            for other in names
+            if tier_of[other] < tier_of[name]
+        ]
+        connect(name, rng.choice(uppers))
+        for other in uppers:
+            if (name, other) not in relationship and rng.random() < extra_provider_prob:
+                connect(name, other)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if (
+                (a, b) not in relationship
+                and tier_of[a] == tier_of[b]
+                and rng.random() < peer_prob
+            ):
+                peer(a, b)
+    return ASGraph(nodes=tuple(names), relationship=relationship)
+
+
+def _valley_free_paths(
+    graph: ASGraph, node: Node, dest: Node, max_length: int
+) -> Iterator[Path]:
+    """Enumerate valley-free simple paths node → dest.
+
+    Valley-freedom: once a path traverses a peer or provider edge
+    (uphill/sideways seen from the route's *user*), every earlier hop
+    must have been customer→provider... operationally: walking the path
+    from its source, zero or more provider edges, at most one peer
+    edge, then zero or more customer edges.
+    """
+
+    def walk(current, seen, phase):
+        # phase 0: still climbing (provider edges allowed)
+        # phase 1: peered (only customer edges allowed now)
+        if current == dest:
+            yield seen
+            return
+        if len(seen) > max_length:
+            return
+        for neighbor in graph.neighbors(current):
+            if neighbor in seen:
+                continue
+            relation = graph.relation(current, neighbor)
+            if relation is Relationship.PROVIDER:
+                if phase == 0:
+                    yield from walk(neighbor, seen + (neighbor,), 0)
+            elif relation is Relationship.PEER:
+                if phase == 0:
+                    yield from walk(neighbor, seen + (neighbor,), 1)
+            else:  # neighbor is a customer: downhill, always allowed
+                yield from walk(neighbor, seen + (neighbor,), 1)
+
+    yield from walk(node, (node,), 0)
+
+
+def classify_route(graph: ASGraph, node: Node, path: Path) -> Relationship:
+    """The relationship class of a route = the next hop's role."""
+    if len(path) < 2:
+        raise ValueError("a route needs a next hop to classify")
+    return graph.relation(node, path[1])
+
+
+def gao_rexford_instance(
+    graph: ASGraph,
+    dest: Node = "d",
+    max_length: int = 6,
+    name: str = "",
+) -> SPPInstance:
+    """Build the SPP instance induced by Gao–Rexford preferences.
+
+    Permitted paths are the valley-free simple paths to ``dest``;
+    ranks order by (relationship class, hop count, lexicographic) —
+    customer routes first, then peer, then provider, shorter preferred
+    within a class.  The resulting instance is dispute-wheel-free.
+    """
+    permitted: dict = {}
+    rank: dict = {}
+    for node in graph.nodes:
+        if node == dest:
+            continue
+        paths = sorted(
+            set(_valley_free_paths(graph, node, dest, max_length)),
+            key=lambda p: (
+                classify_route(graph, node, p).preference_class,
+                len(p),
+                p,
+            ),
+        )
+        permitted[node] = tuple(paths)
+        rank[node] = {path: index for index, path in enumerate(paths)}
+    return SPPInstance(
+        dest=dest,
+        edges=graph.edges,
+        permitted=permitted,
+        rank=rank,
+        name=name or "GAO-REXFORD",
+    )
+
+
+def gao_rexford_export_policy(graph: ASGraph):
+    """The export rule: peer/provider-learned routes go to customers only.
+
+    Returns a callable compatible with
+    :class:`repro.engine.execution.Execution`'s ``export_policy``: a
+    node announces a route to a neighbor unless the route was learned
+    from a peer or provider *and* the neighbor is not a customer.
+    Withdrawals (ε) are always exported.
+    """
+
+    def policy(instance: SPPInstance, node, neighbor, path: Path) -> bool:
+        if path == EPSILON or node == instance.dest:
+            return True
+        learned_from = classify_route(graph, node, path)
+        if learned_from is Relationship.CUSTOMER:
+            return True
+        return graph.relation(node, neighbor) is Relationship.CUSTOMER
+
+    return policy

@@ -1,0 +1,143 @@
+"""Random SPP instance generation for the convergence-rate experiments.
+
+The paper evaluates on hand-built gadgets; the convergence-survey
+extension (experiment E10 in DESIGN.md) additionally sweeps randomly
+generated instances.  Three policy families are provided:
+
+* ``"random"`` — each node permits a random subset of its simple paths
+  to the destination with a uniformly random preference order.  Such
+  instances frequently contain dispute wheels and may diverge.
+* ``"shortest"`` — ranks equal (hop count, lexicographic tiebreak).
+  Always dispute-wheel-free, hence always convergent.
+* ``"next-hop"`` — preferences depend only on the next hop (a common
+  BGP idiom); generated so that ranks are distinct per next hop.
+
+All generation is driven by a caller-supplied seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from .paths import Node, Path
+from .spp import SPPInstance
+
+__all__ = [
+    "enumerate_simple_paths",
+    "random_connected_graph",
+    "random_instance",
+    "instance_family",
+]
+
+POLICIES = ("random", "shortest", "next-hop")
+
+
+def enumerate_simple_paths(
+    adjacency: dict, node: Node, dest: Node, max_length: int
+) -> Iterator[Path]:
+    """Yield every simple path ``node → dest`` of at most ``max_length`` hops."""
+
+    def walk(current: Node, seen: tuple) -> Iterator[Path]:
+        if current == dest:
+            yield seen
+            return
+        if len(seen) > max_length:
+            return
+        for neighbor in sorted(adjacency.get(current, ()), key=repr):
+            if neighbor not in seen:
+                yield from walk(neighbor, seen + (neighbor,))
+
+    yield from walk(node, (node,))
+
+
+def random_connected_graph(
+    rng: random.Random, n_nodes: int, extra_edge_prob: float
+) -> tuple:
+    """A random connected graph over ``d`` and ``n_nodes`` satellites.
+
+    Builds a uniform random spanning tree (random attachment) and adds
+    each remaining candidate edge with probability ``extra_edge_prob``.
+    Returns ``(nodes, edges)`` with edges as 2-tuples.
+    """
+    nodes = ["d"] + [f"n{i}" for i in range(n_nodes)]
+    edges = set()
+    for index in range(1, len(nodes)):
+        anchor = nodes[rng.randrange(index)]
+        edges.add(frozenset((nodes[index], anchor)))
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            pair = frozenset((nodes[i], nodes[j]))
+            if pair not in edges and rng.random() < extra_edge_prob:
+                edges.add(pair)
+    return nodes, {tuple(sorted(edge)) for edge in edges}
+
+
+def random_instance(
+    seed: int,
+    n_nodes: int = 4,
+    extra_edge_prob: float = 0.3,
+    max_paths_per_node: int = 4,
+    max_path_length: int = 5,
+    policy: str = "random",
+) -> SPPInstance:
+    """Generate one random SPP instance.
+
+    Parameters mirror the experiment sweep: topology density via
+    ``extra_edge_prob``, policy expressiveness via
+    ``max_paths_per_node``, and the policy family via ``policy``.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    rng = random.Random(seed)
+    nodes, edges = random_connected_graph(rng, n_nodes, extra_edge_prob)
+    adjacency: dict = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+
+    permitted: dict = {}
+    rank: dict = {}
+    for node in nodes:
+        if node == "d":
+            continue
+        all_paths = list(enumerate_simple_paths(adjacency, node, "d", max_path_length))
+        if not all_paths:
+            permitted[node] = ()
+            rank[node] = {}
+            continue
+        if policy == "shortest":
+            chosen = sorted(all_paths, key=lambda p: (len(p), p))[:max_paths_per_node]
+            rank[node] = {path: index for index, path in enumerate(chosen)}
+        elif policy == "next-hop":
+            chosen = sorted(all_paths, key=lambda p: (len(p), p))[:max_paths_per_node]
+            hops = sorted({p[1] for p in chosen}, key=repr)
+            rng.shuffle(hops)
+            hop_rank = {hop: index for index, hop in enumerate(hops)}
+            # Distinct overall ranks: (next-hop preference, length, lex).
+            ordered = sorted(chosen, key=lambda p: (hop_rank[p[1]], len(p), p))
+            rank[node] = {path: index for index, path in enumerate(ordered)}
+        else:  # random
+            count = rng.randint(1, min(max_paths_per_node, len(all_paths)))
+            chosen = rng.sample(all_paths, count)
+            rng.shuffle(chosen)
+            rank[node] = {path: index for index, path in enumerate(chosen)}
+        permitted[node] = tuple(rank[node])
+
+    return SPPInstance(
+        dest="d",
+        edges=edges,
+        permitted=permitted,
+        rank=rank,
+        name=f"RANDOM-{policy}-{seed}",
+    )
+
+
+def instance_family(
+    count: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> Iterator[SPPInstance]:
+    """Yield ``count`` random instances with consecutive seeds."""
+    for offset in range(count):
+        yield random_instance(seed=base_seed + offset, **kwargs)

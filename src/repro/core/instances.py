@@ -1,0 +1,249 @@
+"""Canonical SPP instances from the paper and the surrounding literature.
+
+Each factory returns a fresh, validated
+:class:`~repro.core.spp.SPPInstance`.  Preference orders are transcribed
+from the paper's Appendix A ("route preferences are listed next to that
+node from top to bottom in order of decreasing preference") and, where
+the figures only constrain a partial order, the total order chosen here
+is the one consistent with every step of the paper's worked traces
+(derivations noted inline).
+"""
+
+from __future__ import annotations
+
+from .builders import SPPBuilder
+from .spp import SPPInstance
+
+__all__ = [
+    "disagree",
+    "disagree_grid",
+    "fig6_gadget",
+    "fig7_gadget",
+    "fig8_gadget",
+    "fig9_gadget",
+    "bad_gadget",
+    "good_gadget",
+    "shortest_paths_ring",
+    "linear_chain",
+    "ALL_NAMED_INSTANCES",
+]
+
+
+def disagree() -> SPPInstance:
+    """DISAGREE (Fig. 5; originally from Griffin–Shepherd–Wilfong).
+
+    ``x`` prefers routing through ``y`` over its direct route, and vice
+    versa.  Two stable solutions exist — ``(d, xyd, yd)`` and
+    ``(d, xd, yxd)`` — so a dispute wheel is present, yet whether an
+    oscillation is *reachable* depends on the communication model
+    (Ex. A.1): it can oscillate in R1O but never in REO, REF, R1A, RMA,
+    or REA.
+    """
+    return (
+        SPPBuilder("d")
+        .node("x", "xyd", "xd")
+        .node("y", "yxd", "yd")
+        .build("DISAGREE")
+    )
+
+
+def fig6_gadget() -> SPPInstance:
+    """The separation gadget of Fig. 6 / Ex. A.2.
+
+    Oscillates in REO and REF but converges in every polling model
+    (R1A, RMA, REA).  The paper gives partial preference information;
+    the total orders below are forced by its worked 17-step REO trace
+    and RMA case analysis:
+
+    * ``a``: azd > ayd > axd (chooses axd at t=3, switches to ayd at
+      t=7 knowing both, and to azd at t=11 — "its most preferred").
+    * ``u`` refuses all paths containing ``y``; uvazd > uazd (DISAGREE
+      core) and uazd > uaxd (case 3: u switches uaxd → uazd on polling
+      a).
+    * ``v``: vuazd is "most preferred" (case 2a); vuaxd > vazd (case 3:
+      v polls a yet still chooses vuaxd); vayd is chosen only when
+      nothing else is feasible (t=9).
+    """
+    return (
+        SPPBuilder("d")
+        .node("x", "xd")
+        .node("y", "yd")
+        .node("z", "zd")
+        .node("a", "azd", "ayd", "axd")
+        .node("u", "uvazd", "uazd", "uaxd")
+        .node("v", "vuazd", "vuaxd", "vazd", "vayd")
+        .build("FIG6-SEPARATION")
+    )
+
+
+def fig7_gadget() -> SPPInstance:
+    """The gadget of Fig. 7 / Ex. A.3.
+
+    An REO execution on this instance cannot be *exactly* realized in
+    R1O: the R1O system is forced to later process a stale ``vbd``
+    message and transit through ``svbd``, a state the REO execution
+    never exhibits.  Rankings forced by the trace: u switches ubd → uad
+    at t=6 and v switches vbd → vad at t=7; s has subd > svbd > suad
+    (stated explicitly in the example).
+    """
+    return (
+        SPPBuilder("d")
+        .node("a", "ad")
+        .node("b", "bd")
+        .node("u", "uad", "ubd")
+        .node("v", "vad", "vbd")
+        .node("s", "subd", "svbd", "suad")
+        .build("FIG7-EXACT")
+    )
+
+
+def fig8_gadget() -> SPPInstance:
+    """The gadget of Fig. 8 / Ex. A.4.
+
+    Permitted paths are exactly ad, bd, ubd, uad, suad, subd with
+    ubd > uad and suad > subd.  The 6-step REA execution ending in
+    ``subd`` cannot be realized *with repetition* in R1O (the stale
+    ``uad`` in channel (u,s) forces an interleaved ``suad`` state), but
+    it can be realized as a subsequence.
+    """
+    return (
+        SPPBuilder("d")
+        .node("a", "ad")
+        .node("b", "bd")
+        .node("u", "ubd", "uad")
+        .node("s", "suad", "subd")
+        .build("FIG8-REPETITION")
+    )
+
+
+def fig9_gadget() -> SPPInstance:
+    """The gadget of Fig. 9 / Ex. A.5.
+
+    Permitted paths: ad, bd, xd, cad, cbd, scad, scbd, sxd with
+    scbd > sxd > scad at ``s`` and cad > cbd at ``c``.  The 8-step REA
+    execution cannot be exactly realized in R1S — s learns sxd "for
+    free" when polling all neighbors, which a one-channel-per-step model
+    cannot mimic without disturbing the assignment sequence.
+    """
+    return (
+        SPPBuilder("d")
+        .node("a", "ad")
+        .node("b", "bd")
+        .node("x", "xd")
+        .node("c", "cad", "cbd")
+        .node("s", "scbd", "sxd", "scad")
+        .build("FIG9-R1S")
+    )
+
+
+def bad_gadget() -> SPPInstance:
+    """BAD GADGET (Griffin–Shepherd–Wilfong): no stable solution.
+
+    Three nodes around the destination, each preferring the clockwise
+    route through its neighbor over its own direct route.  The instance
+    has no stable path assignment, hence no model can converge on it;
+    it diverges under every fair activation sequence.
+    """
+    return (
+        SPPBuilder("d")
+        .node("1", ("1", "2", "d"), ("1", "d"))
+        .node("2", ("2", "3", "d"), ("2", "d"))
+        .node("3", ("3", "1", "d"), ("3", "d"))
+        .build("BAD-GADGET")
+    )
+
+
+def good_gadget() -> SPPInstance:
+    """GOOD GADGET: the same topology as BAD GADGET but safe.
+
+    Every node prefers its direct route; there is no dispute wheel, the
+    unique stable solution assigns everyone their direct path, and every
+    model converges.
+    """
+    return (
+        SPPBuilder("d")
+        .node("1", ("1", "d"), ("1", "2", "d"))
+        .node("2", ("2", "d"), ("2", "3", "d"))
+        .node("3", ("3", "d"), ("3", "1", "d"))
+        .build("GOOD-GADGET")
+    )
+
+
+def shortest_paths_ring(size: int = 4) -> SPPInstance:
+    """A ring of ``size`` nodes around ``d`` ranked by hop count.
+
+    A shortest-paths policy is always dispute-wheel-free, so this family
+    converges under every communication model — a useful sanity
+    baseline.  Ranks are (length, lexicographic) to satisfy the tie
+    rule.
+    """
+    if size < 2:
+        raise ValueError("ring size must be at least 2")
+    names = [f"n{i}" for i in range(size)]
+    builder = SPPBuilder("d")
+    for name in names:
+        builder.edge(name, "d")
+    for i in range(size):
+        builder.edge(names[i], names[(i + 1) % size])
+    for i, name in enumerate(names):
+        left = names[(i - 1) % size]
+        right = names[(i + 1) % size]
+        paths = [(name, "d")]
+        for other in sorted({left, right}):
+            paths.append((name, other, "d"))
+        builder.node(name, *paths)
+    return builder.build(f"SHORTEST-RING-{size}")
+
+
+def disagree_grid(copies: int = 2) -> SPPInstance:
+    """``copies`` independent DISAGREE pairs sharing one destination.
+
+    Each pair (x_i, y_i) reproduces Fig. 5 around the common ``d``; the
+    instance has ``2^copies`` stable solutions and its state space
+    scales geometrically — the scaling workload for the engine and
+    explorer benchmarks.
+    """
+    if copies < 1:
+        raise ValueError("need at least one DISAGREE copy")
+    builder = SPPBuilder("d")
+    for index in range(copies):
+        x, y = f"x{index}", f"y{index}"
+        builder.node(x, (x, y, "d"), (x, "d"))
+        builder.node(y, (y, x, "d"), (y, "d"))
+    return builder.build(f"DISAGREE-GRID-{copies}")
+
+
+def linear_chain(length: int = 3) -> SPPInstance:
+    """A chain ``n_k — ... — n_1 — d`` with a unique permitted path each.
+
+    Trivially convergent in every model; exercises multi-hop update
+    propagation.
+    """
+    if length < 1:
+        raise ValueError("chain length must be at least 1")
+    names = [f"n{i}" for i in range(1, length + 1)]
+    builder = SPPBuilder("d")
+    previous_path: tuple = ("d",)
+    previous_node = "d"
+    for name in names:
+        builder.edge(name, previous_node)
+        path = (name,) + previous_path
+        builder.node(name, path)
+        previous_path = path
+        previous_node = name
+    return builder.build(f"CHAIN-{length}")
+
+
+#: Name → zero-argument factory, for CLI and test parametrization.
+ALL_NAMED_INSTANCES = {
+    "disagree": disagree,
+    "fig6": fig6_gadget,
+    "fig7": fig7_gadget,
+    "fig8": fig8_gadget,
+    "fig9": fig9_gadget,
+    "bad-gadget": bad_gadget,
+    "disagree-grid": disagree_grid,
+    "good-gadget": good_gadget,
+    "shortest-ring": shortest_paths_ring,
+    "chain": linear_chain,
+}

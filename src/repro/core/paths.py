@@ -1,0 +1,127 @@
+"""Path and route primitives for the Stable Paths Problem.
+
+A *path* is a tuple of node identifiers ``(v, ..., d)`` leading from its
+source ``v`` to the destination ``d``.  The *empty route* ``EPSILON``
+(the empty tuple) represents "no route"; in protocol messages it doubles
+as an explicit withdrawal.
+
+Nodes may be any hashable value; the canonical instances in this package
+use short strings (``"x"``, ``"d"``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Node = Hashable
+Path = tuple  # tuple[Node, ...]
+
+#: The empty route: "no path to the destination".
+EPSILON: Path = ()
+
+
+def make_path(nodes: Iterable[Node]) -> Path:
+    """Return the canonical (tuple) form of a path."""
+    return tuple(nodes)
+
+
+def is_empty(path: Path) -> bool:
+    """Return True if ``path`` is the empty route ε."""
+    return len(path) == 0
+
+
+def source(path: Path) -> Node:
+    """Return the first node of a non-empty path."""
+    if is_empty(path):
+        raise ValueError("the empty route has no source")
+    return path[0]
+
+
+def destination(path: Path) -> Node:
+    """Return the last node of a non-empty path."""
+    if is_empty(path):
+        raise ValueError("the empty route has no destination")
+    return path[-1]
+
+
+def next_hop(path: Path) -> Node:
+    """Return the neighbor through which a non-trivial path routes.
+
+    For a path ``(v, u, ..., d)`` this is ``u``; for the trivial path
+    ``(d,)`` at the destination there is no next hop.
+    """
+    if len(path) < 2:
+        raise ValueError(f"path {path!r} has no next hop")
+    return path[1]
+
+
+def is_simple(path: Path) -> bool:
+    """Return True if no node repeats along ``path``."""
+    return len(set(path)) == len(path)
+
+
+def is_path_to(path: Path, dest: Node) -> bool:
+    """Return True if ``path`` is non-empty and terminates at ``dest``."""
+    return not is_empty(path) and destination(path) == dest
+
+
+def extend(node: Node, path: Path) -> Path:
+    """Return ``node · path``, the extension of ``path`` through ``node``.
+
+    Extending the empty route yields the empty route (a node cannot
+    manufacture a route from a withdrawal), and extending a path that
+    already contains ``node`` yields the empty route as well — loop
+    detection makes such announcements act as withdrawals, exactly the
+    mechanism driving the DISAGREE oscillation of Example A.1.
+    """
+    if is_empty(path) or node in path:
+        return EPSILON
+    return (node,) + path
+
+
+def subpaths(path: Path) -> Iterator[Path]:
+    """Yield every suffix of ``path`` (each a path of a later node).
+
+    For ``(s, u, a, d)`` this yields ``(s, u, a, d)``, ``(u, a, d)``,
+    ``(a, d)``, ``(d,)``.
+    """
+    for i in range(len(path)):
+        yield path[i:]
+
+
+def edges_of(path: Path) -> Iterator[tuple[Node, Node]]:
+    """Yield the consecutive (undirected) edges traversed by ``path``."""
+    for i in range(len(path) - 1):
+        yield (path[i], path[i + 1])
+
+
+def format_path(path: Path) -> str:
+    """Render a path the way the paper does: ``xyd``; ε for the empty route."""
+    if is_empty(path):
+        return "ε"
+    return "".join(str(node) for node in path)
+
+
+def parse_path(text: str) -> Path:
+    """Parse a single-character-per-node path string like ``"xyd"``.
+
+    ``"ε"`` and the empty string parse to :data:`EPSILON`.  This is the
+    inverse of :func:`format_path` for the single-character node names
+    used throughout the paper's examples.
+    """
+    if text in ("", "ε"):
+        return EPSILON
+    return tuple(text)
+
+
+def validate_path(path: Sequence[Node], node: Node, dest: Node) -> None:
+    """Raise ``ValueError`` unless ``path`` is a simple path node → dest."""
+    path = tuple(path)
+    if is_empty(path):
+        raise ValueError("permitted paths must be non-empty")
+    if source(path) != node:
+        raise ValueError(f"path {format_path(path)} does not start at {node!r}")
+    if destination(path) != dest:
+        raise ValueError(f"path {format_path(path)} does not end at {dest!r}")
+    if not is_simple(path):
+        raise ValueError(f"path {format_path(path)} is not simple")

@@ -1,0 +1,151 @@
+"""A miniature CNF-SAT toolkit (for the NP-completeness experiments).
+
+Griffin–Shepherd–Wilfong (the paper's reference [9]) proved that
+deciding whether an SPP instance has a stable solution is NP-complete.
+:mod:`repro.core.satgadgets` realizes a 3-SAT → SPP reduction; this
+module supplies the classical side: a formula representation, a tiny
+DPLL solver, and exhaustive enumeration helpers used to cross-validate
+the reduction on small formulas.
+
+Formulas are sequences of clauses; a clause is a tuple of non-zero
+integer literals (DIMACS style: ``3`` means x₃, ``-3`` means ¬x₃).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "variables_of",
+    "evaluate",
+    "satisfying_assignments",
+    "dpll",
+    "parse_formula",
+    "random_formula",
+]
+
+Clause = tuple
+Formula = tuple
+
+
+def _normalize(formula: Iterable[Sequence[int]]) -> Formula:
+    clauses = []
+    for clause in formula:
+        clause = tuple(clause)
+        if not clause:
+            raise ValueError("empty clause (trivially unsatisfiable input)")
+        if any(not isinstance(l, int) or l == 0 for l in clause):
+            raise ValueError(f"literals must be non-zero ints, got {clause!r}")
+        clauses.append(clause)
+    return tuple(clauses)
+
+
+def variables_of(formula: Iterable[Sequence[int]]) -> tuple:
+    """The variable indices appearing in the formula, sorted."""
+    return tuple(
+        sorted({abs(literal) for clause in formula for literal in clause})
+    )
+
+
+def evaluate(formula: Iterable[Sequence[int]], assignment: Mapping) -> bool:
+    """Evaluate under a {variable: bool} assignment (must be total)."""
+    for clause in formula:
+        if not any(
+            assignment[abs(literal)] == (literal > 0) for literal in clause
+        ):
+            return False
+    return True
+
+
+def satisfying_assignments(
+    formula: Iterable[Sequence[int]],
+) -> Iterator[dict]:
+    """Exhaustively yield every satisfying assignment (small formulas)."""
+    formula = _normalize(formula)
+    names = variables_of(formula)
+    for values in itertools.product((False, True), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        if evaluate(formula, assignment):
+            yield assignment
+
+
+def dpll(formula: Iterable[Sequence[int]]) -> "dict | None":
+    """DPLL with unit propagation; returns a model or ``None``.
+
+    Intended for the reduction's cross-checks, not as a competitive
+    solver — but it is a real DPLL (unit propagation + splitting) and
+    handles the benchmark sizes instantly.
+    """
+    formula = _normalize(formula)
+
+    def solve(clauses: tuple, assignment: dict) -> "dict | None":
+        # Unit propagation to fixpoint.
+        clauses = list(clauses)
+        while True:
+            unit = next((c for c in clauses if len(c) == 1), None)
+            if unit is None:
+                break
+            literal = unit[0]
+            assignment[abs(literal)] = literal > 0
+            next_clauses = []
+            for clause in clauses:
+                if literal in clause:
+                    continue  # satisfied
+                reduced = tuple(l for l in clause if l != -literal)
+                if not reduced:
+                    return None  # conflict
+                next_clauses.append(reduced)
+            clauses = next_clauses
+        if not clauses:
+            return assignment
+        # Split on the first literal of the first clause.
+        literal = clauses[0][0]
+        for choice in (literal, -literal):
+            result = solve(tuple(clauses) + ((choice,),), dict(assignment))
+            if result is not None:
+                return result
+        return None
+
+    model = solve(formula, {})
+    if model is None:
+        return None
+    for variable in variables_of(formula):
+        model.setdefault(variable, False)
+    return model
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``"1,-2;2,3;-1,-3"`` — clauses split by ``;``, literals by ``,``.
+
+    This is the CLI's compact notation; whitespace is ignored.
+    """
+    clauses = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            clause = tuple(int(item) for item in chunk.split(","))
+        except ValueError:
+            raise ValueError(f"cannot parse clause {chunk!r}") from None
+        clauses.append(clause)
+    if not clauses:
+        raise ValueError("formula has no clauses")
+    return _normalize(clauses)
+
+
+def random_formula(
+    seed: int, n_vars: int = 4, n_clauses: int = 6, width: int = 3
+) -> Formula:
+    """A random width-``width`` CNF formula (variables 1..n_vars)."""
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(range(1, n_vars + 1), min(width, n_vars))
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in chosen)
+        )
+    return tuple(clauses)

@@ -1,0 +1,155 @@
+"""A 3-SAT → SPP reduction (the NP-completeness of solvability, [9]).
+
+Griffin–Shepherd–Wilfong showed SPP solvability NP-complete; this
+module implements a reduction in that spirit, built entirely from the
+gadgets the paper works with:
+
+* **Variable gadget** — one DISAGREE pair ``(u_i, w_i)`` per variable
+  x_i.  The pair has exactly two stable configurations:
+
+  - *True*:  ``u_i = u_i w_i d`` and ``w_i = w_i d``;
+  - *False*: ``u_i = u_i d``     and ``w_i = w_i u_i d``.
+
+* **Clause gadget** — per clause ``C_j``, a BAD-GADGET triangle
+  ``(c_j, h_j1, h_j2)`` that is *defused* exactly when the clause is
+  satisfied: ``c_j``'s most preferred paths are "witness" routes
+  through its literals' variable nodes — ``c_j w_i d`` for a positive
+  literal (consistent only in the *True* configuration, where ``w_i``
+  sits on its direct route) and ``c_j u_i d`` for a negative literal
+  (consistent only in *False*).  When some witness route is available
+  the triangle relaxes onto its direct routes; when every literal is
+  falsified, the triangle is an untriggered BAD GADGET with no stable
+  configuration.
+
+Hence the SPP instance has a stable solution iff the formula is
+satisfiable.  The construction is validated exhaustively against the
+DPLL solver of :mod:`repro.core.sat` in the test suite, and the
+solution ↔ assignment translations below are exact inverses on stable
+solutions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .paths import EPSILON
+from .sat import variables_of
+from .spp import SPPInstance
+
+__all__ = [
+    "formula_to_spp",
+    "assignment_from_solution",
+    "solution_from_assignment",
+]
+
+DEST = "d"
+
+
+def _u(index: int) -> str:
+    return f"u{index}"
+
+
+def _w(index: int) -> str:
+    return f"w{index}"
+
+
+def _clause_nodes(index: int) -> tuple:
+    return (f"c{index}", f"h{index}.1", f"h{index}.2")
+
+
+def formula_to_spp(formula: Iterable[Sequence[int]], name: str = "") -> SPPInstance:
+    """Build the SPP instance encoding a CNF formula.
+
+    Clauses may have any width ≥ 1; variables are the integers
+    appearing in the clauses.
+    """
+    formula = tuple(tuple(clause) for clause in formula)
+    permitted: dict = {}
+    rank: dict = {}
+
+    def declare(node: str, *paths) -> None:
+        permitted[node] = tuple(tuple(p) for p in paths)
+        rank[node] = {tuple(p): i for i, p in enumerate(paths)}
+
+    # Variable gadgets: DISAGREE pairs.
+    for index in variables_of(formula):
+        u, w = _u(index), _w(index)
+        declare(u, (u, w, DEST), (u, DEST))
+        declare(w, (w, u, DEST), (w, DEST))
+
+    # Clause gadgets: conditionally defused BAD GADGET triangles.
+    for j, clause in enumerate(formula):
+        c, h1, h2 = _clause_nodes(j)
+        witnesses = []
+        for literal in clause:
+            index = abs(literal)
+            via = _w(index) if literal > 0 else _u(index)
+            witnesses.append((c, via, DEST))
+        declare(c, *witnesses, (c, h1, DEST), (c, DEST))
+        declare(h1, (h1, h2, DEST), (h1, DEST))
+        declare(h2, (h2, c, DEST), (h2, DEST))
+
+    edges = {
+        tuple(sorted((a, b), key=repr))
+        for paths in permitted.values()
+        for path in paths
+        for a, b in zip(path, path[1:])
+    }
+    return SPPInstance(
+        dest=DEST,
+        edges=edges,
+        permitted=permitted,
+        rank=rank,
+        name=name or f"SAT-{len(variables_of(formula))}v{len(formula)}c",
+    )
+
+
+def solution_from_assignment(
+    formula: Iterable[Sequence[int]], assignment: Mapping
+) -> dict:
+    """The stable path assignment encoding a satisfying assignment.
+
+    Raises ``ValueError`` if the assignment does not satisfy the
+    formula (the clause triangles would then have no stable state).
+    """
+    formula = tuple(tuple(clause) for clause in formula)
+    solution: dict = {DEST: (DEST,)}
+    for index in variables_of(formula):
+        u, w = _u(index), _w(index)
+        if assignment[index]:
+            solution[u] = (u, w, DEST)
+            solution[w] = (w, DEST)
+        else:
+            solution[u] = (u, DEST)
+            solution[w] = (w, u, DEST)
+    for j, clause in enumerate(formula):
+        c, h1, h2 = _clause_nodes(j)
+        witness = None
+        for literal in clause:
+            if assignment[abs(literal)] == (literal > 0):
+                via = _w(abs(literal)) if literal > 0 else _u(abs(literal))
+                witness = (c, via, DEST)
+                break
+        if witness is None:
+            raise ValueError(f"clause {j} is not satisfied by the assignment")
+        solution[c] = witness
+        solution[h2] = (h2, DEST)
+        solution[h1] = (h1, h2, DEST)
+    return solution
+
+
+def assignment_from_solution(
+    formula: Iterable[Sequence[int]], solution: Mapping
+) -> dict:
+    """Decode a stable solution back into a boolean assignment.
+
+    Reads each variable pair's configuration; the result satisfies the
+    formula whenever ``solution`` is a stable solution of the reduction
+    instance.
+    """
+    assignment = {}
+    for index in variables_of(tuple(tuple(c) for c in formula)):
+        w = _w(index)
+        path = tuple(solution.get(w, EPSILON))
+        assignment[index] = path == (w, DEST)
+    return assignment

@@ -1,0 +1,102 @@
+"""JSON-friendly serialization of SPP instances and path assignments.
+
+Nodes are serialized with ``str``; instances built from string node
+names round-trip exactly.  Paths are encoded as lists of node names and
+assignments as ``{node: [path...]}`` mappings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .paths import EPSILON
+from .spp import SPPInstance
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "instance_to_json",
+    "instance_from_json",
+    "assignment_to_dict",
+    "assignment_from_dict",
+]
+
+
+def instance_to_dict(instance: SPPInstance) -> dict:
+    """Encode an instance as a JSON-able dictionary."""
+    return {
+        "name": instance.name,
+        "dest": str(instance.dest),
+        "edges": sorted(sorted(str(n) for n in edge) for edge in instance.edges),
+        "permitted": {
+            str(node): [list(map(str, path)) for path in instance.permitted_at(node)]
+            for node in sorted(instance.nodes, key=repr)
+            if node != instance.dest
+        },
+        "rank": {
+            str(node): [
+                [list(map(str, path)), rank]
+                for path, rank in sorted(
+                    instance.rank[node].items(),
+                    key=lambda item: (item[1], item[0]),
+                )
+            ]
+            for node in sorted(instance.nodes, key=repr)
+            if node != instance.dest
+        },
+    }
+
+
+def instance_from_dict(data: Mapping) -> SPPInstance:
+    """Decode :func:`instance_to_dict` output back into an instance."""
+    permitted = {
+        node: tuple(tuple(path) for path in paths)
+        for node, paths in data["permitted"].items()
+    }
+    rank: dict = {}
+    for node, ranking in data.get("rank", {}).items():
+        node_paths = set(permitted.get(node, ()))
+        decoded = {}
+        for raw_path, value in ranking:
+            path = tuple(raw_path)
+            if path not in node_paths:
+                raise ValueError(
+                    f"rank entry {path!r} at {node!r} is not a permitted path"
+                )
+            decoded[path] = value
+        rank[node] = decoded
+    return SPPInstance(
+        dest=data["dest"],
+        edges=[tuple(edge) for edge in data["edges"]],
+        permitted=permitted,
+        rank=rank or None,
+        name=data.get("name", ""),
+    )
+
+
+def instance_to_json(instance: SPPInstance, **kwargs: Any) -> str:
+    """Encode an instance as a JSON string."""
+    kwargs.setdefault("indent", 2)
+    kwargs.setdefault("sort_keys", True)
+    return json.dumps(instance_to_dict(instance), **kwargs)
+
+
+def instance_from_json(text: str) -> SPPInstance:
+    """Decode a JSON string produced by :func:`instance_to_json`."""
+    return instance_from_dict(json.loads(text))
+
+
+def assignment_to_dict(assignment: Mapping) -> dict:
+    """Encode a path assignment (ε becomes the empty list)."""
+    return {
+        str(node): list(map(str, path))
+        for node, path in sorted(assignment.items(), key=lambda item: repr(item[0]))
+    }
+
+
+def assignment_from_dict(data: Mapping) -> dict:
+    """Decode :func:`assignment_to_dict` output."""
+    return {
+        node: tuple(path) if path else EPSILON for node, path in data.items()
+    }

@@ -1,0 +1,204 @@
+"""Stable path assignments — the solutions of the Stable Paths Problem.
+
+A *path assignment* maps every node to a permitted path (or ε).  Per
+Sec. 2.1 it solves the SPP when it is
+
+* **consistent** — if the next hop of ``π_v`` is ``u`` then
+  ``π_v = v·π_u``; and
+* **stable** — ``π_v`` is the most preferred feasible extension of any
+  neighbor's assigned path (and ε only when no extension is feasible).
+
+This module provides checkers, a brute-force enumerator (the decision
+problem is NP-complete, per Griffin–Shepherd–Wilfong, so exhaustive
+search is the honest baseline for gadget-sized instances) and the
+greedy constructive solver that succeeds on dispute-wheel-free
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from .paths import EPSILON, Node, Path, is_empty, next_hop
+from .spp import SPPInstance
+
+__all__ = [
+    "PathAssignment",
+    "initial_assignment",
+    "is_consistent",
+    "is_stable",
+    "is_solution",
+    "enumerate_stable_solutions",
+    "greedy_solve",
+    "best_response",
+]
+
+#: A path assignment π: node → path (ε for "no route").
+PathAssignment = dict
+
+
+def initial_assignment(instance: SPPInstance) -> PathAssignment:
+    """The t = 0 assignment of Def. 2.1: ε everywhere, (d,) at d."""
+    assignment = {node: EPSILON for node in instance.nodes}
+    assignment[instance.dest] = (instance.dest,)
+    return assignment
+
+
+def best_response(
+    instance: SPPInstance, node: Node, assignment: Mapping
+) -> Path:
+    """The most preferred feasible extension of the neighbors' paths.
+
+    This is the "omniscient" best response used by the stability
+    definition — the node sees every neighbor's *current* assignment
+    (unlike protocol execution, which sees only announced state).
+    """
+    if node == instance.dest:
+        return (instance.dest,)
+    candidates = [
+        instance.feasible_extension(node, assignment.get(u, EPSILON))
+        for u in instance.neighbors(node)
+    ]
+    return instance.best_choice(node, candidates)
+
+
+def is_consistent(instance: SPPInstance, assignment: Mapping) -> bool:
+    """Check the consistency condition of Sec. 2.1."""
+    if assignment.get(instance.dest) != (instance.dest,):
+        return False
+    for node in instance.nodes:
+        path = assignment.get(node, EPSILON)
+        if node == instance.dest or is_empty(path):
+            continue
+        hop = next_hop(path)
+        if path != (node,) + tuple(assignment.get(hop, EPSILON)):
+            return False
+    return True
+
+
+def is_stable(instance: SPPInstance, assignment: Mapping) -> bool:
+    """Check the stability condition: every node plays its best response."""
+    for node in instance.nodes:
+        if node == instance.dest:
+            continue
+        if assignment.get(node, EPSILON) != best_response(instance, node, assignment):
+            return False
+    return True
+
+
+def is_solution(instance: SPPInstance, assignment: Mapping) -> bool:
+    """True iff ``assignment`` is a consistent and stable solution."""
+    return is_consistent(instance, assignment) and is_stable(instance, assignment)
+
+
+def enumerate_stable_solutions(instance: SPPInstance) -> Iterator[PathAssignment]:
+    """Yield every stable, consistent path assignment (exhaustively).
+
+    Backtracking over per-node candidate paths with two prunes:
+
+    * *consistency* — a candidate whose next hop is already assigned
+      must extend that assignment (and assigning a node re-checks the
+      nodes routing through it); and
+    * *stability* — once a node and all of its neighbors are assigned,
+      the node must already be playing its best response; no completion
+      can fix it otherwise.
+
+    Intended for gadget-sized instances; the underlying decision
+    problem is NP-complete (see :mod:`repro.core.satgadgets`).
+    """
+    nodes = [n for n in sorted(instance.nodes, key=repr) if n != instance.dest]
+    assignment: PathAssignment = {instance.dest: (instance.dest,)}
+    neighbor_map = {node: instance.neighbors(node) for node in nodes}
+
+    def candidates(node: Node) -> tuple:
+        return instance.permitted_at(node) + (EPSILON,)
+
+    def assigned_prefix_ok(node: Node) -> bool:
+        """Prune: consistency of paths among already-assigned nodes."""
+        path = assignment[node]
+        if is_empty(path):
+            return True
+        hop = next_hop(path)
+        if hop in assignment:
+            return path == (node,) + tuple(assignment[hop])
+        return True
+
+    def stability_ok_so_far(just_assigned: Node) -> bool:
+        """Prune: neighbor-complete nodes must already be stable."""
+        to_check = {just_assigned} | (neighbor_map[just_assigned] - {instance.dest})
+        for node in to_check:
+            if node not in assignment:
+                continue
+            if any(
+                neighbor not in assignment
+                for neighbor in neighbor_map[node]
+                if neighbor != instance.dest
+            ):
+                continue
+            if assignment[node] != best_response(instance, node, assignment):
+                return False
+        return True
+
+    def search(index: int) -> Iterator[PathAssignment]:
+        if index == len(nodes):
+            if is_solution(instance, assignment):
+                yield dict(assignment)
+            return
+        node = nodes[index]
+        for candidate in candidates(node):
+            assignment[node] = candidate
+            if assigned_prefix_ok(node):
+                # Also re-check nodes whose next hop is the one just set.
+                consistent = all(
+                    assigned_prefix_ok(other)
+                    for other in assignment
+                    if other != instance.dest
+                )
+                if consistent and stability_ok_so_far(node):
+                    yield from search(index + 1)
+            del assignment[node]
+
+    yield from search(0)
+
+
+def greedy_solve(instance: SPPInstance) -> PathAssignment | None:
+    """The Griffin–Shepherd–Wilfong greedy construction.
+
+    Iteratively "fix" nodes: a node can be fixed with path ``P`` when
+    ``P`` extends an already-fixed neighbor's assigned path and is at
+    least as preferred as every permitted path of the node that has not
+    been ruled out by fixed nodes.  On dispute-wheel-free instances the
+    construction always completes and its output is a stable solution;
+    on other instances it may fail, returning ``None``.
+    """
+    fixed: PathAssignment = {instance.dest: (instance.dest,)}
+
+    def ruled_out(node: Node, path: Path) -> bool:
+        """A path is dead if it disagrees with a fixed next hop."""
+        hop = next_hop(path)
+        return hop in fixed and path != (node,) + tuple(fixed[hop])
+
+    pending = {n for n in instance.nodes if n != instance.dest}
+    progress = True
+    while pending and progress:
+        progress = False
+        for node in sorted(pending, key=repr):
+            viable = [
+                p for p in instance.permitted_at(node) if not ruled_out(node, p)
+            ]
+            if not viable:
+                fixed[node] = EPSILON
+                pending.discard(node)
+                progress = True
+                break
+            best = min(viable, key=lambda p: (instance.rank_of(node, p), repr(p)))
+            hop = next_hop(best)
+            if hop in fixed and best == (node,) + tuple(fixed[hop]):
+                fixed[node] = best
+                pending.discard(node)
+                progress = True
+                break
+    if pending:
+        return None
+    assert is_solution(instance, fixed), "greedy construction produced a non-solution"
+    return fixed

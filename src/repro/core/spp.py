@@ -1,0 +1,327 @@
+"""The Stable Paths Problem (SPP) — the routing problem of Sec. 2.1.
+
+An SPP instance consists of an undirected graph ``G = (V, E)`` with a
+distinguished destination ``d``, a set of *permitted paths*
+``P_v`` for each node ``v`` (simple paths from ``v`` to ``d``), and a
+*ranking function* ``λ_v : P_v → ℕ`` (lower rank = more preferred).
+Ties in rank are permitted only between paths that share a next hop.
+
+:class:`SPPInstance` is immutable after construction and fully
+validated; use :class:`repro.core.builders.SPPBuilder` for ergonomic
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .paths import (
+    EPSILON,
+    Node,
+    Path,
+    extend,
+    format_path,
+    is_empty,
+    next_hop,
+    validate_path,
+)
+
+__all__ = ["Channel", "SPPInstance", "SPPValidationError"]
+
+#: A directed communication channel ``(u, v)``: u writes, v reads.
+Channel = tuple
+
+
+class SPPValidationError(ValueError):
+    """Raised when an SPP instance violates the definition of Sec. 2.1."""
+
+
+@dataclass(frozen=True)
+class SPPInstance:
+    """An immutable, validated instance of the Stable Paths Problem.
+
+    Parameters
+    ----------
+    dest:
+        The distinguished destination node ``d``.
+    edges:
+        Undirected edges as 2-tuples; symmetric duplicates are merged.
+    permitted:
+        Mapping node → iterable of permitted paths (tuples ending at
+        ``dest``).  The destination's own permitted set is implicitly
+        ``{(d,)}`` and need not (but may) be supplied.
+    rank:
+        Mapping node → mapping path → rank.  If a node's ranking is
+        omitted, the iteration order of its permitted paths is used
+        (first = most preferred), which matches how the paper lists
+        preferences "from top to bottom in order of decreasing
+        preference".
+    name:
+        Optional human-readable instance name (e.g. ``"DISAGREE"``).
+    """
+
+    dest: Node
+    edges: frozenset = field(default_factory=frozenset)
+    permitted: Mapping = field(default_factory=dict)
+    rank: Mapping = field(default_factory=dict)
+    name: str = ""
+
+    def __init__(
+        self,
+        dest: Node,
+        edges: Iterable,
+        permitted: Mapping,
+        rank: Mapping | None = None,
+        name: str = "",
+    ) -> None:
+        canonical_edges = set()
+        for edge in edges:
+            u, v = edge
+            if u == v:
+                raise SPPValidationError(f"self-loop edge {edge!r}")
+            canonical_edges.add(frozenset((u, v)))
+        object.__setattr__(self, "dest", dest)
+        object.__setattr__(self, "edges", frozenset(canonical_edges))
+
+        permitted_paths: dict = {}
+        for node, paths in permitted.items():
+            permitted_paths[node] = tuple(tuple(p) for p in paths)
+        permitted_paths.setdefault(dest, ((dest,),))
+        object.__setattr__(self, "permitted", permitted_paths)
+
+        rankings: dict = {}
+        for node, paths in permitted_paths.items():
+            node_rank = dict(rank[node]) if rank and node in rank else None
+            if node_rank is None:
+                node_rank = {path: index for index, path in enumerate(paths)}
+            rankings[node] = {tuple(p): r for p, r in node_rank.items()}
+        object.__setattr__(self, "rank", rankings)
+        object.__setattr__(self, "name", name)
+        self._precompute_topology()
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        nodes = self.nodes
+        if self.dest not in nodes:
+            raise SPPValidationError(
+                f"destination {self.dest!r} does not appear in the graph"
+            )
+        adjacency = {node: self.neighbors(node) for node in nodes}
+        for node, paths in self.permitted.items():
+            if node not in nodes:
+                raise SPPValidationError(
+                    f"permitted paths given for unknown node {node!r}"
+                )
+            seen: set = set()
+            for path in paths:
+                try:
+                    validate_path(path, node, self.dest)
+                except ValueError as exc:
+                    raise SPPValidationError(str(exc)) from None
+                if path in seen:
+                    raise SPPValidationError(
+                        f"duplicate permitted path {format_path(path)} at {node!r}"
+                    )
+                seen.add(path)
+                for a, b in zip(path, path[1:]):
+                    if b not in adjacency[a]:
+                        raise SPPValidationError(
+                            f"path {format_path(path)} uses non-edge ({a!r},{b!r})"
+                        )
+            ranking = self.rank[node]
+            if set(ranking) != seen:
+                raise SPPValidationError(
+                    f"ranking domain at {node!r} does not equal permitted paths"
+                )
+            self._validate_tie_rule(node, ranking)
+        if self.permitted[self.dest] != ((self.dest,),):
+            raise SPPValidationError(
+                "the destination must permit exactly its trivial path"
+            )
+
+    def _validate_tie_rule(self, node: Node, ranking: Mapping) -> None:
+        """Ties in rank are only allowed between same-next-hop paths."""
+        by_rank: dict = {}
+        for path, value in ranking.items():
+            by_rank.setdefault(value, []).append(path)
+        for value, paths in by_rank.items():
+            hops = {next_hop(p) for p in paths if len(p) >= 2}
+            if len(paths) > 1 and len(hops) != 1:
+                raise SPPValidationError(
+                    f"rank tie at {node!r} (rank {value}) across different "
+                    f"next hops: {[format_path(p) for p in paths]}"
+                )
+
+    def _precompute_topology(self) -> None:
+        """Cache hot-path adjacency views (the engine queries them per step)."""
+        found = {self.dest}
+        for edge in self.edges:
+            found.update(edge)
+        nodes = frozenset(found)
+        neighbor_map = {
+            node: frozenset(
+                next(iter(edge - {node})) for edge in self.edges if node in edge
+            )
+            for node in nodes
+        }
+        directed = []
+        for edge in self.edges:
+            u, v = sorted(edge, key=repr)
+            directed.append((u, v))
+            directed.append((v, u))
+        channels = tuple(sorted(directed, key=repr))
+        in_map = {
+            node: tuple(
+                (u, node) for u in sorted(neighbor_map[node], key=repr)
+            )
+            for node in nodes
+        }
+        out_map = {
+            node: tuple(
+                (node, u) for u in sorted(neighbor_map[node], key=repr)
+            )
+            for node in nodes
+        }
+        object.__setattr__(self, "_nodes_cache", nodes)
+        object.__setattr__(self, "_neighbors_cache", neighbor_map)
+        object.__setattr__(self, "_channels_cache", channels)
+        object.__setattr__(self, "_in_channels_cache", in_map)
+        object.__setattr__(self, "_out_channels_cache", out_map)
+        object.__setattr__(
+            self, "_sorted_nodes_cache", tuple(sorted(nodes, key=repr))
+        )
+
+    # ------------------------------------------------------------------
+    # Graph accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset:
+        """All nodes appearing in the edge set (plus the destination)."""
+        found = {self.dest}
+        for edge in self.edges:
+            found.update(edge)
+        return frozenset(found)
+
+    def neighbors(self, node: Node) -> frozenset:
+        """The undirected neighbors ``N(v)`` of ``node``."""
+        return self._neighbors_cache[node]
+
+    @property
+    def channels(self) -> tuple:
+        """All directed channels ``(u, v)``, two per undirected edge.
+
+        Channels are returned in a deterministic sorted order so that
+        schedulers and explorers behave reproducibly.
+        """
+        return self._channels_cache
+
+    @property
+    def sorted_nodes(self) -> tuple:
+        """All nodes in the canonical deterministic order."""
+        return self._sorted_nodes_cache
+
+    def in_channels(self, node: Node) -> tuple:
+        """Channels on which ``node`` receives updates."""
+        return self._in_channels_cache[node]
+
+    def out_channels(self, node: Node) -> tuple:
+        """Channels on which ``node`` sends updates."""
+        return self._out_channels_cache[node]
+
+    # ------------------------------------------------------------------
+    # Policy accessors
+    # ------------------------------------------------------------------
+    def permitted_at(self, node: Node) -> tuple:
+        """The permitted-path set ``P_v`` (possibly empty for stub nodes)."""
+        return self.permitted.get(node, ())
+
+    def is_permitted(self, node: Node, path: Path) -> bool:
+        """Return True if ``path`` ∈ P_v."""
+        return tuple(path) in self.rank.get(node, {})
+
+    def rank_of(self, node: Node, path: Path) -> int:
+        """The rank λ_v(path); raises ``KeyError`` for non-permitted paths."""
+        return self.rank[node][tuple(path)]
+
+    def prefers(self, node: Node, first: Path, second: Path) -> bool:
+        """Return True if ``node`` strictly prefers ``first`` to ``second``.
+
+        Any permitted path is preferred to the empty route; the empty
+        route is never preferred to anything.
+        """
+        if is_empty(first):
+            return False
+        if is_empty(second):
+            return self.is_permitted(node, first)
+        return self.rank_of(node, first) < self.rank_of(node, second)
+
+    def best_choice(self, node: Node, candidates: Iterable[Path]) -> Path:
+        """The most preferred permitted path among ``candidates`` (else ε).
+
+        Non-permitted and empty candidates are ignored.  Same-rank ties
+        (necessarily same next hop, by the tie rule) are broken
+        deterministically by path representation.
+        """
+        best = EPSILON
+        for candidate in candidates:
+            candidate = tuple(candidate)
+            if is_empty(candidate) or not self.is_permitted(node, candidate):
+                continue
+            if is_empty(best):
+                best = candidate
+            else:
+                rank_new, rank_best = self.rank_of(node, candidate), self.rank_of(node, best)
+                if rank_new < rank_best or (
+                    rank_new == rank_best and repr(candidate) < repr(best)
+                ):
+                    best = candidate
+        return best
+
+    def feasible_extension(self, node: Node, route: Path) -> Path:
+        """The extension ``node · route`` if permitted and simple, else ε.
+
+        ``route`` is a neighbor's announced path (ending at the
+        destination) or ε.  This implements the candidate formation of
+        Def. 2.3 step 3: loops and non-permitted paths are infeasible.
+        """
+        extended = extend(node, tuple(route))
+        if is_empty(extended) or not self.is_permitted(node, extended):
+            return EPSILON
+        return extended
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def preference_order(self, node: Node) -> tuple:
+        """Permitted paths at ``node`` sorted most-preferred first."""
+        return tuple(
+            sorted(self.permitted_at(node), key=lambda p: (self.rank_of(node, p), repr(p)))
+        )
+
+    def all_paths(self) -> Iterator[tuple]:
+        """Yield ``(node, path)`` for every permitted path in the instance."""
+        for node in sorted(self.nodes, key=repr):
+            for path in self.permitted_at(node):
+                yield node, path
+
+    def describe(self) -> str:
+        """A multi-line, paper-style description of the instance."""
+        lines = [f"SPP instance {self.name or '<unnamed>'} (dest={self.dest!r})"]
+        for node in sorted(self.nodes, key=repr):
+            if node == self.dest:
+                continue
+            prefs = " > ".join(
+                format_path(p) for p in self.preference_order(node)
+            ) or "(no permitted paths)"
+            lines.append(f"  {node!r}: {prefs}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SPPInstance(name={self.name!r}, dest={self.dest!r}, "
+            f"nodes={len(self.nodes)}, edges={len(self.edges)})"
+        )

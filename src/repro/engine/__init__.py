@@ -1,0 +1,55 @@
+"""Execution engine: channels, activation sequences, and the algorithm."""
+
+from .activation import INFINITY, ActivationEntry, Schedule
+from .convergence import (
+    RunResult,
+    find_oscillation_evidence,
+    find_state_recurrence,
+    is_fixed_point,
+    simulate,
+)
+from .execution import Execution, StepRecord, Trace, apply_entry
+from .explorer import ExplorationResult, Explorer, OscillationWitness, can_oscillate
+from .fairness import FairnessReport, audit_schedule, service_gaps
+from .messages import ChannelQueue
+from .metrics import ExecutionMetrics, measure
+from .multinode import MultiNodeExplorer, can_oscillate_multinode
+from .schedulers import RandomScheduler, RoundRobinScheduler, Scheduler
+from .serialization import entry_from_dict, entry_to_dict, schedule_from_json, schedule_to_json, trace_to_dict
+from .state import NetworkState
+
+__all__ = [
+    "INFINITY",
+    "ActivationEntry",
+    "ChannelQueue",
+    "ExplorationResult",
+    "Execution",
+    "ExecutionMetrics",
+    "Explorer",
+    "FairnessReport",
+    "MultiNodeExplorer",
+    "NetworkState",
+    "OscillationWitness",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Schedule",
+    "Scheduler",
+    "StepRecord",
+    "Trace",
+    "apply_entry",
+    "audit_schedule",
+    "entry_from_dict",
+    "entry_to_dict",
+    "can_oscillate",
+    "can_oscillate_multinode",
+    "find_oscillation_evidence",
+    "find_state_recurrence",
+    "is_fixed_point",
+    "measure",
+    "schedule_from_json",
+    "schedule_to_json",
+    "service_gaps",
+    "trace_to_dict",
+    "simulate",
+]

@@ -1,0 +1,87 @@
+"""Fairness bookkeeping over finite schedule prefixes (Def. 2.4).
+
+A fair activation sequence services every channel infinitely often and
+never drops a channel's final message forever.  On a finite prefix we
+can check the finite shadow of this property: how recently each channel
+was serviced, and whether any channel's trailing processed batch was
+entirely dropped.  Schedulers use these checks in their tests; they are
+also exported for users building hand-rolled schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.spp import SPPInstance
+from .activation import ActivationEntry
+
+__all__ = ["FairnessReport", "audit_schedule", "service_gaps"]
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Summary of a finite prefix's fairness bookkeeping."""
+
+    #: channel → number of times it was serviced with f ≥ 1.
+    service_counts: dict
+    #: channel → longest gap (in steps) between consecutive services.
+    max_gaps: dict
+    #: channels whose most recent drop has not yet been followed by a
+    #: delivered message (must be empty for a "fair so far" prefix).
+    pending_drops: frozenset
+    #: channels never serviced at all.
+    never_serviced: frozenset
+
+    @property
+    def is_fair_prefix(self) -> bool:
+        """No channel starved (all serviced) and no dangling drops."""
+        return not self.never_serviced and not self.pending_drops
+
+
+def audit_schedule(
+    instance: SPPInstance, schedule: "tuple | list"
+) -> FairnessReport:
+    """Audit a finite schedule's fairness bookkeeping.
+
+    Dropping is judged syntactically: a serviced channel whose entry
+    drops every index up to its requested count is recorded as a drop
+    event; delivery resets it.  (Actual batch sizes depend on channel
+    occupancy, so this static audit is conservative.)
+    """
+    channels = instance.channels
+    last_service = {channel: -1 for channel in channels}
+    counts = {channel: 0 for channel in channels}
+    gaps = {channel: 0 for channel in channels}
+    pending: set = set()
+
+    for step, entry in enumerate(schedule):
+        if not isinstance(entry, ActivationEntry):
+            raise TypeError(f"schedule item {step} is not an ActivationEntry")
+        for channel, requested in entry.reads.items():
+            if requested == 0:
+                continue
+            gaps[channel] = max(gaps[channel], step - last_service[channel])
+            last_service[channel] = step
+            counts[channel] += 1
+            dropped = entry.drop_set(channel)
+            if requested != float("inf") and dropped and len(dropped) >= requested:
+                pending.add(channel)
+            elif not dropped or (
+                requested != float("inf") and len(dropped) < requested
+            ):
+                pending.discard(channel)
+    horizon = len(schedule)
+    for channel in channels:
+        gaps[channel] = max(gaps[channel], horizon - 1 - last_service[channel])
+    return FairnessReport(
+        service_counts=counts,
+        max_gaps=gaps,
+        pending_drops=frozenset(pending),
+        never_serviced=frozenset(c for c in channels if counts[c] == 0),
+    )
+
+
+def service_gaps(instance: SPPInstance, schedule: "tuple | list") -> int:
+    """The worst service gap across all channels (smaller = fairer)."""
+    report = audit_schedule(instance, schedule)
+    return max(report.max_gaps.values()) if report.max_gaps else 0

@@ -1,0 +1,60 @@
+"""Route-announcement messages and FIFO channels.
+
+Each directed channel ``(u, v)`` carries the full paths that ``u`` has
+announced, oldest first.  The empty route ε is an explicit withdrawal.
+Channels are plain immutable tuples of paths inside state snapshots;
+this module provides the mutable queue used while executing a step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from ..core.paths import Path, format_path
+
+__all__ = ["ChannelQueue"]
+
+
+class ChannelQueue:
+    """A FIFO queue of announced routes for one directed channel."""
+
+    __slots__ = ("_messages",)
+
+    def __init__(self, messages: Iterable[Path] = ()) -> None:
+        self._messages: deque = deque(tuple(m) for m in messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+    def peek(self, index: int) -> Path:
+        """The ``index``-th oldest message (0-based)."""
+        return self._messages[index]
+
+    def write(self, route: Path) -> None:
+        """Append an announcement (step 4 of Def. 2.3)."""
+        self._messages.append(tuple(route))
+
+    def take(self, count: int) -> tuple:
+        """Remove and return the ``count`` oldest messages, in order."""
+        if count > len(self._messages):
+            raise ValueError(
+                f"cannot take {count} messages from a channel holding "
+                f"{len(self._messages)}"
+            )
+        taken = tuple(self._messages.popleft() for _ in range(count))
+        return taken
+
+    def snapshot(self) -> tuple:
+        """The channel contents as an immutable tuple, oldest first."""
+        return tuple(self._messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inside = ", ".join(format_path(m) for m in self._messages)
+        return f"ChannelQueue([{inside}])"

@@ -1,0 +1,91 @@
+"""Execution metrics: message and work accounting over traces.
+
+The paper's Sec. 4 discusses operational trade-offs the convergence
+results do not capture — longer wait times can save "spurious or
+transient announcements" at the cost of discovery latency.  These
+counters quantify that trade-off for any recorded execution:
+announcements sent (and how many were withdrawals), messages processed
+versus dropped, route changes ("churn"), and per-node breakdowns.
+
+Experiment E13 uses them to compare the *message overhead* of polling,
+message-passing, and queueing deployments on the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.paths import EPSILON
+from .execution import Trace
+
+__all__ = ["ExecutionMetrics", "measure"]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregate counters for one execution."""
+
+    steps: int = 0
+    activations: int = 0  # node-activations (≥ steps under multi-node)
+    announcements: int = 0  # messages written to channels
+    withdrawals: int = 0  # ε announcements among them
+    messages_processed: int = 0
+    messages_dropped: int = 0
+    route_changes: int = 0  # π changes, the "churn"
+    #: node → number of times the node's assignment changed.
+    churn_by_node: dict = field(default_factory=dict)
+    #: channel → messages sent on it.
+    traffic_by_channel: dict = field(default_factory=dict)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of processed messages actually delivered to ρ."""
+        if not self.messages_processed:
+            return 1.0
+        return 1.0 - self.messages_dropped / self.messages_processed
+
+    @property
+    def announcements_per_change(self) -> float:
+        """Messages emitted per route change (protocol chattiness)."""
+        if not self.route_changes:
+            return float(self.announcements)
+        return self.announcements / self.route_changes
+
+    def format_summary(self) -> str:
+        lines = [
+            f"steps={self.steps} activations={self.activations}",
+            f"announcements={self.announcements} "
+            f"(withdrawals={self.withdrawals})",
+            f"processed={self.messages_processed} "
+            f"dropped={self.messages_dropped} "
+            f"delivery={self.delivery_ratio:.0%}",
+            f"route changes={self.route_changes} "
+            f"(chattiness={self.announcements_per_change:.2f} msg/change)",
+        ]
+        return "\n".join(lines)
+
+
+def measure(trace: Trace) -> ExecutionMetrics:
+    """Compute metrics for a recorded trace."""
+    metrics = ExecutionMetrics()
+    for record in trace.records:
+        metrics.steps += 1
+        metrics.activations += len(record.entry.nodes)
+        for channel, route in record.announcements:
+            metrics.announcements += 1
+            if route == EPSILON:
+                metrics.withdrawals += 1
+            metrics.traffic_by_channel[channel] = (
+                metrics.traffic_by_channel.get(channel, 0) + 1
+            )
+        for channel, taken in record.processed.items():
+            metrics.messages_processed += len(taken)
+            dropped = record.entry.drop_set(channel)
+            effective = len(taken)
+            metrics.messages_dropped += sum(
+                1 for index in range(1, effective + 1) if index in dropped
+            )
+        for node in record.changes:
+            metrics.route_changes += 1
+            metrics.churn_by_node[node] = metrics.churn_by_node.get(node, 0) + 1
+    return metrics

@@ -1,0 +1,169 @@
+"""Bounded model checking with simultaneous node activation (Ex. A.6).
+
+The paper fixes one updating node per step and only sketches the
+multi-node case: simultaneous polling is *strictly stronger* than
+single-node polling (DISAGREE oscillates when x and y always poll in
+lockstep), but with the modified fairness — each node also activates
+alone infinitely often — the single-node arguments return.
+
+This module extends the bounded exploration to
+``NodeConcurrency.UNRESTRICTED`` models and decides both halves
+mechanically.  Entry enumeration composes per-node channel choices over
+every non-empty node subset, so it is exponential in the node count —
+intended for gadget-sized instances (the cap is explicit).
+
+Fairness criterion: as in :mod:`repro.engine.explorer`, plus an
+optional *solo-activation* requirement (the paper's modified fairness):
+each node must be activated alone somewhere in the cycle, or be
+permanently inert there (all channels empty at some state of the SCC).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.spp import SPPInstance
+from ..models.dimensions import NodeConcurrency
+from ..models.taxonomy import CommunicationModel
+from .activation import ActivationEntry
+from .execution import apply_entry
+from .explorer import Explorer, ExplorationResult
+from .state import NetworkState
+
+__all__ = ["MultiNodeExplorer", "can_oscillate_multinode"]
+
+
+class MultiNodeExplorer(Explorer):
+    """Exhaustive bounded search allowing simultaneous activations."""
+
+    def __init__(
+        self,
+        instance: SPPInstance,
+        model: CommunicationModel,
+        queue_bound: int = 2,
+        max_states: int = 200_000,
+        max_group: "int | None" = None,
+        require_solo_activations: bool = False,
+    ) -> None:
+        if model.concurrency is not NodeConcurrency.UNRESTRICTED:
+            raise ValueError(
+                "MultiNodeExplorer requires an UNRESTRICTED-concurrency model"
+            )
+        # Bypass the single-node guard of the base class.
+        self.instance = instance
+        self.model = model
+        self.queue_bound = queue_bound
+        self.max_states = max_states
+        self.max_group = max_group or len(instance.nodes)
+        self.require_solo_activations = require_solo_activations
+        self._dest_channels = frozenset(
+            channel for channel in instance.channels if channel[1] == instance.dest
+        )
+
+    # ------------------------------------------------------------------
+    def _node_choices(self, node, state: NetworkState):
+        """Per-node (channels, reads, drops) alternatives, incl. kickoff."""
+        choices = []
+        for channels in self._channel_sets(node, state):
+            per_channel = []
+            for channel in channels:
+                pending = state.message_count(channel)
+                combos = []
+                for count in self._count_options(pending):
+                    effective = (
+                        pending
+                        if count == float("inf")
+                        else min(count, pending)
+                    )
+                    for dropped in self._drop_options(effective):
+                        combos.append((channel, count, dropped))
+                per_channel.append(combos)
+            for combo in itertools.product(*per_channel):
+                reads = {channel: count for channel, count, _ in combo}
+                drops = {
+                    channel: dropped for channel, _, dropped in combo if dropped
+                }
+                choices.append((channels, reads, drops))
+        if node == self.instance.dest and state.last_announced(node) != (node,):
+            kickoff = self._destination_kickoff(state)
+            if kickoff is not None:
+                choices.append(
+                    (tuple(kickoff.channels), kickoff.reads, kickoff.drops)
+                )
+        return choices
+
+    def successors(self, state: NetworkState):
+        per_node = {
+            node: self._node_choices(node, state)
+            for node in self.instance.sorted_nodes
+        }
+        active_nodes = [node for node, choices in per_node.items() if choices]
+        for size in range(1, min(self.max_group, len(active_nodes)) + 1):
+            for group in itertools.combinations(active_nodes, size):
+                for assignment in itertools.product(
+                    *(per_node[node] for node in group)
+                ):
+                    channels: list = []
+                    reads: dict = {}
+                    drops: dict = {}
+                    for node_channels, node_reads, node_drops in assignment:
+                        channels.extend(node_channels)
+                        reads.update(node_reads)
+                        drops.update(node_drops)
+                    entry = ActivationEntry(
+                        nodes=group,
+                        channels=channels,
+                        reads=reads,
+                        drops=drops,
+                    )
+                    next_state, _ = apply_entry(self.instance, state, entry)
+                    yield entry, self.canonicalize(next_state)
+
+    # ------------------------------------------------------------------
+    def _fairness_ok(self, component, states, edges) -> bool:
+        if not super()._fairness_ok(component, states, edges):
+            return False
+        if not self.require_solo_activations:
+            return True
+        members = set(component)
+        solo: set = set()
+        for source in component:
+            for entry, target in edges.get(source, ()):
+                if target in members and len(entry.nodes) == 1:
+                    solo.add(entry.node)
+        for node in self.instance.nodes:
+            relevant = [
+                channel
+                for channel in self.instance.in_channels(node)
+                if channel not in self._dest_channels
+            ]
+            if not relevant:
+                continue
+            inert_somewhere = any(
+                all(not states[s].channel_contents(c) for c in relevant)
+                for s in component
+            )
+            if node not in solo and not inert_somewhere:
+                return False
+        return True
+
+
+def can_oscillate_multinode(
+    instance: SPPInstance,
+    model: CommunicationModel,
+    queue_bound: int = 2,
+    max_states: int = 200_000,
+    require_solo_activations: bool = False,
+) -> ExplorationResult:
+    """Decide multi-node oscillation reachability (bounded)."""
+    if model.concurrency is not NodeConcurrency.UNRESTRICTED:
+        model = model.with_concurrency(NodeConcurrency.UNRESTRICTED)
+    explorer = MultiNodeExplorer(
+        instance,
+        model,
+        queue_bound=queue_bound,
+        max_states=max_states,
+        require_solo_activations=require_solo_activations,
+    )
+    return explorer.explore()

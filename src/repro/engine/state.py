@@ -1,0 +1,201 @@
+"""Network state — the components tracked by Def. 2.1.
+
+A :class:`NetworkState` is an immutable snapshot of
+
+* ``π`` — the current path assignment of every node;
+* ``ρ`` — per channel, the content of the last update successfully
+  processed from that channel ("known routes");
+* the channel contents (FIFO tuples of routes, oldest first); and
+* ``last_announced`` — per node, the most recent route the node wrote
+  to its outgoing channels.  This register realizes the paper's
+  "announce when π_v(t) ≠ π_v(t−1)" rule while letting the destination
+  announce itself on first activation (interpretation note 2 in
+  DESIGN.md): it is initialized to ε for *every* node, including ``d``.
+
+Snapshots are hashable values, which the bounded model checker relies
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.paths import EPSILON, Node, Path, format_path
+from ..core.spp import Channel, SPPInstance
+
+__all__ = ["NetworkState"]
+
+
+def _freeze(mapping: Mapping) -> tuple:
+    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
+
+
+class NetworkState:
+    """An immutable snapshot of (π, ρ, channels, last_announced).
+
+    Value semantics: two states compare equal iff all four components
+    are equal.  Hashes and per-component dictionary views are memoized —
+    the explorer performs millions of lookups per run.
+    """
+
+    __slots__ = ("_pi", "_rho", "_channels", "_announced", "_hash", "_maps")
+
+    def __init__(
+        self,
+        pi: Mapping,
+        rho: Mapping,
+        channels: Mapping,
+        announced: Mapping,
+    ) -> None:
+        self._pi = _freeze({n: tuple(p) for n, p in pi.items()})
+        self._rho = _freeze({tuple(c): tuple(r) for c, r in rho.items()})
+        self._channels = _freeze(
+            {tuple(c): tuple(tuple(m) for m in ms) for c, ms in channels.items()}
+        )
+        self._announced = _freeze({n: tuple(p) for n, p in announced.items()})
+        self._hash = None
+        self._maps = None
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkState):
+            return NotImplemented
+        return (
+            self._pi == other._pi
+            and self._rho == other._rho
+            and self._channels == other._channels
+            and self._announced == other._announced
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._pi, self._rho, self._channels, self._announced)
+            )
+        return self._hash
+
+    def _mapped(self) -> tuple:
+        """Memoized dict views of the four components (treat as read-only)."""
+        if self._maps is None:
+            self._maps = (
+                dict(self._pi),
+                dict(self._rho),
+                dict(self._channels),
+                dict(self._announced),
+            )
+        return self._maps
+
+    @classmethod
+    def from_instance_order(
+        cls,
+        instance: SPPInstance,
+        pi: Mapping,
+        rho: Mapping,
+        channels: Mapping,
+        announced: Mapping,
+    ) -> "NetworkState":
+        """Fast construction when the mappings cover the full key sets.
+
+        Skips the per-field sorting of ``__init__`` by using the
+        instance's canonical node and channel orders (which match the
+        ``repr``-sort used by ``__init__``, so equality and hashing are
+        unaffected).  All values must already be tuples.  This is the
+        engine's hot path.
+        """
+        state = object.__new__(cls)
+        nodes = instance.sorted_nodes
+        channel_order = instance.channels
+        state._pi = tuple((n, pi[n]) for n in nodes)
+        state._rho = tuple((c, rho[c]) for c in channel_order)
+        state._channels = tuple((c, channels[c]) for c in channel_order)
+        state._announced = tuple((n, announced[n]) for n in nodes)
+        state._hash = None
+        state._maps = None
+        return state
+
+    @classmethod
+    def initial(cls, instance: SPPInstance) -> "NetworkState":
+        """The t = 0 state of Def. 2.1: ε everywhere, empty channels."""
+        pi = {node: EPSILON for node in instance.nodes}
+        pi[instance.dest] = (instance.dest,)
+        rho = {channel: EPSILON for channel in instance.channels}
+        channels = {channel: () for channel in instance.channels}
+        announced = {node: EPSILON for node in instance.nodes}
+        return cls(pi=pi, rho=rho, channels=channels, announced=announced)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def pi(self) -> dict:
+        """The path assignment π as a fresh mutable dict."""
+        return dict(self._mapped()[0])
+
+    @property
+    def rho(self) -> dict:
+        """The known routes ρ as a fresh mutable dict."""
+        return dict(self._mapped()[1])
+
+    @property
+    def channels(self) -> dict:
+        """Channel contents as a fresh mutable dict of tuples."""
+        return dict(self._mapped()[2])
+
+    @property
+    def announced(self) -> dict:
+        """Per-node last announced route."""
+        return dict(self._mapped()[3])
+
+    def path_of(self, node: Node) -> Path:
+        return self._mapped()[0][node]
+
+    def known_route(self, channel: Channel) -> Path:
+        return self._mapped()[1][tuple(channel)]
+
+    def channel_contents(self, channel: Channel) -> tuple:
+        return self._mapped()[2][tuple(channel)]
+
+    def message_count(self, channel: Channel) -> int:
+        """``m_c(t)`` — the number of messages currently in the channel."""
+        return len(self.channel_contents(channel))
+
+    def last_announced(self, node: Node) -> Path:
+        return self._mapped()[3][node]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def assignment_key(self) -> tuple:
+        """A canonical hashable form of π alone (for π-sequence work)."""
+        return self._pi
+
+    def is_quiescent(self) -> bool:
+        """True when every channel is empty.
+
+        From a quiescent state, any activation leaves π unchanged as
+        long as ρ cannot change — so a quiescent state whose π equals
+        the best responses is a genuine fixed point; see
+        :mod:`repro.engine.convergence`.
+        """
+        return all(not contents for _, contents in self._channels)
+
+    def total_queued(self) -> int:
+        """Total messages across all channels (explorer bound metric)."""
+        return sum(len(contents) for _, contents in self._channels)
+
+    def describe(self) -> str:
+        """A compact multi-line rendering for debugging and examples."""
+        lines = ["π: " + ", ".join(
+            f"{node}={format_path(path)}" for node, path in self._pi
+        )]
+        busy = [
+            f"{channel}: [" + ", ".join(format_path(m) for m in contents) + "]"
+            for channel, contents in self._channels
+            if contents
+        ]
+        if busy:
+            lines.append("channels: " + "; ".join(busy))
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The communication-model taxonomy of Sec. 2.2–2.3."""
+
+from .constraints import entry_violations, is_legal_entry, require_legal_entry
+from .dimensions import MessageCount, NeighborScope, NodeConcurrency, Reliability
+from .taxonomy import (
+    ALL_MODELS,
+    MESSAGE_PASSING_MODELS,
+    MODELS_BY_NAME,
+    POLLING_MODELS,
+    QUEUEING_MODELS,
+    RELIABLE_MODELS,
+    UNRELIABLE_MODELS,
+    CommunicationModel,
+    model,
+    parse_model,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "MESSAGE_PASSING_MODELS",
+    "MODELS_BY_NAME",
+    "POLLING_MODELS",
+    "QUEUEING_MODELS",
+    "RELIABLE_MODELS",
+    "UNRELIABLE_MODELS",
+    "CommunicationModel",
+    "MessageCount",
+    "NeighborScope",
+    "NodeConcurrency",
+    "Reliability",
+    "entry_violations",
+    "is_legal_entry",
+    "model",
+    "parse_model",
+    "require_legal_entry",
+]

@@ -1,0 +1,98 @@
+"""The dimensions of the communication-model space (Def. 2.6).
+
+Three dimensions abbreviate into model names such as ``RMA``:
+
+* **Channel reliability** — ``R`` (reliable: no drops) or ``U``
+  (unreliable: the drop sets ``g`` may be non-empty).
+* **Number of neighbors processed** — ``1`` (exactly one channel per
+  activation), ``M`` (any subset, possibly empty or all), or ``E``
+  (every channel).
+* **Messages per processed channel** — ``O`` (exactly one), ``S`` (any
+  number, including zero), ``F`` (at least one — "forced"), or ``A``
+  (all messages in the channel).
+
+The paper fixes the fourth dimension — number of nodes updating per
+step — to one, but Ex. A.6 explores simultaneous activation, so we also
+model it (:class:`NodeConcurrency`) as an extension.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Reliability", "NeighborScope", "MessageCount", "NodeConcurrency"]
+
+
+class Reliability(enum.Enum):
+    """Channel reliability: may announcements be lost?"""
+
+    RELIABLE = "R"
+    UNRELIABLE = "U"
+
+    @property
+    def symbol(self) -> str:
+        return self.value
+
+    def generalizes(self, other: "Reliability") -> bool:
+        """True if every legal drop pattern of ``other`` is legal here.
+
+        Unreliable channels generalize reliable ones (``g ≡ ∅`` is one
+        allowed choice).
+        """
+        return self is other or self is Reliability.UNRELIABLE
+
+
+class NeighborScope(enum.Enum):
+    """How many incoming channels an activated node processes."""
+
+    ONE = "1"
+    MULTIPLE = "M"
+    EVERY = "E"
+
+    @property
+    def symbol(self) -> str:
+        return self.value
+
+    def generalizes(self, other: "NeighborScope") -> bool:
+        """``M`` admits every channel set that ``1`` or ``E`` admit."""
+        return self is other or self is NeighborScope.MULTIPLE
+
+
+class MessageCount(enum.Enum):
+    """How many messages are processed from each selected channel."""
+
+    ONE = "O"
+    SOME = "S"
+    FORCED = "F"
+    ALL = "A"
+
+    @property
+    def symbol(self) -> str:
+        return self.value
+
+    def generalizes(self, other: "MessageCount") -> bool:
+        """Whether every per-channel count legal in ``other`` is legal here.
+
+        ``S`` (unrestricted: f ∈ ℤ≥0 ∪ {∞}) generalizes everything;
+        ``F`` (f ≥ 1, ∞ allowed) generalizes both ``O`` (f ≡ 1) and
+        ``A`` (f ≡ ∞), which makes the inclusions of Prop. 3.3 purely
+        syntactic.
+        """
+        if self is other:
+            return True
+        if self is MessageCount.SOME:
+            return True
+        if self is MessageCount.FORCED:
+            return other in (MessageCount.ONE, MessageCount.ALL)
+        return False
+
+
+class NodeConcurrency(enum.Enum):
+    """How many nodes update per step (paper: ONE; Ex. A.6: more)."""
+
+    ONE = "one"
+    UNRESTRICTED = "unrestricted"
+    EVERY = "every"
+
+    def generalizes(self, other: "NodeConcurrency") -> bool:
+        return self is other or self is NodeConcurrency.UNRESTRICTED

@@ -1,0 +1,163 @@
+"""The 24-model communication taxonomy (Sec. 2.2–2.3).
+
+A :class:`CommunicationModel` is a point in the three-dimensional space
+``{R, U} × {1, M, E} × {O, S, F, A}``; its name concatenates the
+dimension symbols (``"RMA"``, ``"U1O"``, …).  The module also names the
+paper's families of interest:
+
+* **polling** models ``w x A`` — nodes learn neighbors' *current*
+  state; ``R1A`` "poll one", ``RMA`` "poll some", ``REA`` "poll all"
+  (the model of Fabrikant–Papadimitriou and of the mechanism-design
+  line of work);
+* **message-passing** models ``w x O`` — one message per processed
+  channel (the model of Griffin–Shepherd–Wilfong; ``R1O`` is the
+  event-driven reading of BGP);
+* **queueing** models ``RMS`` / ``UMS`` — unrestricted processing,
+  newly identified by the paper as the closest fit to deployed BGP and
+  the strongest realizers in the taxonomy.
+
+The paper restricts attention to one updating node per step; the
+optional ``concurrency`` field models Ex. A.6's multi-node extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dimensions import MessageCount, NeighborScope, NodeConcurrency, Reliability
+
+__all__ = [
+    "CommunicationModel",
+    "ALL_MODELS",
+    "MODELS_BY_NAME",
+    "RELIABLE_MODELS",
+    "UNRELIABLE_MODELS",
+    "POLLING_MODELS",
+    "MESSAGE_PASSING_MODELS",
+    "QUEUEING_MODELS",
+    "model",
+    "parse_model",
+]
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """One communication model: a triple of dimension values.
+
+    Instances are value objects; use :func:`model` / :func:`parse_model`
+    or the :data:`MODELS_BY_NAME` registry rather than constructing ad
+    hoc duplicates.
+    """
+
+    reliability: Reliability
+    scope: NeighborScope
+    count: MessageCount
+    concurrency: NodeConcurrency = field(default=NodeConcurrency.ONE)
+
+    @property
+    def name(self) -> str:
+        """The paper's abbreviation, e.g. ``"RMA"``."""
+        base = self.reliability.symbol + self.scope.symbol + self.count.symbol
+        if self.concurrency is not NodeConcurrency.ONE:
+            base += f"[{self.concurrency.value}]"
+        return base
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"CommunicationModel({self.name})"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_polling(self) -> bool:
+        """Polling models process *all* messages per channel (count A)."""
+        return self.count is MessageCount.ALL
+
+    @property
+    def is_message_passing(self) -> bool:
+        """Message-passing models process one message per channel (count O)."""
+        return self.count is MessageCount.ONE
+
+    @property
+    def is_queueing(self) -> bool:
+        """The queueing models are RMS and UMS."""
+        return (
+            self.scope is NeighborScope.MULTIPLE
+            and self.count is MessageCount.SOME
+        )
+
+    @property
+    def is_reliable(self) -> bool:
+        return self.reliability is Reliability.RELIABLE
+
+    def syntactically_contains(self, other: "CommunicationModel") -> bool:
+        """True if every activation sequence of ``other`` is legal here.
+
+        This is the containment underlying Prop. 3.3: dimension-wise
+        generalization (U ⊇ R, M ⊇ {1, E}, S ⊇ F ⊇ {O, A}).
+        """
+        return (
+            self.reliability.generalizes(other.reliability)
+            and self.scope.generalizes(other.scope)
+            and self.count.generalizes(other.count)
+            and self.concurrency.generalizes(other.concurrency)
+        )
+
+    def with_concurrency(self, concurrency: NodeConcurrency) -> "CommunicationModel":
+        """A copy of this model with a different node-concurrency setting."""
+        return CommunicationModel(
+            self.reliability, self.scope, self.count, concurrency
+        )
+
+
+def model(name: str) -> CommunicationModel:
+    """Look up a model by its paper abbreviation (``"R1O"``, ``"UMS"``, …)."""
+    try:
+        return MODELS_BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; expected one of {sorted(MODELS_BY_NAME)}"
+        ) from None
+
+
+def parse_model(name: str) -> CommunicationModel:
+    """Parse a model name character by character (accepts lower case)."""
+    text = name.strip().upper()
+    if len(text) != 3:
+        raise ValueError(f"model name must have 3 characters, got {name!r}")
+    try:
+        reliability = Reliability(text[0])
+        scope = NeighborScope(text[1])
+        count = MessageCount(text[2])
+    except ValueError as exc:
+        raise ValueError(f"cannot parse model name {name!r}: {exc}") from None
+    return CommunicationModel(reliability, scope, count)
+
+
+#: Every model in the taxonomy, in the row order of Figures 3 and 4:
+#: reliable models first, O/S/F/A major order within each reliability.
+ALL_MODELS: tuple = tuple(
+    CommunicationModel(reliability, scope, count)
+    for reliability in (Reliability.RELIABLE, Reliability.UNRELIABLE)
+    for count in (
+        MessageCount.ONE,
+        MessageCount.SOME,
+        MessageCount.FORCED,
+        MessageCount.ALL,
+    )
+    for scope in (NeighborScope.ONE, NeighborScope.MULTIPLE, NeighborScope.EVERY)
+)
+
+MODELS_BY_NAME: dict = {m.name: m for m in ALL_MODELS}
+
+RELIABLE_MODELS: tuple = tuple(m for m in ALL_MODELS if m.is_reliable)
+UNRELIABLE_MODELS: tuple = tuple(m for m in ALL_MODELS if not m.is_reliable)
+POLLING_MODELS: tuple = tuple(m for m in ALL_MODELS if m.is_polling)
+MESSAGE_PASSING_MODELS: tuple = tuple(m for m in ALL_MODELS if m.is_message_passing)
+QUEUEING_MODELS: tuple = tuple(m for m in ALL_MODELS if m.is_queueing)
+
+assert len(ALL_MODELS) == 24
+assert len({m.name for m in ALL_MODELS}) == 24

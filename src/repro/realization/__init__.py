@@ -1,0 +1,66 @@
+"""Realization relations between communication models (Sec. 3)."""
+
+from .closure import RealizationMatrix, derive_matrix
+from .facts import Fact, foundational_facts, negative_facts, positive_facts
+from .paper_tables import (
+    FIGURE3_COLUMNS,
+    FIGURE4_COLUMNS,
+    ROW_ORDER,
+    EntryComparison,
+    compare_with_derived,
+    paper_bounds,
+    paper_matrix,
+    parse_cell,
+)
+from .relations import UNKNOWN, Bounds, Level
+from .search import RealizationSearch, SearchOutcome
+from .transforms import (
+    batch_u1o_to_r1s,
+    embed,
+    expand_r1s_to_r1o,
+    expand_u1s_to_u1o,
+    find_noop_entry,
+    pad_to_every_scope,
+    split_multi_scope,
+)
+from .verify import (
+    collapse_repeats,
+    is_exact,
+    is_repetition,
+    is_subsequence,
+    strongest_relation,
+)
+
+__all__ = [
+    "Bounds",
+    "EntryComparison",
+    "FIGURE3_COLUMNS",
+    "FIGURE4_COLUMNS",
+    "Fact",
+    "Level",
+    "ROW_ORDER",
+    "RealizationMatrix",
+    "RealizationSearch",
+    "SearchOutcome",
+    "UNKNOWN",
+    "batch_u1o_to_r1s",
+    "collapse_repeats",
+    "compare_with_derived",
+    "derive_matrix",
+    "embed",
+    "expand_r1s_to_r1o",
+    "expand_u1s_to_u1o",
+    "find_noop_entry",
+    "foundational_facts",
+    "is_exact",
+    "is_repetition",
+    "is_subsequence",
+    "negative_facts",
+    "pad_to_every_scope",
+    "paper_bounds",
+    "paper_matrix",
+    "parse_cell",
+    "positive_facts",
+    "split_multi_scope",
+    "strongest_relation",
+]

@@ -1,0 +1,159 @@
+"""The paper's foundational realization results, with provenance.
+
+Each :class:`Fact` states bounds on "B realizes A" for one ordered model
+pair, tagged with the proposition or theorem that proves it:
+
+* **Prop. 3.3** — syntactic containments (exact): Uxy ⊇ Rxy,
+  wxS ⊇ wxF, wxF ⊇ wxO and wxA, wMy ⊇ w1y and wEy.
+* **Prop. 3.4** — wES exactly realizes wMS (pad with f = 0 reads).
+* **Thm. 3.5** — w1y realizes wMy *with repetition* (split a
+  multi-channel step into single-channel steps, selected channel first
+  or last).
+* **Prop. 3.6** — R1O realizes R1S as a *subsequence*; U1O realizes
+  U1S *with repetition* (drop exactly the unused messages).
+* **Thm. 3.7** — R1S *exactly* realizes U1O (batch each delivery with
+  the drops preceding it).
+* **Thm. 3.8** — R1O's oscillations are **not** preserved by REO, REF,
+  R1A, RMA, REA (DISAGREE, Ex. A.1).
+* **Thm. 3.9** — the oscillations of REO and REF are **not** preserved
+  by R1A, RMA, REA (Fig. 6, Ex. A.2).
+* **Prop. 3.10** — REO cannot be *exactly* realized by R1O (Ex. A.3).
+* **Prop. 3.11** — REA cannot be realized *with repetition* by R1O
+  (Ex. A.4).
+* **Props. 3.12/3.13** — REA and REO cannot be *exactly* realized by
+  R1S (Ex. A.5).
+
+Feeding these to :mod:`repro.realization.closure` and running the
+Sec. 3.4 transitivity rules to fixpoint regenerates Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..models.taxonomy import ALL_MODELS, CommunicationModel, model
+from .relations import Bounds, Level
+
+__all__ = ["Fact", "foundational_facts", "positive_facts", "negative_facts"]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """Proved bounds on "``realizer`` realizes ``realized``"."""
+
+    realized: CommunicationModel  # the model A whose executions are mimicked
+    realizer: CommunicationModel  # the model B doing the mimicking
+    bounds: Bounds
+    source: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.realizer} realizes {self.realized} within "
+            f"[{self.bounds.lo.name}, {self.bounds.hi.name}] ({self.source})"
+        )
+
+
+def _at_least(realized, realizer, level, source) -> Fact:
+    return Fact(realized, realizer, Bounds.at_least(level), source)
+
+
+def _at_most(realized, realizer, level, source) -> Fact:
+    return Fact(realized, realizer, Bounds.at_most(level), source)
+
+
+_SCOPES = "1ME"
+_COUNTS = "OSFA"
+_RELIABILITIES = "RU"
+
+
+def positive_facts() -> Iterator[Fact]:
+    """Yield every positive foundational fact (lower bounds)."""
+    # Identity: every model realizes itself exactly.
+    for m in ALL_MODELS:
+        yield _at_least(m, m, Level.EXACT, "identity")
+
+    # Prop. 3.3(1): Uxy exactly realizes Rxy.
+    for scope in _SCOPES:
+        for count in _COUNTS:
+            yield _at_least(
+                model(f"R{scope}{count}"),
+                model(f"U{scope}{count}"),
+                Level.EXACT,
+                "Prop. 3.3(1)",
+            )
+    for reliability in _RELIABILITIES:
+        for scope in _SCOPES:
+            # Prop. 3.3(2): wxS exactly realizes wxF.
+            yield _at_least(
+                model(f"{reliability}{scope}F"),
+                model(f"{reliability}{scope}S"),
+                Level.EXACT,
+                "Prop. 3.3(2)",
+            )
+            # Prop. 3.3(3): wxF exactly realizes wxO and wxA.
+            for count in "OA":
+                yield _at_least(
+                    model(f"{reliability}{scope}{count}"),
+                    model(f"{reliability}{scope}F"),
+                    Level.EXACT,
+                    "Prop. 3.3(3)",
+                )
+        for count in _COUNTS:
+            # Prop. 3.3(4): wMy exactly realizes w1y and wEy.
+            for scope in "1E":
+                yield _at_least(
+                    model(f"{reliability}{scope}{count}"),
+                    model(f"{reliability}M{count}"),
+                    Level.EXACT,
+                    "Prop. 3.3(4)",
+                )
+        # Prop. 3.4: wES exactly realizes wMS.
+        yield _at_least(
+            model(f"{reliability}MS"),
+            model(f"{reliability}ES"),
+            Level.EXACT,
+            "Prop. 3.4",
+        )
+        # Thm. 3.5: w1y realizes wMy with repetition.
+        for count in _COUNTS:
+            yield _at_least(
+                model(f"{reliability}M{count}"),
+                model(f"{reliability}1{count}"),
+                Level.REPETITION,
+                "Thm. 3.5",
+            )
+
+    # Prop. 3.6: R1O realizes R1S as a subsequence; U1O realizes U1S
+    # with repetition.
+    yield _at_least(model("R1S"), model("R1O"), Level.SUBSEQUENCE, "Prop. 3.6")
+    yield _at_least(model("U1S"), model("U1O"), Level.REPETITION, "Prop. 3.6")
+
+    # Thm. 3.7: R1S exactly realizes U1O.
+    yield _at_least(model("U1O"), model("R1S"), Level.EXACT, "Thm. 3.7")
+
+
+def negative_facts() -> Iterator[Fact]:
+    """Yield every negative foundational fact (upper bounds)."""
+    # Thm. 3.8 (Ex. A.1, DISAGREE).
+    for blocked in ("REO", "REF", "R1A", "RMA", "REA"):
+        yield _at_most(model("R1O"), model(blocked), Level.NONE, "Thm. 3.8")
+    # Thm. 3.9 (Ex. A.2, Fig. 6 gadget).
+    for oscillating in ("REO", "REF"):
+        for blocked in ("R1A", "RMA", "REA"):
+            yield _at_most(
+                model(oscillating), model(blocked), Level.NONE, "Thm. 3.9"
+            )
+    # Prop. 3.10 (Ex. A.3, Fig. 7).
+    yield _at_most(model("REO"), model("R1O"), Level.REPETITION, "Prop. 3.10")
+    # Prop. 3.11 (Ex. A.4, Fig. 8).
+    yield _at_most(model("REA"), model("R1O"), Level.SUBSEQUENCE, "Prop. 3.11")
+    # Prop. 3.12 (Ex. A.5, Fig. 9).
+    yield _at_most(model("REA"), model("R1S"), Level.REPETITION, "Prop. 3.12")
+    # Prop. 3.13 (same example as an REO sequence).
+    yield _at_most(model("REO"), model("R1S"), Level.REPETITION, "Prop. 3.13")
+
+
+def foundational_facts() -> tuple:
+    """All foundational facts, positives then negatives."""
+    return tuple(positive_facts()) + tuple(negative_facts())

@@ -1,0 +1,209 @@
+"""Figures 3 and 4 of the paper, transcribed verbatim.
+
+The entry in row A, column B reports what the paper proved about *B's
+ability to realize A*: ``4`` exact, ``3`` with repetition, ``2`` as a
+subsequence, ``-1`` oscillations not preserved; ``>=``/``<=`` mark
+lower/upper bounds, ``2,3`` both bounds, a blank an open pair.  The
+diagonal (printed ``—`` in the paper) is the trivial exact
+self-realization.
+
+These tables are the ground truth that experiment E1/E2 compares the
+mechanically derived closure against; see
+:func:`compare_with_derived`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.taxonomy import MODELS_BY_NAME, CommunicationModel
+from .closure import RealizationMatrix
+from .relations import Bounds, Level
+
+__all__ = [
+    "ROW_ORDER",
+    "FIGURE3_COLUMNS",
+    "FIGURE4_COLUMNS",
+    "paper_bounds",
+    "paper_matrix",
+    "parse_cell",
+    "EntryComparison",
+    "compare_with_derived",
+]
+
+#: Row order shared by both figures (reliable models first).
+ROW_ORDER = (
+    "R1O", "RMO", "REO", "R1S", "RMS", "RES", "R1F", "RMF", "REF",
+    "R1A", "RMA", "REA",
+    "U1O", "UMO", "UEO", "U1S", "UMS", "UES", "U1F", "UMF", "UEF",
+    "U1A", "UMA", "UEA",
+)
+
+FIGURE3_COLUMNS = ROW_ORDER[:12]
+FIGURE4_COLUMNS = ROW_ORDER[12:]
+
+# Cells use the paper's notation; "." is a blank (unknown), "~" the diagonal.
+_FIGURE3_ROWS = {
+    "R1O": "~    4    -1   4    4    4    4    4    -1   -1   -1   -1",
+    "RMO": "3    ~    -1   3    4    4    3    4    -1   -1   -1   -1",
+    "REO": "3    4    ~    3    4    4    3    4    4    -1   -1   -1",
+    "R1S": "2    2    -1   ~    4    4    >=2  >=2  -1   -1   -1   -1",
+    "RMS": "2    2    -1   3    ~    4    2,3  >=2  -1   -1   -1   -1",
+    "RES": "2    2    -1   3    4    ~    2,3  >=2  -1   -1   -1   -1",
+    "R1F": "2    2    -1   4    4    4    ~    4    -1   -1   -1   -1",
+    "RMF": "2    2    -1   3    4    4    3    ~    -1   -1   -1   -1",
+    "REF": "2    2    <=2  3    4    4    3    4    ~    -1   -1   -1",
+    "R1A": "2    2    <=2  4    4    4    4    4    .    ~    4    .",
+    "RMA": "2    2    <=2  3    4    4    3    4    .    3    ~    .",
+    "REA": "2    2    <=2  3    4    4    3    4    4    3    4    ~",
+    "U1O": ">=2  >=2  -1   4    4    4    >=2  >=2  -1   -1   -1   -1",
+    "UMO": "2,3  >=2  -1   3    >=3  >=3  2,3  >=2  -1   -1   -1   -1",
+    "UEO": "2,3  >=2  .    3    >=3  >=3  2,3  >=2  .    -1   -1   -1",
+    "U1S": "2    2    -1   >=3  >=3  >=3  >=2  >=2  -1   -1   -1   -1",
+    "UMS": "2    2    -1   3    >=3  >=3  2,3  >=2  -1   -1   -1   -1",
+    "UES": "2    2    -1   3    >=3  >=3  2,3  >=2  -1   -1   -1   -1",
+    "U1F": "2    2    -1   >=3  >=3  >=3  >=2  >=2  -1   -1   -1   -1",
+    "UMF": "2    2    -1   3    >=3  >=3  2,3  >=2  -1   -1   -1   -1",
+    "UEF": "2    2    <=2  3    >=3  >=3  2,3  >=2  .    -1   -1   -1",
+    "U1A": "2    2    <=2  >=3  >=3  >=3  >=2  >=2  .    .    .    .",
+    "UMA": "2    2    <=2  3    >=3  >=3  2,3  >=2  .    <=3  .    .",
+    "UEA": "2    2    <=2  3    >=3  >=3  2,3  >=2  .    <=3  .    .",
+}
+
+_FIGURE4_ROWS = {
+    "R1O": "4    4    .    4    4    4    4    4    .    .    .    .",
+    "RMO": "3    4    .    >=3  4    4    >=3  4    .    .    .    .",
+    "REO": "3    4    4    >=3  4    4    >=3  4    4    .    .    .",
+    "R1S": ">=3  >=3  .    4    4    4    >=3  >=3  .    .    .    .",
+    "RMS": "3    >=3  .    >=3  4    4    >=3  >=3  .    .    .    .",
+    "RES": "3    >=3  .    >=3  4    4    >=3  >=3  .    .    .    .",
+    "R1F": ">=3  >=3  .    4    4    4    4    4    .    .    .    .",
+    "RMF": "3    >=3  .    >=3  4    4    >=3  4    .    .    .    .",
+    "REF": "3    >=3  .    >=3  4    4    >=3  4    4    .    .    .",
+    "R1A": ">=3  >=3  .    4    4    4    4    4    .    4    4    .",
+    "RMA": "3    >=3  .    >=3  4    4    >=3  4    .    >=3  4    .",
+    "REA": "3    >=3  .    >=3  4    4    >=3  4    4    >=3  4    4",
+    "U1O": "~    4    .    4    4    4    4    4    .    .    .    .",
+    "UMO": "3    ~    .    >=3  4    4    >=3  4    .    .    .    .",
+    "UEO": "3    4    ~    >=3  4    4    >=3  4    4    .    .    .",
+    "U1S": ">=3  >=3  .    ~    4    4    >=3  >=3  .    .    .    .",
+    "UMS": "3    >=3  .    >=3  ~    4    >=3  >=3  .    .    .    .",
+    "UES": "3    >=3  .    >=3  4    ~    >=3  >=3  .    .    .    .",
+    "U1F": ">=3  >=3  .    4    4    4    ~    4    .    .    .    .",
+    "UMF": "3    >=3  .    >=3  4    4    >=3  ~    .    .    .    .",
+    "UEF": "3    >=3  .    >=3  4    4    >=3  4    ~    .    .    .",
+    "U1A": ">=3  >=3  .    4    4    4    4    4    .    ~    4    .",
+    "UMA": "3    >=3  .    >=3  4    4    >=3  4    .    >=3  ~    .",
+    "UEA": "3    >=3  .    >=3  4    4    >=3  4    4    >=3  4    ~",
+}
+
+
+def parse_cell(cell: str) -> Bounds:
+    """Parse one cell of the paper's matrices into interval bounds."""
+    cell = cell.strip()
+    if cell == ".":
+        return Bounds()
+    if cell == "~":
+        return Bounds.exactly(Level.EXACT)
+    if cell == "-1":
+        return Bounds.exactly(Level.NONE)
+    if cell.startswith(">="):
+        return Bounds.at_least(Level(int(cell[2:])))
+    if cell.startswith("<="):
+        return Bounds(lo=Level.NONE, hi=Level(int(cell[2:])))
+    if "," in cell:
+        lo_text, hi_text = cell.split(",")
+        return Bounds(lo=Level(int(lo_text)), hi=Level(int(hi_text)))
+    value = Level(int(cell))
+    return Bounds.exactly(value)
+
+
+def paper_bounds() -> dict:
+    """(realized, realizer) → published bounds, both figures combined."""
+    published: dict = {}
+    for rows, columns in (
+        (_FIGURE3_ROWS, FIGURE3_COLUMNS),
+        (_FIGURE4_ROWS, FIGURE4_COLUMNS),
+    ):
+        for row_name, cells in rows.items():
+            parts = cells.split()
+            if len(parts) != len(columns):
+                raise AssertionError(
+                    f"row {row_name} has {len(parts)} cells, expected "
+                    f"{len(columns)}"
+                )
+            for column_name, cell in zip(columns, parts):
+                key = (MODELS_BY_NAME[row_name], MODELS_BY_NAME[column_name])
+                published[key] = parse_cell(cell)
+    return published
+
+
+def paper_matrix() -> RealizationMatrix:
+    """The published tables as a :class:`RealizationMatrix` (not closed)."""
+    matrix = RealizationMatrix()
+    for (realized, realizer), bounds in paper_bounds().items():
+        matrix.set(realized, realizer, bounds)
+    return matrix
+
+
+@dataclass(frozen=True)
+class EntryComparison:
+    """How one derived entry relates to the published one."""
+
+    realized: CommunicationModel
+    realizer: CommunicationModel
+    published: Bounds
+    derived: Bounds
+
+    @property
+    def verdict(self) -> str:
+        """``match`` / ``tighter`` / ``looser`` / ``incomparable``.
+
+        * ``match`` — identical intervals.
+        * ``tighter`` — the derivation pins the entry down further than
+          the published table (possible: the paper leaves blanks its own
+          rules resolve).
+        * ``looser`` — the published entry is sharper than pure
+          rule-chasing yields (the paper used an extra argument).
+        * ``incomparable`` — overlapping but neither contains the other.
+        * ``contradiction`` — disjoint intervals (must never happen).
+        """
+        if self.published == self.derived:
+            return "match"
+        if self.derived.implies(self.published):
+            return "tighter"
+        if self.published.implies(self.derived):
+            return "looser"
+        if (
+            self.derived.lo > self.published.hi
+            or self.published.lo > self.derived.hi
+        ):
+            return "contradiction"
+        return "incomparable"
+
+
+def compare_with_derived(
+    derived: RealizationMatrix, columns: "tuple | None" = None
+) -> list:
+    """Compare a derived matrix against the published figures.
+
+    Returns one :class:`EntryComparison` per published (row, column)
+    pair; restrict to one figure by passing ``FIGURE3_COLUMNS`` or
+    ``FIGURE4_COLUMNS``.
+    """
+    published = paper_bounds()
+    comparisons = []
+    for (realized, realizer), bounds in sorted(
+        published.items(), key=lambda item: (item[0][0].name, item[0][1].name)
+    ):
+        if columns is not None and realizer.name not in columns:
+            continue
+        comparisons.append(
+            EntryComparison(
+                realized=realized,
+                realizer=realizer,
+                published=bounds,
+                derived=derived.get(realized, realizer),
+            )
+        )
+    return comparisons

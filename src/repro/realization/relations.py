@@ -1,0 +1,126 @@
+"""Realization relations between communication models (Sec. 3.1).
+
+The paper orders four relation strengths (Defs. 3.1–3.2), each implying
+the next:
+
+====== ============================  =====================================
+level  name                          meaning ("B realizes A at level ℓ")
+====== ============================  =====================================
+4      exact                         every A-execution's π-sequence is
+                                     induced verbatim by some B-sequence
+3      with repetition               … after replacing each π(t) by one
+                                     or more consecutive copies
+2      as a subsequence              … as a subsequence of B's π-sequence
+1      oscillation-preserving        if A can diverge on I, so can B
+0      (none)                        no relation established
+====== ============================  =====================================
+
+Knowledge about a model pair is an interval ``[lo, hi]`` of levels:
+``lo`` from positive results (B realizes A at least this strongly),
+``hi`` from negative results (B provably cannot realize A more strongly
+than this).  The paper's matrix entries map onto intervals — ``4`` is
+``[4,4]``, ``≥3`` is ``[3,4]``, ``2,3`` is ``[2,3]``, ``-1`` is
+``[0,0]``, a blank is ``[0,4]``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Level", "Bounds", "UNKNOWN"]
+
+
+class Level(enum.IntEnum):
+    """Strength of a realization relation, ordered by implication."""
+
+    NONE = 0
+    OSCILLATION = 1
+    SUBSEQUENCE = 2
+    REPETITION = 3
+    EXACT = 4
+
+    @property
+    def short(self) -> str:
+        return {
+            Level.NONE: "-1",
+            Level.OSCILLATION: "1",
+            Level.SUBSEQUENCE: "2",
+            Level.REPETITION: "3",
+            Level.EXACT: "4",
+        }[self]
+
+
+@dataclass(frozen=True, order=True)
+class Bounds:
+    """An interval of possible realization levels ``[lo, hi]``."""
+
+    lo: Level = Level.NONE
+    hi: Level = Level.EXACT
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"contradictory bounds lo={self.lo} > hi={self.hi}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def exactly(cls, level: Level) -> "Bounds":
+        return cls(lo=level, hi=level)
+
+    @classmethod
+    def at_least(cls, level: Level) -> "Bounds":
+        return cls(lo=level, hi=Level.EXACT)
+
+    @classmethod
+    def at_most(cls, level: Level) -> "Bounds":
+        return cls(lo=Level.NONE, hi=level)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_resolved(self) -> bool:
+        """A single level remains."""
+        return self.lo == self.hi
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.lo == Level.NONE and self.hi == Level.EXACT
+
+    def tighten(self, other: "Bounds") -> "Bounds":
+        """Intersect two intervals; raises if they contradict."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            raise ValueError(
+                f"inconsistent realization bounds: {self} versus {other}"
+            )
+        return Bounds(lo=lo, hi=hi)
+
+    def allows(self, level: Level) -> bool:
+        """Whether ``level`` lies inside the interval."""
+        return self.lo <= level <= self.hi
+
+    def implies(self, other: "Bounds") -> bool:
+        """Whether this interval is contained in ``other``."""
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The paper's cell notation for this interval."""
+        if self.is_unknown:
+            return ""
+        if self.hi == Level.NONE:
+            return "-1"
+        if self.is_resolved:
+            return self.lo.short
+        if self.hi == Level.EXACT and self.lo > Level.NONE:
+            return f">={self.lo.short}"
+        if self.lo == Level.NONE:
+            return f"<={self.hi.short}"
+        return f"{self.lo.short},{self.hi.short}"
+
+    def __str__(self) -> str:
+        return self.render() or "?"
+
+
+#: The vacuous interval: nothing known.
+UNKNOWN = Bounds()

@@ -1,0 +1,302 @@
+"""Bounded search for activation sequences inducing a target π-sequence.
+
+The paper's non-realizability examples (A.3, A.4, A.5) assert that *no*
+activation sequence of some model induces a given path-assignment
+sequence (exactly, or with repetition).  Because network state under a
+channel bound is finite, these are decidable by exhaustive search over
+(state, target-position) pairs; this module performs that search and is
+the mechanized counterpart of the examples' by-hand case analyses.
+
+The searches return a concrete schedule when realization is possible
+and ``None`` otherwise; :attr:`SearchOutcome.complete` reports whether
+the failure is a *proof* (no truncation occurred) or merely bounded
+evidence.
+
+Stuttering: a target sequence may repeat an assignment, and the
+repetition may be realized by an activation that changes nothing at
+all.  The underlying successor generator prunes no-op steps, so the
+search additionally considers explicit model-legal no-op entries
+(reading empty channels); any schedule returned has been re-executed
+and re-verified end-to-end before being reported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.spp import SPPInstance
+from ..engine.activation import INFINITY, ActivationEntry
+from ..engine.convergence import is_fixed_point
+from ..engine.execution import Execution, apply_entry
+from ..engine.explorer import Explorer
+from ..engine.state import NetworkState
+from ..models.dimensions import MessageCount, NeighborScope
+from ..models.taxonomy import CommunicationModel
+from .verify import is_exact, is_repetition, is_subsequence
+
+__all__ = ["SearchOutcome", "RealizationSearch"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of a realization search."""
+
+    schedule: "tuple | None"
+    complete: bool
+    states_visited: int
+
+    @property
+    def realizable(self) -> bool:
+        return self.schedule is not None
+
+    @property
+    def proves_impossible(self) -> bool:
+        """An exhaustive search that found nothing is a proof."""
+        return self.schedule is None and self.complete
+
+
+class RealizationSearch:
+    """Search one model's executions for a given π-sequence."""
+
+    def __init__(
+        self,
+        instance: SPPInstance,
+        model: CommunicationModel,
+        queue_bound: int = 4,
+        max_visited: int = 500_000,
+    ) -> None:
+        self.instance = instance
+        self.model = model
+        self.queue_bound = queue_bound
+        self.max_visited = max_visited
+        self._explorer = Explorer(
+            instance, model, queue_bound=queue_bound, max_states=max_visited
+        )
+
+    # ------------------------------------------------------------------
+    def _noop_entries(self, state: NetworkState):
+        """Model-legal entries that provably leave ``state`` unchanged."""
+        for node in self.instance.sorted_nodes:
+            in_channels = self.instance.in_channels(node)
+            scope = self.model.scope
+            candidates: list = []
+            count: "int | float" = (
+                INFINITY if self.model.count is MessageCount.ALL else 1
+            )
+            if scope is NeighborScope.ONE:
+                candidates = [
+                    ActivationEntry.single(node, channel, count=count)
+                    for channel in in_channels
+                ]
+            elif scope is NeighborScope.EVERY:
+                if in_channels:
+                    candidates = [
+                        ActivationEntry(
+                            nodes=[node],
+                            channels=in_channels,
+                            reads={c: count for c in in_channels},
+                        )
+                    ]
+            else:
+                candidates = [ActivationEntry(nodes=[node])]
+            for entry in candidates:
+                next_state, _ = apply_entry(self.instance, state, entry)
+                if self._explorer.canonicalize(next_state) == state:
+                    yield entry, state
+                    break  # one no-op per node suffices
+
+    def _moves(self, state: NetworkState, allow_noop: bool):
+        yield from self._explorer.successors(state)
+        if allow_noop:
+            yield from self._noop_entries(state)
+
+    # ------------------------------------------------------------------
+    def find_exact(self, target: tuple) -> SearchOutcome:
+        """A schedule whose π-sequence equals ``target`` elementwise."""
+        return self._search(target, mode="exact")
+
+    def find_with_repetition(self, target: tuple) -> SearchOutcome:
+        """A schedule realizing ``target`` with repetition (Def. 3.2)."""
+        return self._search(target, mode="repetition")
+
+    def find_subsequence(
+        self, target: tuple, max_steps: "int | None" = None
+    ) -> SearchOutcome:
+        """A schedule whose π-sequence contains ``target`` as a subsequence.
+
+        Insertions are unbounded in principle; the visited-set bound
+        makes the search finite, and a ``None`` outcome with
+        ``complete=True`` is still a proof relative to the queue bound.
+        """
+        return self._search(target, mode="subsequence", max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    def _search(self, target, mode: str, max_steps: "int | None" = None):
+        target = tuple(target)
+        if not target:
+            return SearchOutcome(schedule=(), complete=True, states_visited=0)
+        initial = self._explorer.canonicalize(NetworkState.initial(self.instance))
+        start = (initial, 0)
+        visited = {start}
+        # Each frontier item: (state, position, schedule-so-far as tuple).
+        # Breadth-first: positive answers surface at their minimal length
+        # (impossibility proofs must exhaust the space either way).
+        frontier = deque([(initial, 0, ())])
+        truncated = False
+
+        while frontier:
+            state, position, schedule = frontier.popleft()
+            if max_steps is not None and len(schedule) >= max_steps:
+                truncated = True
+                continue
+            allow_noop = self._stutter_possible(target, position, state, mode)
+            for entry, next_state in self._moves(state, allow_noop):
+                if any(
+                    len(contents) > self.queue_bound
+                    for contents in next_state.channels.values()
+                ):
+                    truncated = True
+                    continue
+                for next_position in self._advances(
+                    target, position, next_state, mode
+                ):
+                    next_schedule = schedule + (entry,)
+                    if next_position == len(target):
+                        accepted, tail_complete = self._acceptable(
+                            target, next_schedule, next_state, mode
+                        )
+                        if accepted:
+                            return SearchOutcome(
+                                schedule=next_schedule,
+                                complete=True,
+                                states_visited=len(visited),
+                            )
+                        truncated = truncated or not tail_complete
+                        continue
+                    key = (next_state, next_position)
+                    if key in visited:
+                        continue
+                    if len(visited) >= self.max_visited:
+                        truncated = True
+                        continue
+                    visited.add(key)
+                    frontier.append((next_state, next_position, next_schedule))
+        return SearchOutcome(
+            schedule=None, complete=not truncated, states_visited=len(visited)
+        )
+
+    def _acceptable(self, target, schedule, final_state, mode) -> tuple:
+        """Validate a candidate: relation holds, and a fair tail exists.
+
+        Def. 3.2 quantifies over *infinite* fair activation sequences,
+        and the target sequences we handle are eventually constant (the
+        source execution converged).  An exact (or with-repetition)
+        realization must therefore remain at the final assignment
+        forever while still servicing every channel infinitely often —
+        the crux of Ex. A.3, where the pending stale message forces any
+        fair R1O continuation to eventually change the assignment.
+        Returns ``(accepted, tail_check_complete)``.
+        """
+        if not self._verify(target, schedule, mode):
+            return False, True
+        if mode == "subsequence":
+            # Any fair continuation keeps the embedding valid.
+            return True, True
+        return self._fair_constant_tail(final_state)
+
+    def _fair_constant_tail(self, state: NetworkState) -> tuple:
+        """Can ``state`` be extended fairly with its assignment frozen?
+
+        Explores the subgraph of successor states sharing the current
+        assignment.  A fair infinite tail exists iff that subgraph
+        contains a true fixed point (quiescent and self-stable) or an
+        SCC satisfying the explorer's fairness-service criterion.
+        Returns ``(exists, complete)``.
+        """
+        final_pi = state.assignment_key
+        index_of = {state: 0}
+        states = [state]
+        edges: dict = {}
+        frontier = [0]
+        truncated = False
+        while frontier:
+            current = frontier.pop()
+            if is_fixed_point(self.instance, states[current]):
+                return True, True
+            adjacency = []
+            for entry, nxt in self._explorer.successors(states[current]):
+                if nxt.assignment_key != final_pi:
+                    continue
+                if any(
+                    len(contents) > self.queue_bound
+                    for contents in nxt.channels.values()
+                ):
+                    truncated = True
+                    continue
+                if nxt not in index_of:
+                    if len(index_of) >= self.max_visited:
+                        truncated = True
+                        continue
+                    index_of[nxt] = len(states)
+                    states.append(nxt)
+                    frontier.append(index_of[nxt])
+                adjacency.append((entry, index_of[nxt]))
+            edges[current] = adjacency
+        for component in self._explorer._sccs(len(states), edges):
+            members = set(component)
+            has_inner = any(
+                t in members
+                for source in component
+                for _, t in edges.get(source, ())
+            )
+            if has_inner and self._explorer._fairness_ok(
+                component, states, edges
+            ):
+                return True, True
+        return False, not truncated
+
+    def _stutter_possible(self, target, position, state, mode) -> bool:
+        """Whether a no-op step could consume or extend the current element."""
+        current = state.assignment_key
+        if mode == "exact":
+            return position < len(target) and target[position] == current
+        if mode == "repetition":
+            return (position < len(target) and target[position] == current) or (
+                position > 0 and target[position - 1] == current
+            )
+        return True  # subsequence: interim states are unconstrained
+
+    def _advances(self, target, position, next_state, mode):
+        """Target positions reachable after stepping into ``next_state``.
+
+        ``position`` is the index of the next target element awaiting its
+        (first) copy.  In repetition mode a step may instead emit an
+        *extra* copy of the element just completed (staying in place) —
+        Def. 3.2's blocks may have any positive length.
+        """
+        produced = next_state.assignment_key
+        if mode == "exact":
+            if target[position] == produced:
+                yield position + 1
+            return
+        if mode == "repetition":
+            if target[position] == produced:
+                yield position + 1
+            if position > 0 and target[position - 1] == produced:
+                yield position  # extend the previous block
+            return
+        # subsequence
+        if target[position] == produced:
+            yield position + 1
+        yield position
+
+    def _verify(self, target, schedule, mode) -> bool:
+        """Re-execute a candidate schedule and check the claimed relation."""
+        trace = Execution(self.instance).run(schedule)
+        produced = trace.pi_sequence
+        if mode == "exact":
+            return is_exact(target, produced)
+        if mode == "repetition":
+            return is_repetition(target, produced)
+        return is_subsequence(target, produced)

@@ -1,0 +1,103 @@
+"""Checkers for the π-sequence relations of Def. 3.2.
+
+Given the path-assignment sequence induced by an activation sequence in
+model A and one induced in model B, these predicates decide whether the
+B-sequence realizes the A-sequence exactly, with repetition, or as a
+subsequence.  They operate on finite prefixes (canonical hashable
+assignments, as produced by
+:attr:`repro.engine.execution.Trace.pi_sequence`).
+
+For *with repetition* on finite prefixes we use the natural prefix
+semantics: the realizing sequence must consist of non-empty blocks of
+repeats of π(0), π(1), … in order, with the final block allowed to be
+cut off by the horizon only if every target assignment has appeared.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "is_exact",
+    "is_repetition",
+    "is_subsequence",
+    "collapse_repeats",
+    "strongest_relation",
+]
+
+
+def is_exact(target: Sequence, candidate: Sequence) -> bool:
+    """``candidate`` equals ``target`` elementwise (same length)."""
+    return len(target) == len(candidate) and all(
+        a == b for a, b in zip(target, candidate)
+    )
+
+
+def collapse_repeats(sequence: Sequence) -> tuple:
+    """Merge adjacent equal assignments into one occurrence."""
+    collapsed: list = []
+    for item in sequence:
+        if not collapsed or collapsed[-1] != item:
+            collapsed.append(item)
+    return tuple(collapsed)
+
+
+def _run_lengths(sequence: Sequence) -> list:
+    """Run-length encode: ``[(value, count), …]`` with adjacent merging."""
+    runs: list = []
+    for item in sequence:
+        if runs and runs[-1][0] == item:
+            runs[-1][1] += 1
+        else:
+            runs.append([item, 1])
+    return runs
+
+
+def is_repetition(target: Sequence, candidate: Sequence) -> bool:
+    """``candidate`` is ``target`` with each element repeated ≥ 1 times.
+
+    Def. 3.2's "exact realization with repetition": a strictly
+    increasing ``f`` exists with ``candidate[f(t)..f(t+1)-1] = target[t]``
+    for every ``t``.  Equivalently, the two run-length encodings carry
+    the same values in the same order, and each of ``candidate``'s runs
+    is at least as long as the corresponding run of ``target`` (a run of
+    ``r`` equal target elements needs at least ``r`` copies, one block
+    per element).
+    """
+    target_runs = _run_lengths(target)
+    candidate_runs = _run_lengths(candidate)
+    if len(target_runs) != len(candidate_runs):
+        return False
+    return all(
+        t_value == c_value and c_count >= t_count
+        for (t_value, t_count), (c_value, c_count) in zip(
+            target_runs, candidate_runs
+        )
+    )
+
+
+def is_subsequence(target: Sequence, candidate: Sequence) -> bool:
+    """``target`` embeds into ``candidate`` preserving order."""
+    iterator = iter(candidate)
+    for expected in target:
+        for item in iterator:
+            if item == expected:
+                break
+        else:
+            return False
+    return True
+
+
+def strongest_relation(target: Sequence, candidate: Sequence) -> str:
+    """Name the strongest relation of ``candidate`` to ``target``.
+
+    Returns one of ``"exact"``, ``"repetition"``, ``"subsequence"`` or
+    ``"none"``.
+    """
+    if is_exact(target, candidate):
+        return "exact"
+    if is_repetition(target, candidate):
+        return "repetition"
+    if is_subsequence(target, candidate):
+        return "subsequence"
+    return "none"

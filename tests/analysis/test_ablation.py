@@ -1,0 +1,45 @@
+"""Tests for the ablation sweeps."""
+
+from repro.analysis.ablation import (
+    AblationRow,
+    format_rows,
+    grid_scaling_sweep,
+    queue_bound_sweep,
+    verdicts_are_stable,
+)
+from repro.core.instances import disagree
+
+
+class TestQueueBoundSweep:
+    def test_rma_verdict_is_bound_insensitive(self):
+        rows = queue_bound_sweep(disagree(), "RMA", bounds=(1, 2, 3))
+        assert verdicts_are_stable(rows)
+        assert all(not row.oscillates and row.complete for row in rows)
+
+    def test_r1o_needs_bound_two(self):
+        rows = queue_bound_sweep(disagree(), "R1O", bounds=(1, 2))
+        assert not rows[0].oscillates  # the two-message channel is capped
+        assert not rows[0].complete    # …and the search knows it truncated
+        assert rows[1].oscillates
+
+    def test_labels(self):
+        rows = queue_bound_sweep(disagree(), "REA", bounds=(2,))
+        assert rows[0].label == "bound=2"
+
+
+class TestGridScaling:
+    def test_states_grow_with_copies(self):
+        rows = grid_scaling_sweep("R1A", copies=(1, 2))
+        assert rows[0].states < rows[1].states
+        assert all(row.complete for row in rows)
+
+    def test_oscillation_in_every_size(self):
+        rows = grid_scaling_sweep("R1O", copies=(1, 2))
+        assert all(row.oscillates for row in rows)
+
+
+class TestFormatting:
+    def test_format_rows(self):
+        rows = [AblationRow(label="x=1", oscillates=True, complete=True, states=5)]
+        text = format_rows(rows, title="T")
+        assert "T" in text and "x=1" in text and "5" in text

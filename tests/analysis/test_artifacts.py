@@ -1,0 +1,52 @@
+"""Tests for the artifact writer."""
+
+from repro.analysis.artifacts import generate_artifacts
+
+
+class TestGenerateArtifacts:
+    def test_writes_all_expected_files(self, tmp_path):
+        written = generate_artifacts(tmp_path)
+        names = {path.name for path in written}
+        assert {
+            "figure3.txt",
+            "figure4.txt",
+            "figure3_comparison.txt",
+            "figure4_comparison.txt",
+            "realization_exact.dot",
+            "realization_oscillation.dot",
+            "disagree_verdicts.txt",
+            "fig6_separation.txt",
+            "fig7_exact.txt",
+            "fig8_repetition.txt",
+            "fig9_r1s.txt",
+            "multinode_exa6.txt",
+            "dispute_wheels.txt",
+            "message_overhead.txt",
+            "convergence_survey.txt",
+        } <= names
+        for path in written:
+            assert path.read_text().strip(), path.name
+
+    def test_figure_files_match_live_derivation(self, tmp_path):
+        from repro.analysis.reporting import render_figure3
+        from repro.realization.closure import derive_matrix
+
+        generate_artifacts(tmp_path)
+        stored = (tmp_path / "figure3.txt").read_text().rstrip("\n")
+        assert stored == render_figure3(derive_matrix())
+
+    def test_comparison_artifacts_record_the_headline(self, tmp_path):
+        generate_artifacts(tmp_path)
+        text = (tmp_path / "figure3_comparison.txt").read_text()
+        assert "284 entries match" in text
+        text4 = (tmp_path / "figure4_comparison.txt").read_text()
+        assert "288 entries match" in text4
+
+    def test_runs_are_deterministic(self, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        generate_artifacts(first)
+        generate_artifacts(second)
+        for path in first.iterdir():
+            twin = second / path.name
+            assert path.read_text() == twin.read_text(), path.name

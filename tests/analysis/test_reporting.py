@@ -1,0 +1,132 @@
+"""Tests for matrix and summary rendering."""
+
+from repro.analysis.reporting import (
+    render_comparison_summary,
+    render_figure3,
+    render_figure4,
+    render_matrix,
+    render_oscillation_table,
+)
+from repro.engine.explorer import ExplorationResult
+from repro.realization.closure import derive_matrix
+from repro.realization.paper_tables import compare_with_derived
+
+
+class TestMatrixRendering:
+    def test_figure3_shape(self):
+        text = render_figure3(derive_matrix())
+        lines = text.splitlines()
+        assert len(lines) == 26  # header + rule + 24 rows
+        assert lines[0].count("R") >= 9  # reliable column names
+        assert lines[2].startswith("R1O")
+
+    def test_figure4_columns_are_unreliable(self):
+        text = render_figure4(derive_matrix())
+        header = text.splitlines()[0]
+        assert "U1O" in header and "UEA" in header
+        assert "R1O" not in header
+
+    def test_diagonal_marker(self):
+        text = render_matrix(derive_matrix(), columns=("R1O",), rows=("R1O",))
+        assert "~" in text
+
+    def test_known_cells_appear(self):
+        text = render_figure3(derive_matrix())
+        r1o_row = next(l for l in text.splitlines() if l.startswith("R1O"))
+        assert "-1" in r1o_row  # the REO/REF/polling cells
+        assert "4" in r1o_row
+
+
+class TestComparisonSummary:
+    def test_counts_and_mismatch_listing(self):
+        comparisons = compare_with_derived(derive_matrix())
+        summary = render_comparison_summary(comparisons)
+        assert "match=572" in summary
+        assert "tighter=4" in summary
+        assert "U1O realized by R1O" in summary
+
+
+class TestOscillationTable:
+    def test_rendering(self):
+        results = {
+            "R1O": ExplorationResult(
+                model_name="R1O",
+                instance_name="DISAGREE",
+                oscillates=True,
+                complete=True,
+                states_explored=21,
+                truncated_states=0,
+            ),
+            "REA": ExplorationResult(
+                model_name="REA",
+                instance_name="DISAGREE",
+                oscillates=False,
+                complete=True,
+                states_explored=8,
+                truncated_states=0,
+            ),
+        }
+        table = render_oscillation_table(results)
+        assert "R1O" in table and "REA" in table
+        assert "complete" in table
+
+
+class TestRealizationDot:
+    def test_dot_structure(self):
+        from repro.analysis.reporting import render_realization_dot
+
+        dot = render_realization_dot(derive_matrix())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"UMS"' in dot and "fillcolor" in dot  # queueing highlighted
+
+    def test_transitive_reduction_shrinks_edges(self):
+        from repro.analysis.reporting import render_realization_dot
+
+        matrix = derive_matrix()
+        reduced = render_realization_dot(matrix).count("->")
+        full = render_realization_dot(
+            matrix, transitive_reduction=False
+        ).count("->")
+        assert reduced < full
+
+    def test_reduction_preserves_reachability(self):
+        """The reduced graph's transitive closure equals the full edge set."""
+        from repro.analysis.reporting import render_realization_dot
+        from repro.realization.relations import Level
+
+        matrix = derive_matrix()
+        dot = render_realization_dot(matrix)
+        edges = set()
+        for line in dot.splitlines():
+            if "->" in line:
+                a, b = line.strip().strip(";").split(" -> ")
+                edges.add((a.strip('"'), b.strip('"')))
+        # Floyd-Warshall style closure over the reduced edges.
+        names = {n for e in edges for n in e}
+        reach = {n: {n} for n in names}
+        changed = True
+        while changed:
+            changed = False
+            for a, b in edges:
+                before = len(reach[a])
+                reach[a] |= reach[b]
+                changed |= len(reach[a]) != before
+        from repro.models.taxonomy import MODELS_BY_NAME
+
+        for a in names:
+            for b in names:
+                if a == b:
+                    continue
+                expected = (
+                    matrix.get(MODELS_BY_NAME[a], MODELS_BY_NAME[b]).lo
+                    >= Level.EXACT
+                )
+                assert (b in reach[a]) == expected, (a, b)
+
+    def test_oscillation_level_graph(self):
+        from repro.analysis.reporting import render_realization_dot
+
+        dot = render_realization_dot(derive_matrix(), level_name="OSCILLATION")
+        # R1O's oscillations are preserved by RMS.
+        assert '"R1O" -> ' in dot

@@ -1,0 +1,90 @@
+"""Tests for trace rendering and paper-table checking."""
+
+from repro.analysis.experiments import FIG8_REA_SCHEDULE, FIG8_REA_EXPECTED
+from repro.analysis.traces import (
+    active_node_choices,
+    format_trace_table,
+    matches_paper_trace,
+    node_assignment_sequence,
+)
+from repro.core.instances import fig8_gadget
+from repro.engine.execution import Execution
+
+
+def fig8_trace():
+    execution = Execution(fig8_gadget())
+    execution.run_nodes(FIG8_REA_SCHEDULE, kind="poll")
+    return execution.trace
+
+
+class TestActiveNodeChoices:
+    def test_matches_paper_row(self):
+        choices = active_node_choices(fig8_trace())
+        assert choices[0] == ("d", ("d",))
+        assert choices[-1] == ("s", ("s", "u", "b", "d"))
+
+    def test_length_matches_schedule(self):
+        assert len(active_node_choices(fig8_trace())) == len(FIG8_REA_SCHEDULE)
+
+
+class TestMatchesPaperTrace:
+    def test_positive(self):
+        assert matches_paper_trace(fig8_trace(), FIG8_REA_EXPECTED)
+
+    def test_prefix_check_only(self):
+        assert matches_paper_trace(fig8_trace(), FIG8_REA_EXPECTED[:3])
+
+    def test_detects_mismatch(self):
+        wrong = FIG8_REA_EXPECTED[:-1] + ("suad",)
+        assert not matches_paper_trace(fig8_trace(), wrong)
+
+    def test_too_short_trace_fails(self):
+        assert not matches_paper_trace(
+            fig8_trace(), FIG8_REA_EXPECTED + ("subd",)
+        )
+
+    def test_epsilon_notations(self):
+        trace = fig8_trace()
+        # 'e' and 'ε' both denote the empty route; neither matches here.
+        assert not matches_paper_trace(trace, ("e",))
+        assert not matches_paper_trace(trace, ("ε",))
+
+
+class TestNodeSequence:
+    def test_u_switches_once(self):
+        sequence = node_assignment_sequence(fig8_trace(), "u")
+        assert sequence[2] == ("u", "a", "d")
+        assert sequence[-1] == ("u", "b", "d")
+
+
+class TestFormatting:
+    def test_table_contains_steps_and_paths(self):
+        table = format_trace_table(fig8_trace())
+        assert "U(t)" in table
+        assert "subd" in table
+        assert table.count("\n") >= len(FIG8_REA_SCHEDULE)
+
+
+class TestChannelTimeline:
+    def test_timeline_shows_stale_backlog(self):
+        from repro.analysis.traces import format_channel_timeline
+
+        timeline = format_channel_timeline(fig8_trace())
+        assert "u->s" in timeline
+        # By t = 5 the channel (u, s) holds the two messages whose
+        # staleness drives Ex. A.4.
+        row5 = [l for l in timeline.splitlines() if l.startswith("  5 ")][0]
+        assert "2" in row5
+
+    def test_timeline_marks_processed_channels(self):
+        from repro.analysis.traces import format_channel_timeline
+
+        timeline = format_channel_timeline(fig8_trace())
+        assert "*" in timeline
+
+    def test_empty_trace(self):
+        from repro.analysis.traces import format_channel_timeline
+        from repro.engine.execution import Execution
+
+        trace = Execution(fig8_gadget()).trace
+        assert "no channel" in format_channel_timeline(trace)

@@ -1,0 +1,66 @@
+"""Shared fixtures: canonical instances, models, and schedule factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import instances as canonical
+from repro.engine.execution import Execution
+from repro.engine.schedulers import RandomScheduler
+from repro.models.taxonomy import model
+
+
+@pytest.fixture
+def disagree():
+    return canonical.disagree()
+
+
+@pytest.fixture
+def fig6():
+    return canonical.fig6_gadget()
+
+
+@pytest.fixture
+def fig7():
+    return canonical.fig7_gadget()
+
+
+@pytest.fixture
+def fig8():
+    return canonical.fig8_gadget()
+
+
+@pytest.fixture
+def fig9():
+    return canonical.fig9_gadget()
+
+
+@pytest.fixture
+def bad_gadget():
+    return canonical.bad_gadget()
+
+
+@pytest.fixture
+def good_gadget():
+    return canonical.good_gadget()
+
+
+def record_random_schedule(
+    instance, model_name: str, seed: int = 0, steps: int = 60, drop_prob: float = 0.2
+):
+    """Run a fair random scheduler and return the entries it produced.
+
+    Entries are generated against live state (schedulers adapt message
+    counts to channel occupancy), so the schedule is recorded by
+    actually executing it.
+    """
+    execution = Execution(instance)
+    scheduler = RandomScheduler(
+        instance, model(model_name), seed=seed, drop_prob=drop_prob
+    )
+    schedule = []
+    for _ in range(steps):
+        entry = scheduler.next_entry(execution.state)
+        schedule.append(entry)
+        execution.step(entry)
+    return tuple(schedule)

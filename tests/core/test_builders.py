@@ -1,0 +1,71 @@
+"""Tests for the fluent SPP builder."""
+
+import pytest
+
+from repro.core.builders import SPPBuilder
+from repro.core.spp import SPPValidationError
+
+
+class TestBuilder:
+    def test_compact_string_paths(self):
+        instance = SPPBuilder("d").node("x", "xyd", "xd").node("y", "yd").build()
+        assert instance.permitted_at("x") == (("x", "y", "d"), ("x", "d"))
+
+    def test_tuple_paths(self):
+        instance = (
+            SPPBuilder("dest")
+            .node("n1", ("n1", "dest"))
+            .build("TUPLES")
+        )
+        assert instance.permitted_at("n1") == (("n1", "dest"),)
+        assert instance.name == "TUPLES"
+
+    def test_declaration_order_is_preference_order(self):
+        instance = SPPBuilder("d").node("x", "xd", "xyd").node("y", "yd").build()
+        assert instance.rank_of("x", ("x", "d")) == 0
+        assert instance.rank_of("x", ("x", "y", "d")) == 1
+
+    def test_auto_edges_inferred_from_paths(self):
+        instance = SPPBuilder("d").node("x", "xyd").node("y", "yd").build()
+        assert frozenset(("x", "y")) in instance.edges
+        assert frozenset(("y", "d")) in instance.edges
+
+    def test_explicit_edges(self):
+        instance = (
+            SPPBuilder("d")
+            .edge("x", "d")
+            .edges([("y", "d"), ("x", "y")])
+            .node("x", "xd")
+            .node("y", "yd")
+            .build()
+        )
+        assert len(instance.edges) == 3
+
+    def test_without_auto_edges_requires_declarations(self):
+        builder = SPPBuilder("d").without_auto_edges().node("x", "xd")
+        with pytest.raises(SPPValidationError):
+            builder.build()
+
+    def test_node_declared_twice_rejected(self):
+        builder = SPPBuilder("d").node("x", "xd")
+        with pytest.raises(ValueError, match="twice"):
+            builder.node("x", "xd")
+
+    def test_path_not_starting_at_node_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            SPPBuilder("d").node("x", "yd")
+
+    def test_ranked_node_allows_ties(self):
+        instance = (
+            SPPBuilder("d")
+            .edge("x", "y")
+            .edge("y", "d")
+            .edge("y", "z")
+            .edge("z", "d")
+            .ranked_node("x", [("xyd", 0), ("xyzd", 0)])
+            .node("y", "yd", "yzd")
+            .node("z", "zd")
+            .build()
+        )
+        assert instance.rank_of("x", ("x", "y", "d")) == 0
+        assert instance.rank_of("x", ("x", "y", "z", "d")) == 0

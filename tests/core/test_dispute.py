@@ -1,0 +1,96 @@
+"""Tests for dispute-wheel detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import instances as canonical
+from repro.core.dispute import (
+    dispute_relation,
+    find_dispute_wheel,
+    has_dispute_wheel,
+)
+from repro.core.generators import random_instance
+from repro.core.solutions import enumerate_stable_solutions
+
+
+class TestKnownInstances:
+    def test_disagree_has_a_wheel(self, disagree):
+        # GSW: multiple stable solutions imply a dispute wheel.
+        assert has_dispute_wheel(disagree)
+
+    def test_bad_gadget_has_a_wheel(self, bad_gadget):
+        assert has_dispute_wheel(bad_gadget)
+
+    def test_good_gadget_is_wheel_free(self, good_gadget):
+        assert not has_dispute_wheel(good_gadget)
+
+    def test_shortest_paths_are_wheel_free(self):
+        assert not has_dispute_wheel(canonical.shortest_paths_ring(4))
+
+    def test_chain_is_wheel_free(self):
+        assert not has_dispute_wheel(canonical.linear_chain(3))
+
+    def test_fig6_has_a_wheel(self, fig6):
+        # The u/v DISAGREE core embeds a wheel.
+        assert has_dispute_wheel(fig6)
+
+
+class TestWheelStructure:
+    def test_disagree_wheel_shape(self, disagree):
+        wheel = find_dispute_wheel(disagree)
+        assert wheel is not None
+        assert len(wheel) >= 2
+        assert set(wheel.pivots) <= {"x", "y"}
+        # Every rim is a permitted path of its pivot at least as
+        # preferred as the spoke.
+        for pivot, spoke, rim in zip(wheel.pivots, wheel.spokes, wheel.rims):
+            assert disagree.is_permitted(pivot, rim)
+            assert disagree.is_permitted(pivot, spoke)
+            assert disagree.rank_of(pivot, rim) <= disagree.rank_of(pivot, spoke)
+
+    def test_bad_gadget_wheel_has_three_pivots(self, bad_gadget):
+        wheel = find_dispute_wheel(bad_gadget)
+        assert wheel is not None
+        assert set(wheel.pivots) == {"1", "2", "3"}
+
+    def test_describe_is_readable(self, disagree):
+        wheel = find_dispute_wheel(disagree)
+        text = wheel.describe()
+        assert "spoke" in text and "rim" in text
+
+
+class TestDisputeRelation:
+    def test_relation_keys_are_permitted_paths(self, disagree):
+        relation = dispute_relation(disagree)
+        for (node, spoke), targets in relation.items():
+            assert disagree.is_permitted(node, spoke)
+            for (other, suffix) in targets:
+                assert disagree.is_permitted(other, suffix)
+
+    def test_good_gadget_relation_is_acyclic(self, good_gadget):
+        assert find_dispute_wheel(good_gadget) is None
+
+
+class TestTheoreticalInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_shortest_policy_never_builds_wheels(self, seed):
+        instance = random_instance(seed, n_nodes=5, policy="shortest")
+        assert not has_dispute_wheel(instance)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_multiple_solutions_imply_wheel(self, seed):
+        """The GSW direction: ≥ 2 stable solutions ⇒ dispute wheel."""
+        instance = random_instance(seed, n_nodes=4, max_paths_per_node=3)
+        solutions = list(enumerate_stable_solutions(instance))
+        if len(solutions) >= 2:
+            assert has_dispute_wheel(instance)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_no_wheel_implies_solvable(self, seed):
+        """No dispute wheel ⇒ a stable solution exists (GSW)."""
+        instance = random_instance(seed, n_nodes=4, max_paths_per_node=3)
+        if not has_dispute_wheel(instance):
+            assert list(enumerate_stable_solutions(instance))

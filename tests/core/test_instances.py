@@ -1,0 +1,123 @@
+"""Tests pinning down the canonical paper gadgets."""
+
+import pytest
+
+from repro.core import instances as canonical
+from repro.core.solutions import enumerate_stable_solutions
+
+
+class TestDisagree:
+    def test_structure(self, disagree):
+        assert disagree.nodes == frozenset({"d", "x", "y"})
+        assert disagree.preference_order("x") == (("x", "y", "d"), ("x", "d"))
+        assert disagree.preference_order("y") == (("y", "x", "d"), ("y", "d"))
+
+    def test_two_stable_solutions(self, disagree):
+        solutions = list(enumerate_stable_solutions(disagree))
+        assert len(solutions) == 2
+        assignments = {
+            tuple(sorted((node, path) for node, path in s.items()))
+            for s in solutions
+        }
+        assert len(assignments) == 2
+
+
+class TestFig6:
+    def test_preferences_from_trace_derivation(self, fig6):
+        # a: azd > ayd > axd (forced by the REO trace, t = 3/7/11).
+        assert fig6.preference_order("a") == (
+            ("a", "z", "d"),
+            ("a", "y", "d"),
+            ("a", "x", "d"),
+        )
+        # u refuses every path through y.
+        for path in fig6.permitted_at("u"):
+            assert "y" not in path
+        # The DISAGREE core between u and v.
+        assert fig6.prefers("u", ("u", "v", "a", "z", "d"), ("u", "a", "z", "d"))
+        assert fig6.prefers("v", ("v", "u", "a", "z", "d"), ("v", "a", "z", "d"))
+        # Case 3 of the RMA analysis: vuaxd preferred to vazd.
+        assert fig6.prefers("v", ("v", "u", "a", "x", "d"), ("v", "a", "z", "d"))
+
+    def test_stub_nodes(self, fig6):
+        for stub in ("x", "y", "z"):
+            assert fig6.permitted_at(stub) == ((stub, "d"),)
+
+
+class TestFig7:
+    def test_s_ranking(self, fig7):
+        # Stated explicitly in Ex. A.3: subd > svbd > suad.
+        order = fig7.preference_order("s")
+        assert order == (
+            ("s", "u", "b", "d"),
+            ("s", "v", "b", "d"),
+            ("s", "u", "a", "d"),
+        )
+
+    def test_u_and_v_switch_to_a(self, fig7):
+        assert fig7.prefers("u", ("u", "a", "d"), ("u", "b", "d"))
+        assert fig7.prefers("v", ("v", "a", "d"), ("v", "b", "d"))
+
+
+class TestFig8:
+    def test_permitted_exactly_as_paper(self, fig8):
+        all_paths = {p for _, p in fig8.all_paths()}
+        assert all_paths == {
+            ("a", "d"), ("b", "d"),
+            ("u", "b", "d"), ("u", "a", "d"),
+            ("s", "u", "a", "d"), ("s", "u", "b", "d"),
+            ("d",),
+        }
+        assert fig8.prefers("u", ("u", "b", "d"), ("u", "a", "d"))
+        assert fig8.prefers("s", ("s", "u", "a", "d"), ("s", "u", "b", "d"))
+
+
+class TestFig9:
+    def test_rankings(self, fig9):
+        assert fig9.preference_order("s") == (
+            ("s", "c", "b", "d"),
+            ("s", "x", "d"),
+            ("s", "c", "a", "d"),
+        )
+        assert fig9.prefers("c", ("c", "a", "d"), ("c", "b", "d"))
+
+
+class TestGadgets:
+    def test_bad_gadget_has_no_solution(self, bad_gadget):
+        assert list(enumerate_stable_solutions(bad_gadget)) == []
+
+    def test_good_gadget_has_unique_all_direct_solution(self, good_gadget):
+        solutions = list(enumerate_stable_solutions(good_gadget))
+        assert len(solutions) == 1
+        (solution,) = solutions
+        for node in "123":
+            assert solution[node] == (node, "d")
+
+
+class TestParametricFamilies:
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_shortest_ring_sizes(self, size):
+        instance = canonical.shortest_paths_ring(size)
+        assert len(instance.nodes) == size + 1
+        solutions = list(enumerate_stable_solutions(instance))
+        assert len(solutions) == 1
+
+    def test_shortest_ring_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            canonical.shortest_paths_ring(1)
+
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_linear_chain(self, length):
+        instance = canonical.linear_chain(length)
+        assert len(instance.nodes) == length + 1
+        solutions = list(enumerate_stable_solutions(instance))
+        assert len(solutions) == 1
+
+    def test_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            canonical.linear_chain(0)
+
+    def test_registry_builds_everything(self):
+        for name, factory in canonical.ALL_NAMED_INSTANCES.items():
+            instance = factory()
+            assert instance.nodes, name

@@ -1,0 +1,145 @@
+"""Unit and property tests for the path algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.paths import (
+    EPSILON,
+    destination,
+    edges_of,
+    extend,
+    format_path,
+    is_empty,
+    is_path_to,
+    is_simple,
+    make_path,
+    next_hop,
+    parse_path,
+    source,
+    subpaths,
+    validate_path,
+)
+
+nodes = st.sampled_from("abcdxyzsuvd")
+simple_paths = st.lists(nodes, min_size=1, max_size=6, unique=True).map(tuple)
+
+
+class TestBasics:
+    def test_epsilon_is_empty(self):
+        assert is_empty(EPSILON)
+        assert not is_empty(("d",))
+
+    def test_make_path(self):
+        assert make_path("xyd") == ("x", "y", "d")
+
+    def test_source_and_destination(self):
+        path = ("x", "y", "d")
+        assert source(path) == "x"
+        assert destination(path) == "d"
+
+    def test_source_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            source(EPSILON)
+        with pytest.raises(ValueError):
+            destination(EPSILON)
+
+    def test_next_hop(self):
+        assert next_hop(("x", "y", "d")) == "y"
+
+    def test_next_hop_trivial_path_raises(self):
+        with pytest.raises(ValueError):
+            next_hop(("d",))
+        with pytest.raises(ValueError):
+            next_hop(EPSILON)
+
+    def test_is_simple(self):
+        assert is_simple(("x", "y", "d"))
+        assert not is_simple(("x", "y", "x"))
+        assert is_simple(EPSILON)
+
+    def test_is_path_to(self):
+        assert is_path_to(("x", "d"), "d")
+        assert not is_path_to(("x", "d"), "x")
+        assert not is_path_to(EPSILON, "d")
+
+
+class TestExtend:
+    def test_plain_extension(self):
+        assert extend("x", ("y", "d")) == ("x", "y", "d")
+
+    def test_extension_of_empty_is_empty(self):
+        assert extend("x", EPSILON) == EPSILON
+
+    def test_loop_becomes_withdrawal(self):
+        # The mechanism behind DISAGREE's oscillation (Ex. A.1).
+        assert extend("y", ("x", "y", "d")) == EPSILON
+
+    @given(simple_paths, nodes)
+    def test_extension_is_simple_or_empty(self, path, node):
+        extended = extend(node, path)
+        assert extended == EPSILON or is_simple(extended)
+
+    @given(simple_paths, nodes)
+    def test_extension_preserves_destination(self, path, node):
+        extended = extend(node, path)
+        if extended != EPSILON:
+            assert destination(extended) == destination(path)
+            assert source(extended) == node
+
+
+class TestDecomposition:
+    def test_subpaths(self):
+        assert list(subpaths(("s", "u", "d"))) == [
+            ("s", "u", "d"),
+            ("u", "d"),
+            ("d",),
+        ]
+
+    def test_edges_of(self):
+        assert list(edges_of(("s", "u", "d"))) == [("s", "u"), ("u", "d")]
+        assert list(edges_of(("d",))) == []
+
+    @given(simple_paths)
+    def test_subpath_count(self, path):
+        assert len(list(subpaths(path))) == len(path)
+
+    @given(simple_paths)
+    def test_edge_count(self, path):
+        assert len(list(edges_of(path))) == len(path) - 1
+
+
+class TestFormatting:
+    def test_format(self):
+        assert format_path(("x", "y", "d")) == "xyd"
+        assert format_path(EPSILON) == "ε"
+
+    def test_parse(self):
+        assert parse_path("xyd") == ("x", "y", "d")
+        assert parse_path("ε") == EPSILON
+        assert parse_path("") == EPSILON
+
+    @given(simple_paths)
+    def test_roundtrip_single_char_nodes(self, path):
+        assert parse_path(format_path(path)) == path
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        validate_path(("x", "y", "d"), "x", "d")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_path((), "x", "d")
+
+    def test_rejects_wrong_source(self):
+        with pytest.raises(ValueError, match="start"):
+            validate_path(("y", "d"), "x", "d")
+
+    def test_rejects_wrong_destination(self):
+        with pytest.raises(ValueError, match="end"):
+            validate_path(("x", "y"), "x", "d")
+
+    def test_rejects_loops(self):
+        with pytest.raises(ValueError, match="simple"):
+            validate_path(("x", "y", "x", "d"), "x", "d")

@@ -1,0 +1,110 @@
+"""Tests for the miniature SAT toolkit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sat import (
+    dpll,
+    evaluate,
+    random_formula,
+    satisfying_assignments,
+    variables_of,
+)
+
+
+class TestBasics:
+    def test_variables_of(self):
+        assert variables_of(((1, -2), (3,))) == (1, 2, 3)
+
+    def test_evaluate(self):
+        formula = ((1, -2),)
+        assert evaluate(formula, {1: True, 2: True})
+        assert evaluate(formula, {1: False, 2: False})
+        assert not evaluate(formula, {1: False, 2: True})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            dpll(((),))
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            dpll(((0, 1),))
+
+
+class TestDPLL:
+    def test_satisfiable(self):
+        model = dpll(((1, 2), (-1, 2), (1, -2)))
+        assert model is not None
+        assert evaluate(((1, 2), (-1, 2), (1, -2)), model)
+
+    def test_unsatisfiable(self):
+        # x ∧ ¬x.
+        assert dpll(((1,), (-1,))) is None
+
+    def test_classic_unsat_core(self):
+        formula = ((1, 2), (1, -2), (-1, 2), (-1, -2))
+        assert dpll(formula) is None
+
+    def test_unit_propagation_chain(self):
+        formula = ((1,), (-1, 2), (-2, 3))
+        model = dpll(formula)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_model_is_total(self):
+        model = dpll(((1, 2, 3),))
+        assert set(model) == {1, 2, 3}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_dpll_agrees_with_enumeration(self, seed):
+        formula = random_formula(seed, n_vars=4, n_clauses=5)
+        enumerated = next(iter(satisfying_assignments(formula)), None)
+        model = dpll(formula)
+        assert (model is not None) == (enumerated is not None)
+        if model is not None:
+            assert evaluate(formula, model)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        # x1 ∨ x2 has 3 satisfying assignments out of 4.
+        assert len(list(satisfying_assignments(((1, 2),)))) == 3
+
+    def test_unsat_yields_nothing(self):
+        assert list(satisfying_assignments(((1,), (-1,)))) == []
+
+
+class TestRandomFormula:
+    def test_deterministic(self):
+        assert random_formula(5) == random_formula(5)
+
+    def test_shape(self):
+        formula = random_formula(1, n_vars=4, n_clauses=6, width=3)
+        assert len(formula) == 6
+        assert all(len(clause) == 3 for clause in formula)
+        assert set(variables_of(formula)) <= {1, 2, 3, 4}
+
+
+class TestParseFormula:
+    def test_compact_notation(self):
+        from repro.core.sat import parse_formula
+
+        assert parse_formula("1,-2;2,3") == ((1, -2), (2, 3))
+
+    def test_whitespace_tolerated(self):
+        from repro.core.sat import parse_formula
+
+        assert parse_formula(" 1 , -2 ; 3 ") == ((1, -2), (3,))
+
+    def test_empty_rejected(self):
+        from repro.core.sat import parse_formula
+
+        with pytest.raises(ValueError):
+            parse_formula("")
+
+    def test_garbage_rejected(self):
+        from repro.core.sat import parse_formula
+
+        with pytest.raises(ValueError, match="clause"):
+            parse_formula("1,x")

@@ -1,0 +1,79 @@
+"""Round-trip tests for instance and assignment serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import instances as canonical
+from repro.core.generators import random_instance
+from repro.core.paths import EPSILON
+from repro.core.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+)
+
+
+class TestInstanceRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            canonical.disagree,
+            canonical.fig6_gadget,
+            canonical.fig7_gadget,
+            canonical.fig8_gadget,
+            canonical.fig9_gadget,
+            canonical.bad_gadget,
+            canonical.good_gadget,
+        ],
+    )
+    def test_canonical_instances_roundtrip(self, factory):
+        instance = factory()
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.dest == instance.dest
+        assert restored.edges == instance.edges
+        assert restored.permitted == instance.permitted
+        assert restored.rank == instance.rank
+        assert restored.name == instance.name
+
+    def test_json_roundtrip(self, disagree):
+        text = instance_to_json(disagree)
+        json.loads(text)  # valid JSON
+        restored = instance_from_json(text)
+        assert restored.rank == disagree.rank
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_random_instances_roundtrip(self, seed):
+        instance = random_instance(seed, n_nodes=4)
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.permitted == instance.permitted
+        assert restored.rank == instance.rank
+
+    def test_rank_entry_for_unknown_path_rejected(self, disagree):
+        data = instance_to_dict(disagree)
+        data["rank"]["x"].append([["x", "q", "d"], 9])
+        with pytest.raises(ValueError, match="not a permitted path"):
+            instance_from_dict(data)
+
+    def test_multi_character_node_names_roundtrip(self):
+        instance = canonical.linear_chain(3)  # nodes n1, n2, n3
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.rank == instance.rank
+
+
+class TestAssignmentRoundTrips:
+    def test_roundtrip_with_epsilon(self):
+        assignment = {"d": ("d",), "x": ("x", "d"), "y": EPSILON}
+        data = assignment_to_dict(assignment)
+        assert data["y"] == []
+        assert assignment_from_dict(data) == assignment
+
+    def test_dict_is_sorted_by_node(self):
+        assignment = {"y": EPSILON, "d": ("d",), "x": ("x", "d")}
+        assert list(assignment_to_dict(assignment)) == ["d", "x", "y"]

@@ -1,0 +1,113 @@
+"""Tests for stable-solution checking, enumeration, and the greedy solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import instances as canonical
+from repro.core.generators import random_instance
+from repro.core.paths import EPSILON
+from repro.core.solutions import (
+    best_response,
+    enumerate_stable_solutions,
+    greedy_solve,
+    initial_assignment,
+    is_consistent,
+    is_solution,
+    is_stable,
+)
+
+
+class TestCheckers:
+    def test_initial_assignment(self, disagree):
+        initial = initial_assignment(disagree)
+        assert initial["d"] == ("d",)
+        assert initial["x"] == EPSILON
+
+    def test_initial_is_consistent_but_unstable(self, disagree):
+        initial = initial_assignment(disagree)
+        assert is_consistent(disagree, initial)
+        assert not is_stable(disagree, initial)  # x should pick xd
+
+    def test_known_solution_validates(self, disagree):
+        solution = {"d": ("d",), "x": ("x", "y", "d"), "y": ("y", "d")}
+        assert is_solution(disagree, solution)
+
+    def test_other_solution_validates(self, disagree):
+        solution = {"d": ("d",), "x": ("x", "d"), "y": ("y", "x", "d")}
+        assert is_solution(disagree, solution)
+
+    def test_inconsistent_assignment_rejected(self, disagree):
+        # x routes through y but y has no route.
+        broken = {"d": ("d",), "x": ("x", "y", "d"), "y": EPSILON}
+        assert not is_consistent(disagree, broken)
+
+    def test_both_direct_is_consistent_but_unstable(self, disagree):
+        both_direct = {"d": ("d",), "x": ("x", "d"), "y": ("y", "d")}
+        assert is_consistent(disagree, both_direct)
+        assert not is_stable(disagree, both_direct)
+
+    def test_wrong_destination_assignment_rejected(self, disagree):
+        assert not is_consistent(disagree, {"d": EPSILON})
+
+    def test_best_response(self, disagree):
+        assignment = {"d": ("d",), "x": EPSILON, "y": ("y", "d")}
+        assert best_response(disagree, "x", assignment) == ("x", "y", "d")
+        assert best_response(disagree, "d", assignment) == ("d",)
+
+    def test_best_response_no_options(self, disagree):
+        assignment = {"d": ("d",), "x": EPSILON, "y": EPSILON}
+        # y's neighbors: x (no route) and d; y·d = yd is permitted.
+        assert best_response(disagree, "y", assignment) == ("y", "d")
+
+
+class TestEnumeration:
+    def test_enumeration_outputs_are_solutions(self, disagree):
+        for solution in enumerate_stable_solutions(disagree):
+            assert is_solution(disagree, solution)
+
+    def test_counts_match_the_literature(self):
+        # DISAGREE: 2; BAD GADGET: 0; GOOD GADGET: 1.
+        assert len(list(enumerate_stable_solutions(canonical.disagree()))) == 2
+        assert len(list(enumerate_stable_solutions(canonical.bad_gadget()))) == 0
+        assert len(list(enumerate_stable_solutions(canonical.good_gadget()))) == 1
+
+    def test_fig7_unique_solution(self, fig7):
+        solutions = list(enumerate_stable_solutions(fig7))
+        assert len(solutions) == 1
+        assert solutions[0]["s"] == ("s", "u", "a", "d")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_enumeration_results_always_validate(self, seed):
+        instance = random_instance(seed, n_nodes=3, max_paths_per_node=3)
+        for solution in enumerate_stable_solutions(instance):
+            assert is_solution(instance, solution)
+
+
+class TestGreedySolver:
+    def test_greedy_solves_good_gadget(self, good_gadget):
+        solution = greedy_solve(good_gadget)
+        assert solution is not None
+        assert is_solution(good_gadget, solution)
+
+    def test_greedy_solves_shortest_ring(self):
+        instance = canonical.shortest_paths_ring(4)
+        solution = greedy_solve(instance)
+        assert solution is not None
+        assert is_solution(instance, solution)
+
+    def test_greedy_fails_on_bad_gadget(self, bad_gadget):
+        assert greedy_solve(bad_gadget) is None
+
+    def test_greedy_may_fail_on_disagree(self, disagree):
+        # DISAGREE has solutions but a dispute wheel; the greedy
+        # construction cannot commit either node first.
+        assert greedy_solve(disagree) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_greedy_output_is_always_a_solution(self, seed):
+        instance = random_instance(seed, n_nodes=4, policy="shortest")
+        solution = greedy_solve(instance)
+        assert solution is not None  # shortest-path policies are safe
+        assert is_solution(instance, solution)

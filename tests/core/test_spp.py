@@ -1,0 +1,181 @@
+"""Tests for SPP instance construction, validation, and policy queries."""
+
+import pytest
+
+from repro.core.builders import SPPBuilder
+from repro.core.paths import EPSILON
+from repro.core.spp import SPPInstance, SPPValidationError
+
+
+def tiny():
+    return SPPBuilder("d").node("x", "xyd", "xd").node("y", "yd").build("TINY")
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        instance = tiny()
+        assert instance.nodes == frozenset({"d", "x", "y"})
+        assert len(instance.edges) == 3  # x-y, y-d, x-d
+
+    def test_destination_trivial_path_implicit(self):
+        instance = tiny()
+        assert instance.permitted_at("d") == (("d",),)
+
+    def test_channels_are_directed_and_sorted(self):
+        instance = tiny()
+        channels = instance.channels
+        assert len(channels) == 6
+        assert channels == tuple(sorted(channels, key=repr))
+        assert ("x", "y") in channels and ("y", "x") in channels
+
+    def test_in_and_out_channels(self):
+        instance = tiny()
+        assert set(instance.in_channels("x")) == {("d", "x"), ("y", "x")}
+        assert set(instance.out_channels("x")) == {("x", "d"), ("x", "y")}
+
+    def test_neighbors(self):
+        instance = tiny()
+        assert instance.neighbors("x") == frozenset({"d", "y"})
+
+    def test_sorted_nodes_deterministic(self):
+        assert tiny().sorted_nodes == tiny().sorted_nodes
+
+
+class TestValidation:
+    def test_rejects_self_loop_edge(self):
+        with pytest.raises(SPPValidationError, match="self-loop"):
+            SPPInstance(dest="d", edges=[("d", "d")], permitted={})
+
+    def test_rejects_path_over_missing_edge(self):
+        with pytest.raises(SPPValidationError, match="non-edge"):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d"), ("y", "d")],
+                permitted={"x": [("x", "y", "d")], "y": [("y", "d")]},
+            )
+
+    def test_rejects_non_simple_path(self):
+        with pytest.raises(SPPValidationError):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d")],
+                permitted={"x": [("x", "x", "d")]},
+            )
+
+    def test_rejects_duplicate_permitted_path(self):
+        with pytest.raises(SPPValidationError, match="duplicate"):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d")],
+                permitted={"x": [("x", "d"), ("x", "d")]},
+            )
+
+    def test_rejects_cross_neighbor_rank_ties(self):
+        with pytest.raises(SPPValidationError, match="tie"):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d"), ("y", "d"), ("x", "y")],
+                permitted={
+                    "x": [("x", "d"), ("x", "y", "d")],
+                    "y": [("y", "d")],
+                },
+                rank={
+                    "x": {("x", "d"): 0, ("x", "y", "d"): 0},
+                    "y": {("y", "d"): 0},
+                },
+            )
+
+    def test_allows_same_next_hop_rank_ties(self):
+        # Ties through the same neighbor are explicitly permitted.
+        instance = SPPInstance(
+            dest="d",
+            edges=[("x", "d"), ("y", "d"), ("x", "y"), ("y", "z"), ("z", "d")],
+            permitted={
+                "x": [("x", "y", "d"), ("x", "y", "z", "d"), ("x", "d")],
+                "y": [("y", "d"), ("y", "z", "d")],
+                "z": [("z", "d")],
+            },
+            rank={
+                "x": {("x", "y", "d"): 0, ("x", "y", "z", "d"): 0, ("x", "d"): 1},
+                "y": {("y", "d"): 0, ("y", "z", "d"): 1},
+                "z": {("z", "d"): 0},
+            },
+        )
+        assert instance.rank_of("x", ("x", "y", "d")) == 0
+
+    def test_rejects_ranking_domain_mismatch(self):
+        with pytest.raises(SPPValidationError, match="ranking"):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d"), ("x", "y"), ("y", "d")],
+                permitted={"x": [("x", "d")], "y": [("y", "d")]},
+                rank={
+                    "x": {("x", "d"): 0, ("x", "y", "d"): 1},
+                    "y": {("y", "d"): 0},
+                },
+            )
+
+    def test_rejects_unknown_node_paths(self):
+        with pytest.raises(SPPValidationError):
+            SPPInstance(
+                dest="d",
+                edges=[("x", "d")],
+                permitted={"w": [("w", "d")]},
+            )
+
+
+class TestPolicyQueries:
+    def test_rank_and_preference(self):
+        instance = tiny()
+        assert instance.rank_of("x", ("x", "y", "d")) == 0
+        assert instance.rank_of("x", ("x", "d")) == 1
+        assert instance.prefers("x", ("x", "y", "d"), ("x", "d"))
+        assert not instance.prefers("x", ("x", "d"), ("x", "y", "d"))
+
+    def test_any_path_preferred_to_epsilon(self):
+        instance = tiny()
+        assert instance.prefers("x", ("x", "d"), EPSILON)
+        assert not instance.prefers("x", EPSILON, ("x", "d"))
+        assert not instance.prefers("x", EPSILON, EPSILON)
+
+    def test_best_choice_picks_lowest_rank(self):
+        instance = tiny()
+        best = instance.best_choice("x", [("x", "d"), ("x", "y", "d")])
+        assert best == ("x", "y", "d")
+
+    def test_best_choice_ignores_non_permitted(self):
+        instance = tiny()
+        assert instance.best_choice("x", [("x", "q", "d")]) == EPSILON
+
+    def test_best_choice_of_nothing_is_epsilon(self):
+        instance = tiny()
+        assert instance.best_choice("x", []) == EPSILON
+        assert instance.best_choice("x", [EPSILON, EPSILON]) == EPSILON
+
+    def test_feasible_extension(self):
+        instance = tiny()
+        assert instance.feasible_extension("x", ("y", "d")) == ("x", "y", "d")
+        assert instance.feasible_extension("x", ("d",)) == ("x", "d")
+
+    def test_feasible_extension_loop_is_withdrawal(self):
+        instance = tiny()
+        assert instance.feasible_extension("y", ("x", "y", "d")) == EPSILON
+
+    def test_feasible_extension_unpermitted_is_withdrawal(self):
+        instance = tiny()
+        # y permits only yd, so y·xd is infeasible.
+        assert instance.feasible_extension("y", ("x", "d")) == EPSILON
+
+    def test_preference_order(self):
+        instance = tiny()
+        assert instance.preference_order("x") == (("x", "y", "d"), ("x", "d"))
+
+    def test_describe_mentions_all_nodes(self):
+        text = tiny().describe()
+        assert "xyd > xd" in text
+        assert "'y'" in text
+
+    def test_all_paths_enumeration(self):
+        pairs = list(tiny().all_paths())
+        assert (("x"), ("x", "y", "d")) in [(n, p) for n, p in pairs]
+        assert len(pairs) == 4  # xyd, xd, yd, d

@@ -1,0 +1,143 @@
+"""Tests for activation entries (the quadruples of Def. 2.2)."""
+
+import pytest
+
+from repro.core.instances import disagree
+from repro.engine.activation import INFINITY, ActivationEntry
+
+
+class TestValidation:
+    def test_requires_a_node(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ActivationEntry(nodes=[])
+
+    def test_receiver_must_update(self):
+        # Channel (u, v) demands v ∈ U.
+        with pytest.raises(ValueError, match="receiver"):
+            ActivationEntry(nodes=["x"], channels=[("x", "y")], reads={("x", "y"): 1})
+
+    def test_reads_default_to_one(self):
+        entry = ActivationEntry(nodes=["y"], channels=[("x", "y")])
+        assert entry.read_count(("x", "y")) == 1
+
+    def test_reads_domain_must_match_channels(self):
+        with pytest.raises(ValueError, match="f must be defined"):
+            ActivationEntry(
+                nodes=["y"],
+                channels=[("x", "y")],
+                reads={("x", "y"): 1, ("d", "y"): 1},
+            )
+
+    def test_negative_read_count_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationEntry(
+                nodes=["y"], channels=[("x", "y")], reads={("x", "y"): -1}
+            )
+
+    def test_fractional_read_count_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationEntry(
+                nodes=["y"], channels=[("x", "y")], reads={("x", "y"): 1.5}
+            )
+
+    def test_drop_requires_processed_channel(self):
+        with pytest.raises(ValueError, match="unprocessed"):
+            ActivationEntry(
+                nodes=["y"],
+                channels=[("x", "y")],
+                reads={("x", "y"): 1},
+                drops={("d", "y"): {1}},
+            )
+
+    def test_drop_indices_bounded_by_f(self):
+        # Def. 2.2: 0 < f < ∞ requires g ⊆ {1..f}.
+        with pytest.raises(ValueError, match="exceed"):
+            ActivationEntry(
+                nodes=["y"],
+                channels=[("x", "y")],
+                reads={("x", "y"): 2},
+                drops={("x", "y"): {3}},
+            )
+
+    def test_drop_with_zero_reads_rejected(self):
+        # Def. 2.2: f = 0 requires g = ∅.
+        with pytest.raises(ValueError, match="empty"):
+            ActivationEntry(
+                nodes=["y"],
+                channels=[("x", "y")],
+                reads={("x", "y"): 0},
+                drops={("x", "y"): {1}},
+            )
+
+    def test_drop_indices_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ActivationEntry(
+                nodes=["y"],
+                channels=[("x", "y")],
+                reads={("x", "y"): 2},
+                drops={("x", "y"): {0}},
+            )
+
+    def test_infinite_reads_allow_any_drop_indices(self):
+        entry = ActivationEntry(
+            nodes=["y"],
+            channels=[("x", "y")],
+            reads={("x", "y"): INFINITY},
+            drops={("x", "y"): {1, 5, 9}},
+        )
+        assert entry.drop_set(("x", "y")) == {1, 5, 9}
+
+
+class TestValueSemantics:
+    def test_hashable_and_equal(self):
+        a = ActivationEntry.single("y", ("x", "y"), count=2, drop=(1,))
+        b = ActivationEntry.single("y", ("x", "y"), count=2, drop=(1,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_reads_distinct_entries(self):
+        a = ActivationEntry.single("y", ("x", "y"), count=1)
+        b = ActivationEntry.single("y", ("x", "y"), count=2)
+        assert a != b
+
+    def test_repr_shows_infinity(self):
+        entry = ActivationEntry.single("y", ("x", "y"), count=INFINITY)
+        assert "∞" in repr(entry)
+
+
+class TestAccessors:
+    def test_node_for_single(self):
+        assert ActivationEntry.single("y", ("x", "y")).node == "y"
+
+    def test_node_rejects_multi(self):
+        entry = ActivationEntry(nodes=["x", "y"])
+        with pytest.raises(ValueError, match="more than one"):
+            entry.node
+
+    def test_channels_of(self):
+        entry = ActivationEntry(
+            nodes=["x", "y"],
+            channels=[("d", "x"), ("d", "y"), ("y", "x")],
+            reads={("d", "x"): 1, ("d", "y"): 1, ("y", "x"): 1},
+        )
+        assert entry.channels_of("x") == (("d", "x"), ("y", "x"))
+        assert entry.channels_of("y") == (("d", "y"),)
+
+
+class TestConstructors:
+    def test_single_with_no_channel(self):
+        entry = ActivationEntry.single("x")
+        assert entry.channels == frozenset()
+
+    def test_poll_all(self):
+        instance = disagree()
+        entry = ActivationEntry.poll_all(instance, "x")
+        assert entry.channels == frozenset(instance.in_channels("x"))
+        assert all(count is INFINITY for count in entry.reads.values())
+
+    def test_read_one_each(self):
+        instance = disagree()
+        entry = ActivationEntry.read_one_each(instance, "x")
+        assert entry.channels == frozenset(instance.in_channels("x"))
+        assert all(count == 1 for count in entry.reads.values())

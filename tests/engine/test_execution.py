@@ -1,0 +1,217 @@
+"""Tests for the step semantics of Def. 2.3."""
+
+import pytest
+
+from repro.core.builders import SPPBuilder
+from repro.core.instances import disagree, linear_chain
+from repro.core.paths import EPSILON
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.engine.execution import Execution, apply_entry
+
+
+def kick(execution):
+    """Activate d once so it announces itself."""
+    execution.step(ActivationEntry.single("d", ("x", "d")))
+
+
+class TestDestinationKickoff:
+    def test_first_activation_announces(self, disagree):
+        execution = Execution(disagree)
+        record = kick(execution) or execution.trace.records[-1]
+        record = execution.trace.records[-1]
+        assert record.announcements
+        assert execution.state.channel_contents(("d", "x")) == (("d",),)
+        assert execution.state.channel_contents(("d", "y")) == (("d",),)
+
+    def test_second_activation_is_silent(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        execution.step(ActivationEntry.single("d", ("y", "d")))
+        assert not execution.trace.records[-1].announcements
+
+
+class TestReading:
+    def test_learning_a_route(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        record = execution.step(ActivationEntry.single("x", ("d", "x")))
+        assert execution.state.path_of("x") == ("x", "d")
+        assert record.changes == {"x": (EPSILON, ("x", "d"))}
+        assert record.learned[("d", "x")] == ("d",)
+        assert execution.state.known_route(("d", "x")) == ("d",)
+        # The read drained the channel.
+        assert execution.state.channel_contents(("d", "x")) == ()
+
+    def test_reading_empty_channel_is_noop(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        before = execution.state
+        execution.step(ActivationEntry.single("x", ("y", "x")))
+        assert execution.state == before
+
+    def test_f_larger_than_queue_processes_min(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        record = execution.step(ActivationEntry.single("x", ("d", "x"), count=99))
+        assert record.processed[("d", "x")] == (("d",),)
+
+    def test_f_zero_processes_nothing(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        record = execution.step(ActivationEntry.single("x", ("d", "x"), count=0))
+        assert record.processed[("d", "x")] == ()
+        assert execution.state.channel_contents(("d", "x")) == (("d",),)
+
+    def test_batch_read_uses_last_message(self):
+        """Multiple queued announcements: ρ takes the newest (FIFO order)."""
+        instance = disagree()
+        execution = Execution(instance)
+        kick(execution)
+        execution.step(ActivationEntry.single("x", ("d", "x")))  # x→xd, announces
+        execution.step(ActivationEntry.single("y", ("d", "y")))  # y→yd, announces
+        execution.step(ActivationEntry.single("x", ("y", "x")))  # x→xyd, announces
+        # Channel (x, y) now holds [xd, xyd]; y reads both at once.
+        assert execution.state.channel_contents(("x", "y")) == (
+            ("x", "d"), ("x", "y", "d"),
+        )
+        execution.step(ActivationEntry.single("y", ("x", "y"), count=INFINITY))
+        # ρ = xyd, infeasible at y (loop) → y keeps/falls back to yd.
+        assert execution.state.known_route(("x", "y")) == ("x", "y", "d")
+        assert execution.state.path_of("y") == ("y", "d")
+
+
+class TestDrops:
+    def test_dropped_message_leaves_rho_unchanged(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        record = execution.step(
+            ActivationEntry.single("x", ("d", "x"), count=1, drop=(1,))
+        )
+        # The message is consumed but not delivered.
+        assert execution.state.channel_contents(("d", "x")) == ()
+        assert execution.state.known_route(("d", "x")) == EPSILON
+        assert execution.state.path_of("x") == EPSILON
+        assert not record.learned
+
+    def test_partial_drop_delivers_last_survivor(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        execution.step(ActivationEntry.single("y", ("d", "y")))
+        execution.step(ActivationEntry.single("x", ("y", "x")))
+        # (x, y) = [xd, xyd]; drop the second → ρ = xd.
+        execution.step(
+            ActivationEntry.single("y", ("x", "y"), count=2, drop=(2,))
+        )
+        assert execution.state.known_route(("x", "y")) == ("x", "d")
+        assert execution.state.path_of("y") == ("y", "x", "d")
+
+
+class TestChoiceAndAnnouncement:
+    def test_withdrawal_via_loop_detection(self, disagree):
+        """The DISAGREE mechanism: learning a looping path acts as a
+        withdrawal of the neighbor's route."""
+        execution = Execution(disagree)
+        kick(execution)
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        execution.step(ActivationEntry.single("y", ("x", "y")))  # y learns xd → yxd
+        assert execution.state.path_of("y") == ("y", "x", "d")
+        execution.step(ActivationEntry.single("x", ("y", "x")))  # x learns yxd: loop
+        # x's candidate via y is infeasible; it keeps xd.
+        assert execution.state.path_of("x") == ("x", "d")
+
+    def test_announce_only_on_change(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        assert execution.trace.records[-1].announcements
+        # Re-reading an empty channel: no change, no announcement.
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        assert not execution.trace.records[-1].announcements
+
+    def test_explicit_epsilon_withdrawal_message(self):
+        """A node that loses its route announces ε (Ex. A.2 step 8)."""
+        from repro.analysis.experiments import FIG6_REO_SCHEDULE
+        from repro.core.instances import fig6_gadget
+
+        instance = fig6_gadget()
+        execution = Execution(instance)
+        # Steps 1..8 of the scripted trace; at t = 8 node u drops to ε.
+        execution.run_nodes(FIG6_REO_SCHEDULE[:8], kind="one-each")
+        assert execution.state.path_of("u") == EPSILON
+        record = execution.trace.records[-1]
+        assert ((("u", "v"), EPSILON)) in record.announcements
+        assert execution.state.channel_contents(("u", "v"))[-1] == EPSILON
+
+    def test_selected_source_recorded(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        record = execution.step(ActivationEntry.single("x", ("d", "x")))
+        assert record.selected_source["x"] == ("d", "x")
+
+
+class TestMultiNodeSteps:
+    def test_reads_precede_writes(self, disagree):
+        """With multiple updating nodes, all reads see the step's initial
+        channel contents (Ex. A.6 semantics)."""
+        execution = Execution(disagree)
+        kick(execution)
+        entry = ActivationEntry(
+            nodes=["x", "y"],
+            channels=[("d", "x"), ("d", "y")],
+            reads={("d", "x"): INFINITY, ("d", "y"): INFINITY},
+        )
+        execution.step(entry)
+        assert execution.state.path_of("x") == ("x", "d")
+        assert execution.state.path_of("y") == ("y", "d")
+        # Both announced into the cross channels, but neither read the
+        # other's announcement within the same step.
+        assert execution.state.channel_contents(("x", "y")) == (("x", "d"),)
+        assert execution.state.channel_contents(("y", "x")) == (("y", "d"),)
+
+
+class TestTrace:
+    def test_pi_sequence_and_assignment_after(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        trace = execution.trace
+        assert len(trace) == 2
+        assert trace.assignment_after(2)["x"] == ("x", "d")
+        assert len(trace.pi_sequence) == 2
+
+    def test_changed_steps(self, disagree):
+        execution = Execution(disagree)
+        kick(execution)  # changes nothing in π (d already (d,))
+        execution.step(ActivationEntry.single("x", ("d", "x")))  # change
+        execution.step(ActivationEntry.single("x", ("d", "x")))  # no change
+        assert execution.trace.changed_steps() == (1,)
+
+    def test_run_nodes_poll_kind(self):
+        instance = linear_chain(2)
+        execution = Execution(instance)
+        execution.run_nodes(["d", "n1", "n2"], kind="poll")
+        assert execution.state.path_of("n2") == ("n2", "n1", "d")
+
+    def test_run_nodes_rejects_unknown_kind(self, disagree):
+        with pytest.raises(ValueError, match="kind"):
+            Execution(disagree).run_nodes(["d"], kind="bogus")
+
+    def test_unknown_channel_rejected(self, disagree):
+        execution = Execution(disagree)
+        entry = ActivationEntry(
+            nodes=["q"], channels=[("w", "q")], reads={("w", "q"): 1}
+        )
+        with pytest.raises(ValueError, match="unknown channel"):
+            execution.step(entry)
+
+
+class TestExportPolicy:
+    def test_custom_export_policy_filters_announcements(self, disagree):
+        def no_exports(instance, node, neighbor, path):
+            return neighbor != "y"
+
+        execution = Execution(disagree, export_policy=no_exports)
+        kick(execution)
+        assert execution.state.channel_contents(("d", "x")) == (("d",),)
+        assert execution.state.channel_contents(("d", "y")) == ()

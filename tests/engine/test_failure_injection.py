@@ -1,0 +1,137 @@
+"""Failure injection: adversarial schedulers and loss patterns.
+
+The schedulers shipped with the package are fair by construction; these
+tests drive the engine with deliberately *hostile* (but legal) entries
+— starvation, maximal loss, withdrawal storms — and check that (a) the
+engine's state stays well-formed, (b) the fairness auditor flags the
+abuse, and (c) fairness-dependent guarantees really do hinge on
+fairness.
+"""
+
+import pytest
+
+from repro.core.instances import disagree, fig7_gadget, linear_chain
+from repro.core.paths import EPSILON
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.engine.convergence import is_fixed_point
+from repro.engine.execution import Execution
+from repro.engine.fairness import audit_schedule
+from repro.engine.metrics import measure
+
+
+class TestStarvation:
+    def test_starved_channel_blocks_convergence(self):
+        """Never servicing (d, n1) leaves the chain route-less forever —
+        and the auditor calls the schedule unfair."""
+        instance = linear_chain(2)
+        execution = Execution(instance)
+        schedule = [ActivationEntry.single("d", ("n1", "d"))]
+        execution.step(schedule[0])
+        for _ in range(30):
+            entry = ActivationEntry.single("n2", ("n1", "n2"))
+            schedule.append(entry)
+            execution.step(entry)
+        assert execution.state.path_of("n1") == EPSILON
+        assert execution.state.path_of("n2") == EPSILON
+        report = audit_schedule(instance, schedule)
+        assert ("d", "n1") in report.never_serviced
+        assert not report.is_fair_prefix
+
+    def test_starvation_is_never_a_fixed_point(self):
+        """A state with pending messages can't be mistaken for done."""
+        instance = linear_chain(1)
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("n1", "d")))
+        for _ in range(10):
+            assert not is_fixed_point(instance, execution.state)
+            execution.step(ActivationEntry.single("d", ("n1", "d")))
+
+
+class TestMaximalLoss:
+    def test_dropping_everything_freezes_the_network(self):
+        """All-drop processing consumes traffic but never teaches anyone
+        anything: π stays ε everywhere except d."""
+        instance = disagree()
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        schedule = []
+        for _ in range(40):
+            for channel in instance.channels:
+                pending = execution.state.message_count(channel)
+                if pending == 0:
+                    continue
+                entry = ActivationEntry.single(
+                    channel[1],
+                    channel,
+                    count=pending,
+                    drop=tuple(range(1, pending + 1)),
+                )
+                schedule.append(entry)
+                execution.step(entry)
+        assert execution.state.path_of("x") == EPSILON
+        assert execution.state.path_of("y") == EPSILON
+        if schedule:
+            report = audit_schedule(instance, schedule)
+            assert report.pending_drops  # the auditor sees the abuse
+
+    def test_total_loss_metrics(self):
+        instance = disagree()
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(
+            ActivationEntry.single("x", ("d", "x"), count=1, drop=(1,))
+        )
+        execution.step(
+            ActivationEntry.single("y", ("d", "y"), count=1, drop=(1,))
+        )
+        metrics = measure(execution.trace)
+        assert metrics.messages_dropped == 2
+        assert metrics.delivery_ratio == 0.0
+
+
+class TestWithdrawalStorm:
+    def test_flap_generates_bounded_backlog(self):
+        """Forcing x to flap between its routes floods (x, y); the queue
+        grows exactly one announcement per flap and drains correctly."""
+        instance = disagree()
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        execution.step(ActivationEntry.single("y", ("d", "y")))
+        flaps = 6
+        for _ in range(flaps):
+            # x alternately learns yd (→ xyd) and yxd (→ xd).
+            execution.step(ActivationEntry.single("x", ("y", "x")))
+            execution.step(ActivationEntry.single("y", ("x", "y")))
+        backlog = execution.state.message_count(("x", "d"))
+        # One per flap plus x's original xd announcement, none lost.
+        assert backlog == flaps + 1
+        # Draining processes them all in order; d is unbothered.
+        execution.step(
+            ActivationEntry.single("d", ("x", "d"), count=INFINITY)
+        )
+        assert execution.state.message_count(("x", "d")) == 0
+        assert execution.state.path_of("d") == ("d",)
+
+
+class TestHostileButFairEventuallyConverges:
+    def test_adversarial_prefix_then_fair_suffix(self):
+        """Any amount of abuse is forgiven: after an adversarial prefix,
+        a fair round-robin suffix still reaches the stable solution."""
+        from repro.engine.schedulers import RoundRobinScheduler
+        from repro.models.taxonomy import model
+
+        instance = fig7_gadget()
+        execution = Execution(instance)
+        # Abuse: drop d's announcements… but fairness says d's messages
+        # must eventually get through, so only drop the first of two.
+        execution.step(ActivationEntry.single("d", ("a", "d")))
+        execution.step(
+            ActivationEntry.single("a", ("d", "a"), count=1, drop=())
+        )
+        # Fair suffix.
+        scheduler = RoundRobinScheduler(instance, model("REA"))
+        for _ in range(80):
+            execution.step(scheduler.next_entry(execution.state))
+        assert is_fixed_point(instance, execution.state)
+        assert execution.state.path_of("s") == ("s", "u", "a", "d")

@@ -1,0 +1,90 @@
+"""Tests for fairness auditing of finite schedules."""
+
+import pytest
+
+from repro.core.instances import disagree
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.engine.fairness import audit_schedule, service_gaps
+
+
+def single(node, channel, count=1, drop=()):
+    return ActivationEntry.single(node, channel, count=count, drop=drop)
+
+
+class TestAudit:
+    def test_full_coverage_is_fair(self):
+        instance = disagree()
+        schedule = [
+            single(channel[1], channel) for channel in instance.channels
+        ]
+        report = audit_schedule(instance, schedule)
+        assert report.is_fair_prefix
+        assert set(report.service_counts.values()) == {1}
+
+    def test_starved_channel_detected(self):
+        instance = disagree()
+        schedule = [single("x", ("d", "x"))] * 5
+        report = audit_schedule(instance, schedule)
+        assert ("y", "x") in report.never_serviced
+        assert not report.is_fair_prefix
+
+    def test_zero_reads_do_not_count_as_service(self):
+        instance = disagree()
+        schedule = [single("x", ("d", "x"), count=0)]
+        report = audit_schedule(instance, schedule)
+        assert ("d", "x") in report.never_serviced
+
+    def test_trailing_total_drop_is_pending(self):
+        instance = disagree()
+        schedule = [single("x", ("d", "x"), count=1, drop=(1,))]
+        report = audit_schedule(instance, schedule)
+        assert ("d", "x") in report.pending_drops
+
+    def test_delivery_clears_pending_drop(self):
+        instance = disagree()
+        schedule = [
+            single("x", ("d", "x"), count=1, drop=(1,)),
+            single("x", ("d", "x"), count=1),
+        ]
+        report = audit_schedule(instance, schedule)
+        assert not report.pending_drops
+
+    def test_partial_drop_is_a_delivery(self):
+        instance = disagree()
+        schedule = [single("x", ("d", "x"), count=3, drop=(1, 2))]
+        report = audit_schedule(instance, schedule)
+        assert not report.pending_drops
+
+    def test_infinite_reads_count_as_delivery(self):
+        instance = disagree()
+        schedule = [single("x", ("d", "x"), count=INFINITY)]
+        report = audit_schedule(instance, schedule)
+        assert not report.pending_drops
+        assert report.service_counts[("d", "x")] == 1
+
+    def test_gap_computation(self):
+        instance = disagree()
+        schedule = (
+            [single(c[1], c) for c in instance.channels]
+            + [single("x", ("d", "x"))] * 10
+            + [single(c[1], c) for c in instance.channels]
+        )
+        report = audit_schedule(instance, schedule)
+        slowest = max(report.max_gaps.values())
+        assert slowest >= 10
+
+    def test_rejects_non_entries(self):
+        with pytest.raises(TypeError):
+            audit_schedule(disagree(), ["not-an-entry"])
+
+
+class TestServiceGaps:
+    def test_empty_schedule(self):
+        assert service_gaps(disagree(), []) == 0
+
+    def test_round_robin_has_small_gaps(self):
+        instance = disagree()
+        schedule = [
+            single(channel[1], channel) for channel in instance.channels
+        ] * 3
+        assert service_gaps(instance, schedule) <= len(instance.channels) + 1

@@ -1,0 +1,50 @@
+"""Tests for the FIFO channel queue."""
+
+import pytest
+
+from repro.engine.messages import ChannelQueue
+
+
+class TestChannelQueue:
+    def test_starts_empty(self):
+        queue = ChannelQueue()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_fifo_order(self):
+        queue = ChannelQueue()
+        queue.write(("x", "d"))
+        queue.write(("x", "y", "d"))
+        assert queue.take(1) == (("x", "d"),)
+        assert queue.take(1) == (("x", "y", "d"),)
+
+    def test_take_many(self):
+        queue = ChannelQueue([("a",), ("b",), ("c",)])
+        assert queue.take(2) == (("a",), ("b",))
+        assert len(queue) == 1
+
+    def test_take_too_many_raises(self):
+        queue = ChannelQueue([("a",)])
+        with pytest.raises(ValueError, match="cannot take"):
+            queue.take(2)
+
+    def test_peek_does_not_consume(self):
+        queue = ChannelQueue([("a",), ("b",)])
+        assert queue.peek(0) == ("a",)
+        assert queue.peek(1) == ("b",)
+        assert len(queue) == 2
+
+    def test_snapshot_is_immutable_copy(self):
+        queue = ChannelQueue([("a",)])
+        snapshot = queue.snapshot()
+        queue.write(("b",))
+        assert snapshot == (("a",),)
+
+    def test_iteration(self):
+        queue = ChannelQueue([("a",), ()])
+        assert list(queue) == [("a",), ()]
+
+    def test_messages_are_canonicalized_to_tuples(self):
+        queue = ChannelQueue()
+        queue.write(["x", "d"])
+        assert queue.take(1) == (("x", "d"),)

@@ -1,0 +1,119 @@
+"""Tests for execution metrics."""
+
+import pytest
+
+from repro.core.instances import disagree, fig6_gadget, linear_chain
+from repro.engine.activation import ActivationEntry
+from repro.engine.execution import Execution
+from repro.engine.metrics import ExecutionMetrics, measure
+from repro.engine.schedulers import RandomScheduler
+from repro.models.taxonomy import model
+
+from ..conftest import record_random_schedule
+
+
+class TestCounting:
+    def test_empty_trace(self):
+        metrics = measure(Execution(disagree()).trace)
+        assert metrics.steps == 0
+        assert metrics.announcements == 0
+        assert metrics.delivery_ratio == 1.0
+
+    def test_kickoff_announcements(self):
+        execution = Execution(disagree())
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        metrics = measure(execution.trace)
+        assert metrics.steps == 1
+        assert metrics.activations == 1
+        assert metrics.announcements == 2  # (d,x) and (d,y)
+        assert metrics.withdrawals == 0
+        assert metrics.route_changes == 0  # π_d was already (d,)
+
+    def test_withdrawal_counted(self):
+        from repro.analysis.experiments import FIG6_REO_SCHEDULE
+
+        execution = Execution(fig6_gadget())
+        execution.run_nodes(FIG6_REO_SCHEDULE[:8], kind="one-each")
+        metrics = measure(execution.trace)
+        assert metrics.withdrawals >= 1  # u's ε at t = 8
+
+    def test_drop_accounting(self):
+        execution = Execution(disagree())
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(
+            ActivationEntry.single("x", ("d", "x"), count=1, drop=(1,))
+        )
+        metrics = measure(execution.trace)
+        assert metrics.messages_processed == 1
+        assert metrics.messages_dropped == 1
+        assert metrics.delivery_ratio == 0.0
+
+    def test_churn_by_node(self):
+        execution = Execution(disagree())
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        execution.step(ActivationEntry.single("y", ("d", "y")))
+        execution.step(ActivationEntry.single("y", ("x", "y")))
+        metrics = measure(execution.trace)
+        assert metrics.churn_by_node["x"] == 1
+        assert metrics.churn_by_node["y"] == 2  # yd then yxd
+
+    def test_traffic_by_channel(self):
+        execution = Execution(linear_chain(2))
+        execution.run_nodes(["d", "n1", "n2"], kind="poll")
+        metrics = measure(execution.trace)
+        assert metrics.traffic_by_channel[("n1", "n2")] == 1
+
+    def test_multi_node_activations(self):
+        from repro.engine.activation import INFINITY
+
+        execution = Execution(disagree())
+        execution.step(
+            ActivationEntry(
+                nodes=["x", "y"],
+                channels=[("d", "x"), ("d", "y")],
+                reads={("d", "x"): INFINITY, ("d", "y"): INFINITY},
+            )
+        )
+        metrics = measure(execution.trace)
+        assert metrics.steps == 1
+        assert metrics.activations == 2
+
+
+class TestDerivedQuantities:
+    def test_chattiness(self):
+        metrics = ExecutionMetrics(announcements=10, route_changes=4)
+        assert metrics.announcements_per_change == 2.5
+
+    def test_chattiness_with_no_changes(self):
+        metrics = ExecutionMetrics(announcements=3, route_changes=0)
+        assert metrics.announcements_per_change == 3.0
+
+    def test_summary_renders(self):
+        instance = disagree()
+        execution = Execution(instance)
+        scheduler = RandomScheduler(instance, model("UMS"), seed=2, drop_prob=0.3)
+        for _ in range(50):
+            execution.step(scheduler.next_entry(execution.state))
+        text = measure(execution.trace).format_summary()
+        assert "announcements=" in text
+        assert "delivery=" in text
+
+
+class TestCrossModelShape:
+    def test_polling_processes_more_per_step(self):
+        """A-count reads drain whole queues: more messages processed per
+        activation than O-count reads, everything else equal."""
+        instance = fig6_gadget()
+        totals = {}
+        for name in ("REA", "REO"):
+            schedule = record_random_schedule(
+                instance, name, seed=3, steps=120, drop_prob=0
+            )
+            trace = Execution(instance).run(schedule)
+            metrics = measure(trace)
+            totals[name] = metrics
+        assert (
+            totals["REA"].messages_processed
+            >= totals["REO"].messages_processed
+        )

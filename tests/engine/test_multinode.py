@@ -1,0 +1,93 @@
+"""Tests for the multi-node explorer (Ex. A.6 and beyond)."""
+
+import pytest
+
+from repro.core.instances import disagree, good_gadget
+from repro.engine.execution import Execution
+from repro.engine.multinode import MultiNodeExplorer, can_oscillate_multinode
+from repro.models.dimensions import NodeConcurrency
+from repro.models.taxonomy import model
+
+
+class TestExampleA6:
+    def test_multinode_polling_oscillates_on_disagree(self):
+        """The paper's claim, proved exhaustively rather than by replay:
+        simultaneous R1A activation admits a fair oscillation."""
+        result = can_oscillate_multinode(disagree(), model("R1A"), queue_bound=2)
+        assert result.oscillates
+        assert result.complete
+
+    def test_modified_fairness_restores_safety(self):
+        """Ex. A.6's closing remark: if each channel must also be
+        activated alone infinitely often, the Ex. A.1 argument applies
+        and no oscillation survives."""
+        result = can_oscillate_multinode(
+            disagree(),
+            model("R1A"),
+            queue_bound=2,
+            require_solo_activations=True,
+        )
+        assert not result.oscillates
+        assert result.complete
+
+    def test_witness_replays(self):
+        result = can_oscillate_multinode(disagree(), model("R1A"), queue_bound=2)
+        witness = result.witness
+        assert witness is not None
+        execution = Execution(disagree())
+        for entry in witness.prefix + witness.cycle + witness.cycle:
+            execution.step(entry)
+        assert len(set(execution.trace.pi_sequence)) >= 2
+        # At least one step genuinely activates several nodes at once.
+        assert any(
+            len(entry.nodes) > 1 for entry in witness.prefix + witness.cycle
+        )
+
+
+class TestBeyondThePaper:
+    @pytest.mark.parametrize("name", ["REA", "RMA", "REO", "REF"])
+    def test_simultaneity_defeats_every_safe_model(self, name):
+        """All five single-node-safe models lose their DISAGREE safety
+        once lockstep activation is allowed — the two nodes mirror each
+        other's switches forever."""
+        result = can_oscillate_multinode(disagree(), model(name), queue_bound=2)
+        assert result.oscillates, name
+
+    @pytest.mark.parametrize("name", ["R1O", "RMS"])
+    def test_already_oscillating_models_still_oscillate(self, name):
+        result = can_oscillate_multinode(disagree(), model(name), queue_bound=2)
+        assert result.oscillates
+
+    @pytest.mark.parametrize("name", ["R1A", "REO", "RMS"])
+    def test_safe_instances_stay_safe_even_multinode(self, name):
+        """Simultaneity adds no divergence where no dispute exists."""
+        result = can_oscillate_multinode(
+            good_gadget(), model(name), queue_bound=2
+        )
+        assert not result.oscillates
+        assert result.complete
+
+
+class TestConstruction:
+    def test_requires_unrestricted_concurrency(self):
+        with pytest.raises(ValueError, match="UNRESTRICTED"):
+            MultiNodeExplorer(disagree(), model("R1A"))
+
+    def test_convenience_wrapper_lifts_concurrency(self):
+        # can_oscillate_multinode accepts a plain single-node model.
+        result = can_oscillate_multinode(disagree(), model("REA"), queue_bound=2)
+        assert result.model_name.endswith("[unrestricted]")
+
+    def test_entries_are_legal_for_the_lifted_model(self):
+        from repro.models.constraints import is_legal_entry
+
+        lifted = model("R1A").with_concurrency(NodeConcurrency.UNRESTRICTED)
+        explorer = MultiNodeExplorer(disagree(), lifted, queue_bound=2)
+        state = explorer.canonicalize(
+            Execution(disagree()).state
+        )
+        count = 0
+        for entry, _ in explorer.successors(state):
+            assert is_legal_entry(lifted, disagree(), entry)
+            count += 1
+        assert count >= 1  # at least the destination kickoff

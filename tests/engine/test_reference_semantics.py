@@ -1,0 +1,122 @@
+"""Differential testing against a literal Def. 2.3 reference.
+
+The production ``apply_entry`` is optimized (tuple reuse, memoized
+views, fast state construction).  This module re-implements the step
+semantics as a deliberately naive, obviously-faithful transliteration
+of Def. 2.3 and checks — across random instances, models, and fair
+random schedules — that the two implementations agree on every
+component of every state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import random_instance
+from repro.core.paths import EPSILON
+from repro.engine.activation import INFINITY
+from repro.engine.execution import apply_entry
+from repro.engine.schedulers import RandomScheduler
+from repro.engine.state import NetworkState
+from repro.models.taxonomy import ALL_MODELS
+
+
+def reference_apply(instance, state, entry):
+    """A naive transliteration of Def. 2.3 (with DESIGN.md's decisions).
+
+    No sharing, no early exits: rebuild everything from scratch.
+    """
+    pi = {node: state.path_of(node) for node in instance.nodes}
+    rho = {channel: state.known_route(channel) for channel in instance.channels}
+    channels = {
+        channel: list(state.channel_contents(channel))
+        for channel in instance.channels
+    }
+    announced = {node: state.last_announced(node) for node in instance.nodes}
+
+    # Step 2 of Def. 2.3: per processed channel, compute i, pick the
+    # last non-dropped processed message, delete the first i messages.
+    for channel in sorted(entry.channels, key=repr):
+        f = entry.read_count(channel)
+        m = len(channels[channel])
+        i = m if f is INFINITY else min(f, m)
+        kept = [
+            index
+            for index in range(1, i + 1)
+            if index not in entry.drop_set(channel)
+        ]
+        if kept:
+            rho[channel] = channels[channel][max(kept) - 1]
+        channels[channel] = channels[channel][i:]
+
+    # Step 3: every updating node picks its best feasible extension.
+    for node in entry.nodes:
+        if node == instance.dest:
+            pi[node] = (instance.dest,)
+            continue
+        best = EPSILON
+        for neighbor in instance.neighbors(node):
+            candidate = instance.feasible_extension(
+                node, rho[(neighbor, node)]
+            )
+            if candidate == EPSILON:
+                continue
+            if best == EPSILON or instance.rank_of(node, candidate) < (
+                instance.rank_of(node, best)
+            ):
+                best = candidate
+            elif instance.rank_of(node, candidate) == instance.rank_of(
+                node, best
+            ) and repr(candidate) < repr(best):
+                best = candidate
+        pi[node] = best
+
+    # Step 4: announce changes (vs the last announced value).
+    for node in entry.nodes:
+        if pi[node] != announced[node]:
+            for neighbor in instance.neighbors(node):
+                channels[(node, neighbor)].append(pi[node])
+            announced[node] = pi[node]
+
+    return NetworkState(
+        pi=pi,
+        rho=rho,
+        channels={c: tuple(ms) for c, ms in channels.items()},
+        announced=announced,
+    )
+
+
+model_indexes = st.integers(min_value=0, max_value=len(ALL_MODELS) - 1)
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+class TestDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, model_indexes)
+    def test_engine_matches_reference_on_random_runs(self, seed, model_index):
+        instance = random_instance(seed % 40, n_nodes=3)
+        model = ALL_MODELS[model_index]
+        scheduler = RandomScheduler(instance, model, seed=seed, drop_prob=0.3)
+        state = NetworkState.initial(instance)
+        for _ in range(25):
+            entry = scheduler.next_entry(state)
+            fast, _ = apply_entry(instance, state, entry)
+            slow = reference_apply(instance, state, entry)
+            assert fast == slow, f"divergence under {model.name} on {entry!r}"
+            state = fast
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_reference_agrees_on_paper_gadgets(self, seed):
+        from repro.core.instances import disagree, fig8_gadget
+
+        for instance in (disagree(), fig8_gadget()):
+            model = ALL_MODELS[seed % len(ALL_MODELS)]
+            scheduler = RandomScheduler(
+                instance, model, seed=seed, drop_prob=0.2
+            )
+            state = NetworkState.initial(instance)
+            for _ in range(20):
+                entry = scheduler.next_entry(state)
+                fast, _ = apply_entry(instance, state, entry)
+                assert fast == reference_apply(instance, state, entry)
+                state = fast

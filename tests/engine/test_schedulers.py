@@ -1,0 +1,110 @@
+"""Tests for the fair-by-construction schedulers."""
+
+import pytest
+
+from repro.core.instances import disagree, fig6_gadget
+from repro.engine.execution import Execution
+from repro.engine.fairness import audit_schedule
+from repro.engine.schedulers import RandomScheduler, RoundRobinScheduler
+from repro.models.constraints import is_legal_entry
+from repro.models.taxonomy import ALL_MODELS, model
+
+
+def drive(instance, scheduler, steps):
+    execution = Execution(instance)
+    schedule = []
+    for _ in range(steps):
+        entry = scheduler.next_entry(execution.state)
+        schedule.append(entry)
+        execution.step(entry)
+    return tuple(schedule), execution
+
+
+class TestLegality:
+    @pytest.mark.parametrize("m", ALL_MODELS, ids=lambda m: m.name)
+    def test_random_scheduler_emits_legal_entries(self, m):
+        instance = disagree()
+        scheduler = RandomScheduler(instance, m, seed=1)
+        schedule, _ = drive(instance, scheduler, 40)
+        for entry in schedule:
+            assert is_legal_entry(m, instance, entry)
+
+    @pytest.mark.parametrize("m", ALL_MODELS, ids=lambda m: m.name)
+    def test_round_robin_emits_legal_entries(self, m):
+        instance = disagree()
+        scheduler = RoundRobinScheduler(instance, m)
+        schedule, _ = drive(instance, scheduler, 40)
+        for entry in schedule:
+            assert is_legal_entry(m, instance, entry)
+
+
+class TestFairness:
+    def test_round_robin_services_every_channel(self):
+        instance = fig6_gadget()
+        scheduler = RoundRobinScheduler(instance, model("R1O"))
+        schedule, _ = drive(instance, scheduler, 200)
+        report = audit_schedule(instance, schedule)
+        assert report.is_fair_prefix
+        assert min(report.service_counts.values()) >= 2
+
+    def test_random_scheduler_service_guarantee(self):
+        instance = fig6_gadget()
+        scheduler = RandomScheduler(
+            instance, model("U1O"), seed=3, fairness_window=30
+        )
+        schedule, _ = drive(instance, scheduler, 400)
+        report = audit_schedule(instance, schedule)
+        assert not report.never_serviced
+        # The forced-service rule bounds every gap near the window.
+        assert max(report.max_gaps.values()) <= 30 + len(instance.channels)
+
+    def test_random_scheduler_eventually_delivers_after_drops(self):
+        instance = disagree()
+        scheduler = RandomScheduler(
+            instance, model("U1O"), seed=5, drop_prob=0.9
+        )
+        schedule, _ = drive(instance, scheduler, 300)
+        report = audit_schedule(instance, schedule)
+        # The consecutive-drop limiter prevents unbounded drop streaks.
+        assert not report.pending_drops
+
+
+class TestDeterminismAndVariety:
+    def test_random_scheduler_deterministic_by_seed(self):
+        instance = disagree()
+        a, _ = drive(instance, RandomScheduler(instance, model("RMS"), seed=7), 50)
+        b, _ = drive(instance, RandomScheduler(instance, model("RMS"), seed=7), 50)
+        assert a == b
+
+    def test_different_seeds_give_different_schedules(self):
+        instance = disagree()
+        a, _ = drive(instance, RandomScheduler(instance, model("RMS"), seed=1), 50)
+        b, _ = drive(instance, RandomScheduler(instance, model("RMS"), seed=2), 50)
+        assert a != b
+
+    def test_round_robin_cycles_nodes(self):
+        instance = disagree()
+        scheduler = RoundRobinScheduler(instance, model("REA"))
+        schedule, _ = drive(instance, scheduler, 6)
+        activated = [entry.node for entry in schedule]
+        assert activated[:3] == sorted(instance.nodes, key=repr)
+        assert activated[:3] == activated[3:6]
+
+    def test_round_robin_never_drops(self):
+        instance = disagree()
+        scheduler = RoundRobinScheduler(instance, model("UMS"))
+        schedule, _ = drive(instance, scheduler, 30)
+        for entry in schedule:
+            assert not entry.drops
+
+
+class TestReliableModelsNeverDrop:
+    @pytest.mark.parametrize(
+        "name", ["R1O", "RMS", "REA", "REF"], ids=str
+    )
+    def test_no_drops_under_reliable_models(self, name):
+        instance = disagree()
+        scheduler = RandomScheduler(instance, model(name), seed=2, drop_prob=0.9)
+        schedule, _ = drive(instance, scheduler, 60)
+        for entry in schedule:
+            assert not entry.drops

@@ -1,0 +1,85 @@
+"""Round-trip tests for schedule and trace serialization."""
+
+import json
+
+import pytest
+
+from repro.core.instances import disagree
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.engine.execution import Execution
+from repro.engine.serialization import (
+    entry_from_dict,
+    entry_to_dict,
+    schedule_from_json,
+    schedule_to_json,
+    trace_to_dict,
+)
+
+from ..conftest import record_random_schedule
+
+
+class TestEntryRoundTrip:
+    def test_simple_entry(self):
+        entry = ActivationEntry.single("x", ("d", "x"), count=2)
+        assert entry_from_dict(entry_to_dict(entry)) == entry
+
+    def test_infinite_count(self):
+        entry = ActivationEntry.single("x", ("d", "x"), count=INFINITY)
+        data = entry_to_dict(entry)
+        assert data["reads"][0][1] == "inf"
+        assert entry_from_dict(data) == entry
+
+    def test_drops(self):
+        entry = ActivationEntry.single("x", ("d", "x"), count=3, drop=(1, 3))
+        restored = entry_from_dict(entry_to_dict(entry))
+        assert restored.drop_set(("d", "x")) == {1, 3}
+        assert restored == entry
+
+    def test_multi_node_entry(self):
+        entry = ActivationEntry(
+            nodes=["x", "y"],
+            channels=[("d", "x"), ("d", "y")],
+            reads={("d", "x"): INFINITY, ("d", "y"): 1},
+        )
+        assert entry_from_dict(entry_to_dict(entry)) == entry
+
+    def test_invalid_count_rejected(self):
+        entry = ActivationEntry.single("x", ("d", "x"))
+        data = entry_to_dict(entry)
+        data["reads"][0][1] = -3
+        with pytest.raises(ValueError, match="invalid message count"):
+            entry_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    @pytest.mark.parametrize("model_name", ["R1O", "UMS", "REA"])
+    def test_random_schedules_roundtrip(self, model_name):
+        instance = disagree()
+        schedule = record_random_schedule(
+            instance, model_name, seed=5, steps=40, drop_prob=0.3
+        )
+        text = schedule_to_json(schedule)
+        json.loads(text)  # well-formed
+        assert schedule_from_json(text) == schedule
+
+    def test_replay_reproduces_pi_sequence(self):
+        instance = disagree()
+        schedule = record_random_schedule(instance, "U1S", seed=9, steps=50)
+        original = Execution(instance).run(schedule).pi_sequence
+        replayed = Execution(instance).run(
+            schedule_from_json(schedule_to_json(schedule))
+        ).pi_sequence
+        assert original == replayed
+
+
+class TestTraceSummary:
+    def test_trace_to_dict(self):
+        instance = disagree()
+        execution = Execution(instance)
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(ActivationEntry.single("x", ("d", "x")))
+        data = trace_to_dict(execution.trace)
+        assert data["instance"] == "DISAGREE"
+        assert len(data["schedule"]) == 2
+        assert data["assignments"][-1]["x"] == ["x", "d"]
+        json.dumps(data)  # JSON-able end to end

@@ -1,0 +1,94 @@
+"""Tests for immutable network-state snapshots."""
+
+from repro.core.instances import disagree
+from repro.core.paths import EPSILON
+from repro.engine.activation import ActivationEntry
+from repro.engine.execution import apply_entry
+from repro.engine.state import NetworkState
+
+
+class TestInitialState:
+    def test_definition_2_1(self):
+        instance = disagree()
+        state = NetworkState.initial(instance)
+        assert state.path_of("d") == ("d",)
+        assert state.path_of("x") == EPSILON
+        for channel in instance.channels:
+            assert state.known_route(channel) == EPSILON
+            assert state.channel_contents(channel) == ()
+        # Announcement registers start at ε — even for d, so that its
+        # first activation announces itself (Ex. A.1).
+        assert state.last_announced("d") == EPSILON
+
+    def test_initial_is_quiescent(self):
+        state = NetworkState.initial(disagree())
+        assert state.is_quiescent()
+        assert state.total_queued() == 0
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        instance = disagree()
+        a = NetworkState.initial(instance)
+        b = NetworkState.initial(instance)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_after_step(self):
+        instance = disagree()
+        initial = NetworkState.initial(instance)
+        stepped, _ = apply_entry(
+            instance, initial, ActivationEntry.single("d", ("x", "d"))
+        )
+        assert stepped != initial
+
+    def test_fast_constructor_matches_slow(self):
+        instance = disagree()
+        slow = NetworkState.initial(instance)
+        fast = NetworkState.from_instance_order(
+            instance,
+            pi=slow.pi,
+            rho=slow.rho,
+            channels=slow.channels,
+            announced=slow.announced,
+        )
+        assert fast == slow
+        assert hash(fast) == hash(slow)
+
+    def test_accessor_dicts_are_fresh_copies(self):
+        state = NetworkState.initial(disagree())
+        pi = state.pi
+        pi["x"] = ("x", "d")
+        assert state.path_of("x") == EPSILON  # snapshot unchanged
+
+
+class TestViews:
+    def test_message_count(self):
+        instance = disagree()
+        state = NetworkState.initial(instance)
+        stepped, _ = apply_entry(
+            instance, state, ActivationEntry.single("d", ("x", "d"))
+        )
+        assert stepped.message_count(("d", "x")) == 1
+        assert stepped.message_count(("y", "x")) == 0
+        assert stepped.total_queued() == 2  # d announced to x and y
+
+    def test_assignment_key_covers_pi_only(self):
+        instance = disagree()
+        state = NetworkState.initial(instance)
+        stepped, _ = apply_entry(
+            instance, state, ActivationEntry.single("d", ("x", "d"))
+        )
+        # d's π was already (d,); only channels changed.
+        assert stepped.assignment_key == state.assignment_key
+
+    def test_describe_lists_busy_channels(self):
+        instance = disagree()
+        state = NetworkState.initial(instance)
+        stepped, _ = apply_entry(
+            instance, state, ActivationEntry.single("d", ("x", "d"))
+        )
+        text = stepped.describe()
+        assert "π:" in text
+        assert "channels:" in text

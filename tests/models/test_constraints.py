@@ -1,0 +1,136 @@
+"""Tests for per-model activation-entry legality."""
+
+import pytest
+
+from repro.core.instances import disagree
+from repro.engine.activation import INFINITY, ActivationEntry
+from repro.models.constraints import (
+    entry_violations,
+    is_legal_entry,
+    require_legal_entry,
+)
+from repro.models.dimensions import NodeConcurrency
+from repro.models.taxonomy import model
+
+
+@pytest.fixture
+def instance():
+    return disagree()
+
+
+def single(node, channel, count=1, drop=()):
+    return ActivationEntry.single(node, channel, count=count, drop=drop)
+
+
+class TestScope:
+    def test_one_scope_requires_exactly_one_channel(self, instance):
+        entry = single("x", ("d", "x"))
+        assert is_legal_entry(model("R1O"), instance, entry)
+        two = ActivationEntry(
+            nodes=["x"],
+            channels=[("d", "x"), ("y", "x")],
+            reads={("d", "x"): 1, ("y", "x"): 1},
+        )
+        assert not is_legal_entry(model("R1O"), instance, two)
+        assert is_legal_entry(model("RMO"), instance, two)
+
+    def test_every_scope_requires_all_channels(self, instance):
+        entry = ActivationEntry.read_one_each(instance, "x")
+        assert is_legal_entry(model("REO"), instance, entry)
+        assert not is_legal_entry(model("REO"), instance, single("x", ("d", "x")))
+
+    def test_multiple_scope_allows_empty_set(self, instance):
+        entry = ActivationEntry(nodes=["x"])
+        assert is_legal_entry(model("RMO"), instance, entry)
+        assert not is_legal_entry(model("R1O"), instance, entry)
+
+    def test_non_incident_channel_rejected(self, instance):
+        entry = ActivationEntry(
+            nodes=["x"], channels=[("y", "x")], reads={("y", "x"): 1}
+        )
+        assert is_legal_entry(model("R1O"), instance, entry)
+        foreign = ActivationEntry(
+            nodes=["d"], channels=[("x", "d"), ("y", "d")],
+            reads={("x", "d"): 1, ("y", "d"): 1},
+        )
+        # d's channels; fine for RMO but wrong receiver for x.
+        assert is_legal_entry(model("RMO"), instance, foreign)
+
+
+class TestCount:
+    def test_one_count(self, instance):
+        assert is_legal_entry(model("R1O"), instance, single("x", ("d", "x"), 1))
+        assert not is_legal_entry(model("R1O"), instance, single("x", ("d", "x"), 2))
+        assert not is_legal_entry(
+            model("R1O"), instance, single("x", ("d", "x"), INFINITY)
+        )
+
+    def test_all_count(self, instance):
+        assert is_legal_entry(
+            model("R1A"), instance, single("x", ("d", "x"), INFINITY)
+        )
+        assert not is_legal_entry(model("R1A"), instance, single("x", ("d", "x"), 1))
+
+    def test_forced_count(self, instance):
+        assert is_legal_entry(model("R1F"), instance, single("x", ("d", "x"), 1))
+        assert is_legal_entry(model("R1F"), instance, single("x", ("d", "x"), 7))
+        assert is_legal_entry(
+            model("R1F"), instance, single("x", ("d", "x"), INFINITY)
+        )
+        assert not is_legal_entry(model("R1F"), instance, single("x", ("d", "x"), 0))
+
+    def test_some_count_unrestricted(self, instance):
+        for count in (0, 1, 5, INFINITY):
+            assert is_legal_entry(
+                model("R1S"), instance, single("x", ("d", "x"), count)
+            )
+
+
+class TestReliability:
+    def test_reliable_forbids_drops(self, instance):
+        entry = single("x", ("d", "x"), count=1, drop=(1,))
+        assert not is_legal_entry(model("R1O"), instance, entry)
+        assert is_legal_entry(model("U1O"), instance, entry)
+
+    def test_unreliable_allows_no_drops_too(self, instance):
+        entry = single("x", ("d", "x"))
+        assert is_legal_entry(model("U1O"), instance, entry)
+
+
+class TestConcurrency:
+    def test_one_node_per_step_enforced(self, instance):
+        entry = ActivationEntry(
+            nodes=["x", "y"],
+            channels=[("d", "x"), ("d", "y")],
+            reads={("d", "x"): 1, ("d", "y"): 1},
+        )
+        assert not is_legal_entry(model("R1O"), instance, entry)
+        multi = model("R1O").with_concurrency(NodeConcurrency.UNRESTRICTED)
+        assert is_legal_entry(multi, instance, entry)
+
+    def test_every_node_concurrency(self, instance):
+        every = model("RMS").with_concurrency(NodeConcurrency.EVERY)
+        entry = ActivationEntry(nodes=["x"])
+        assert not is_legal_entry(every, instance, entry)
+        all_nodes = ActivationEntry(nodes=list(instance.nodes))
+        assert is_legal_entry(every, instance, all_nodes)
+
+
+class TestErrors:
+    def test_violations_are_descriptive(self, instance):
+        entry = single("x", ("d", "x"), count=2, drop=(1,))
+        violations = entry_violations(model("R1O"), instance, entry)
+        assert len(violations) == 2  # wrong count and illegal drop
+        assert any("must be 1" in v for v in violations)
+        assert any("drop" in v for v in violations)
+
+    def test_require_legal_entry_raises_with_details(self, instance):
+        with pytest.raises(ValueError, match="illegal activation entry"):
+            require_legal_entry(
+                model("REA"), instance, single("x", ("d", "x"), INFINITY)
+            )
+
+    def test_require_legal_entry_passes_silently(self, instance):
+        require_legal_entry(
+            model("R1A"), instance, single("x", ("d", "x"), INFINITY)
+        )

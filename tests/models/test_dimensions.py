@@ -1,0 +1,73 @@
+"""Tests for the dimension enums and their generalization order."""
+
+import pytest
+
+from repro.models.dimensions import (
+    MessageCount,
+    NeighborScope,
+    NodeConcurrency,
+    Reliability,
+)
+
+
+class TestReliability:
+    def test_symbols(self):
+        assert Reliability.RELIABLE.symbol == "R"
+        assert Reliability.UNRELIABLE.symbol == "U"
+
+    def test_unreliable_generalizes_reliable(self):
+        assert Reliability.UNRELIABLE.generalizes(Reliability.RELIABLE)
+        assert not Reliability.RELIABLE.generalizes(Reliability.UNRELIABLE)
+
+    def test_reflexive(self):
+        for value in Reliability:
+            assert value.generalizes(value)
+
+
+class TestNeighborScope:
+    def test_symbols(self):
+        assert [s.symbol for s in NeighborScope] == ["1", "M", "E"]
+
+    def test_multiple_generalizes_both(self):
+        assert NeighborScope.MULTIPLE.generalizes(NeighborScope.ONE)
+        assert NeighborScope.MULTIPLE.generalizes(NeighborScope.EVERY)
+
+    def test_one_and_every_incomparable(self):
+        assert not NeighborScope.ONE.generalizes(NeighborScope.EVERY)
+        assert not NeighborScope.EVERY.generalizes(NeighborScope.ONE)
+
+    def test_reflexive(self):
+        for value in NeighborScope:
+            assert value.generalizes(value)
+
+
+class TestMessageCount:
+    def test_symbols(self):
+        assert [c.symbol for c in MessageCount] == ["O", "S", "F", "A"]
+
+    def test_some_generalizes_everything(self):
+        for other in MessageCount:
+            assert MessageCount.SOME.generalizes(other)
+
+    def test_forced_generalizes_one_and_all(self):
+        # The containments of Prop. 3.3(3).
+        assert MessageCount.FORCED.generalizes(MessageCount.ONE)
+        assert MessageCount.FORCED.generalizes(MessageCount.ALL)
+        assert not MessageCount.FORCED.generalizes(MessageCount.SOME)
+
+    def test_one_and_all_are_minimal(self):
+        for minimal in (MessageCount.ONE, MessageCount.ALL):
+            for other in MessageCount:
+                if other is not minimal:
+                    assert not minimal.generalizes(other)
+
+    def test_reflexive(self):
+        for value in MessageCount:
+            assert value.generalizes(value)
+
+
+class TestNodeConcurrency:
+    def test_unrestricted_generalizes(self):
+        assert NodeConcurrency.UNRESTRICTED.generalizes(NodeConcurrency.ONE)
+        assert NodeConcurrency.UNRESTRICTED.generalizes(NodeConcurrency.EVERY)
+        assert not NodeConcurrency.ONE.generalizes(NodeConcurrency.EVERY)

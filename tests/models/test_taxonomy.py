@@ -1,0 +1,127 @@
+"""Tests for the 24-model taxonomy."""
+
+import pytest
+
+from repro.models.dimensions import NodeConcurrency
+from repro.models.taxonomy import (
+    ALL_MODELS,
+    MESSAGE_PASSING_MODELS,
+    MODELS_BY_NAME,
+    POLLING_MODELS,
+    QUEUEING_MODELS,
+    RELIABLE_MODELS,
+    UNRELIABLE_MODELS,
+    model,
+    parse_model,
+)
+
+
+class TestRegistry:
+    def test_exactly_24_models(self):
+        assert len(ALL_MODELS) == 24
+        assert len(MODELS_BY_NAME) == 24
+
+    def test_split_by_reliability(self):
+        assert len(RELIABLE_MODELS) == 12
+        assert len(UNRELIABLE_MODELS) == 12
+
+    def test_lookup_by_name(self):
+        rma = model("RMA")
+        assert rma.name == "RMA"
+        assert model("rma") is rma  # case-insensitive, same object
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            model("XYZ")
+
+    def test_parse_model(self):
+        parsed = parse_model("u1o")
+        assert parsed.name == "U1O"
+        assert parsed == model("U1O")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_model("R1")
+        with pytest.raises(ValueError):
+            parse_model("Z1O")
+
+    def test_names_are_canonical(self):
+        for m in ALL_MODELS:
+            assert MODELS_BY_NAME[m.name] is m
+            assert len(m.name) == 3
+
+
+class TestFamilies:
+    def test_polling_models(self):
+        assert {m.name for m in POLLING_MODELS} == {
+            "R1A", "RMA", "REA", "U1A", "UMA", "UEA",
+        }
+
+    def test_message_passing_models(self):
+        assert {m.name for m in MESSAGE_PASSING_MODELS} == {
+            "R1O", "RMO", "REO", "U1O", "UMO", "UEO",
+        }
+
+    def test_queueing_models_per_the_paper(self):
+        # Sec. 2.3.3 names RMS and UMS as the queueing models.
+        assert {m.name for m in QUEUEING_MODELS} == {"RMS", "UMS"}
+
+    def test_reliability_flag(self):
+        assert model("RMS").is_reliable
+        assert not model("UMS").is_reliable
+
+
+class TestSyntacticContainment:
+    def test_prop_3_3_containments(self):
+        """Every containment used in Prop. 3.3's proof is syntactic."""
+        for scope in "1ME":
+            for count in "OSFA":
+                assert model(f"U{scope}{count}").syntactically_contains(
+                    model(f"R{scope}{count}")
+                )
+        for w in "RU":
+            for scope in "1ME":
+                assert model(f"{w}{scope}S").syntactically_contains(
+                    model(f"{w}{scope}F")
+                )
+                assert model(f"{w}{scope}F").syntactically_contains(
+                    model(f"{w}{scope}O")
+                )
+                assert model(f"{w}{scope}F").syntactically_contains(
+                    model(f"{w}{scope}A")
+                )
+            for count in "OSFA":
+                assert model(f"{w}M{count}").syntactically_contains(
+                    model(f"{w}1{count}")
+                )
+                assert model(f"{w}M{count}").syntactically_contains(
+                    model(f"{w}E{count}")
+                )
+
+    def test_non_containments(self):
+        assert not model("R1O").syntactically_contains(model("U1O"))
+        assert not model("REA").syntactically_contains(model("R1A"))
+        assert not model("R1O").syntactically_contains(model("R1A"))
+
+    def test_containment_reflexive(self):
+        for m in ALL_MODELS:
+            assert m.syntactically_contains(m)
+
+    def test_ums_contains_everything(self):
+        """UMS is the top of the syntactic order — why it realizes all."""
+        ums = model("UMS")
+        for m in ALL_MODELS:
+            assert ums.syntactically_contains(m)
+
+
+class TestConcurrencyExtension:
+    def test_with_concurrency(self):
+        multi = model("R1A").with_concurrency(NodeConcurrency.UNRESTRICTED)
+        assert multi.name == "R1A[unrestricted]"
+        assert multi != model("R1A")
+        assert multi.syntactically_contains(model("R1A"))
+        assert not model("R1A").syntactically_contains(multi)
+
+    def test_str_and_repr(self):
+        assert str(model("UEF")) == "UEF"
+        assert "UEF" in repr(model("UEF"))

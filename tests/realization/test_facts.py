@@ -1,0 +1,94 @@
+"""Tests for the foundational fact base."""
+
+from collections import Counter
+
+from repro.models.taxonomy import ALL_MODELS, model
+from repro.realization.facts import (
+    foundational_facts,
+    negative_facts,
+    positive_facts,
+)
+from repro.realization.relations import Level
+
+
+class TestPositiveFacts:
+    def test_identity_for_every_model(self):
+        identities = [
+            fact
+            for fact in positive_facts()
+            if fact.source == "identity"
+        ]
+        assert len(identities) == 24
+        for fact in identities:
+            assert fact.realized is fact.realizer
+            assert fact.bounds.lo == Level.EXACT
+
+    def test_prop_3_3_count(self):
+        by_source = Counter(fact.source for fact in positive_facts())
+        assert by_source["Prop. 3.3(1)"] == 12  # Uxy ⊇ Rxy
+        assert by_source["Prop. 3.3(2)"] == 6   # wxS ⊇ wxF
+        assert by_source["Prop. 3.3(3)"] == 12  # wxF ⊇ wxO, wxA
+        assert by_source["Prop. 3.3(4)"] == 16  # wMy ⊇ w1y, wEy
+        assert by_source["Prop. 3.4"] == 2
+        assert by_source["Thm. 3.5"] == 8
+        assert by_source["Prop. 3.6"] == 2
+        assert by_source["Thm. 3.7"] == 1
+
+    def test_thm_3_5_level(self):
+        for fact in positive_facts():
+            if fact.source == "Thm. 3.5":
+                assert fact.bounds.lo == Level.REPETITION
+                assert fact.realizer.scope.symbol == "1"
+                assert fact.realized.scope.symbol == "M"
+
+    def test_thm_3_7_connects_reliability_worlds(self):
+        (fact,) = [f for f in positive_facts() if f.source == "Thm. 3.7"]
+        assert fact.realized is model("U1O")
+        assert fact.realizer is model("R1S")
+        assert fact.bounds.lo == Level.EXACT
+
+
+class TestNegativeFacts:
+    def test_thm_3_8_blocks_five_models(self):
+        blocked = {
+            fact.realizer.name
+            for fact in negative_facts()
+            if fact.source == "Thm. 3.8"
+        }
+        assert blocked == {"REO", "REF", "R1A", "RMA", "REA"}
+        for fact in negative_facts():
+            if fact.source == "Thm. 3.8":
+                assert fact.realized is model("R1O")
+                assert fact.bounds.hi == Level.NONE
+
+    def test_thm_3_9_blocks_polling(self):
+        pairs = {
+            (fact.realized.name, fact.realizer.name)
+            for fact in negative_facts()
+            if fact.source == "Thm. 3.9"
+        }
+        assert pairs == {
+            (a, b)
+            for a in ("REO", "REF")
+            for b in ("R1A", "RMA", "REA")
+        }
+
+    def test_example_based_upper_bounds(self):
+        by_source = {fact.source: fact for fact in negative_facts()}
+        assert by_source["Prop. 3.10"].bounds.hi == Level.REPETITION
+        assert by_source["Prop. 3.11"].bounds.hi == Level.SUBSEQUENCE
+        assert by_source["Prop. 3.12"].bounds.hi == Level.REPETITION
+        assert by_source["Prop. 3.13"].bounds.hi == Level.REPETITION
+
+
+class TestCombined:
+    def test_every_fact_references_taxonomy_models(self):
+        models = set(ALL_MODELS)
+        for fact in foundational_facts():
+            assert fact.realized in models
+            assert fact.realizer in models
+
+    def test_str_is_informative(self):
+        fact = next(iter(foundational_facts()))
+        text = str(fact)
+        assert "realizes" in text

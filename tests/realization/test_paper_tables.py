@@ -1,0 +1,119 @@
+"""Tests for the verbatim transcription of Figures 3 and 4."""
+
+import pytest
+
+from repro.models.taxonomy import MODELS_BY_NAME, model
+from repro.realization.paper_tables import (
+    FIGURE3_COLUMNS,
+    FIGURE4_COLUMNS,
+    ROW_ORDER,
+    EntryComparison,
+    paper_bounds,
+    paper_matrix,
+    parse_cell,
+)
+from repro.realization.relations import Bounds, Level
+
+
+class TestParseCell:
+    @pytest.mark.parametrize(
+        "cell, expected",
+        [
+            ("4", Bounds.exactly(Level.EXACT)),
+            ("3", Bounds.exactly(Level.REPETITION)),
+            ("2", Bounds.exactly(Level.SUBSEQUENCE)),
+            ("-1", Bounds.exactly(Level.NONE)),
+            (">=3", Bounds.at_least(Level.REPETITION)),
+            (">=2", Bounds.at_least(Level.SUBSEQUENCE)),
+            ("<=2", Bounds(Level.NONE, Level.SUBSEQUENCE)),
+            ("<=3", Bounds(Level.NONE, Level.REPETITION)),
+            ("2,3", Bounds(Level.SUBSEQUENCE, Level.REPETITION)),
+            (".", Bounds()),
+            ("~", Bounds.exactly(Level.EXACT)),
+        ],
+    )
+    def test_notation(self, cell, expected):
+        assert parse_cell(cell) == expected
+
+
+class TestTableShape:
+    def test_row_and_column_orders(self):
+        assert len(ROW_ORDER) == 24
+        assert FIGURE3_COLUMNS == ROW_ORDER[:12]
+        assert FIGURE4_COLUMNS == ROW_ORDER[12:]
+        assert all(name in MODELS_BY_NAME for name in ROW_ORDER)
+
+    def test_full_coverage(self):
+        bounds = paper_bounds()
+        assert len(bounds) == 24 * 24  # both figures together
+
+    def test_diagonal_is_exact(self):
+        bounds = paper_bounds()
+        for name in ROW_ORDER:
+            m = MODELS_BY_NAME[name]
+            assert bounds[(m, m)] == Bounds.exactly(Level.EXACT)
+
+
+class TestSpotEntries:
+    """Spot-check cells against the figures as printed in the paper."""
+
+    @pytest.mark.parametrize(
+        "row, column, cell",
+        [
+            ("R1O", "RMO", "4"),
+            ("R1O", "REO", "-1"),
+            ("R1O", "REA", "-1"),
+            ("RMS", "R1F", "2,3"),
+            ("REF", "REO", "<=2"),
+            ("R1A", "RMA", "4"),
+            ("REA", "R1A", "3"),
+            ("U1O", "R1S", "4"),   # Thm. 3.7
+            ("UMA", "R1A", "<=3"),
+            ("R1A", "REF", "."),   # blank in the paper
+            ("REO", "UEO", "4"),
+            ("U1S", "U1O", ">=3"),
+            ("UEA", "UMA", "4"),
+            ("R1S", "U1S", "4"),
+        ],
+    )
+    def test_cell(self, row, column, cell):
+        bounds = paper_bounds()
+        key = (MODELS_BY_NAME[row], MODELS_BY_NAME[column])
+        assert bounds[key] == parse_cell(cell)
+
+
+class TestPaperMatrixAndComparison:
+    def test_paper_matrix_holds_published_values(self):
+        matrix = paper_matrix()
+        assert matrix.get(model("R1O"), model("RMS")) == Bounds.exactly(Level.EXACT)
+
+    def test_comparison_verdicts(self):
+        matrix = paper_matrix()
+        comparison = EntryComparison(
+            realized=model("R1O"),
+            realizer=model("RMS"),
+            published=Bounds.exactly(Level.EXACT),
+            derived=Bounds.exactly(Level.EXACT),
+        )
+        assert comparison.verdict == "match"
+        tighter = EntryComparison(
+            realized=model("R1O"),
+            realizer=model("RMS"),
+            published=Bounds.at_least(Level.REPETITION),
+            derived=Bounds.exactly(Level.EXACT),
+        )
+        assert tighter.verdict == "tighter"
+        looser = EntryComparison(
+            realized=model("R1O"),
+            realizer=model("RMS"),
+            published=Bounds.exactly(Level.EXACT),
+            derived=Bounds.at_least(Level.REPETITION),
+        )
+        assert looser.verdict == "looser"
+        contradiction = EntryComparison(
+            realized=model("R1O"),
+            realizer=model("RMS"),
+            published=Bounds.exactly(Level.EXACT),
+            derived=Bounds.exactly(Level.NONE),
+        )
+        assert contradiction.verdict == "contradiction"

@@ -1,0 +1,75 @@
+"""Tests for the realization-level interval algebra."""
+
+import pytest
+
+from repro.realization.relations import UNKNOWN, Bounds, Level
+
+
+class TestLevelOrder:
+    def test_strength_ordering(self):
+        assert Level.EXACT > Level.REPETITION > Level.SUBSEQUENCE
+        assert Level.SUBSEQUENCE > Level.OSCILLATION > Level.NONE
+
+    def test_short_rendering(self):
+        assert Level.EXACT.short == "4"
+        assert Level.NONE.short == "-1"
+
+
+class TestBounds:
+    def test_constructors(self):
+        assert Bounds.exactly(Level.EXACT) == Bounds(Level.EXACT, Level.EXACT)
+        assert Bounds.at_least(Level.REPETITION).hi == Level.EXACT
+        assert Bounds.at_most(Level.SUBSEQUENCE).lo == Level.NONE
+
+    def test_contradictory_bounds_rejected(self):
+        with pytest.raises(ValueError, match="contradictory"):
+            Bounds(lo=Level.EXACT, hi=Level.NONE)
+
+    def test_unknown(self):
+        assert UNKNOWN.is_unknown
+        assert not UNKNOWN.is_resolved
+
+    def test_tighten_intersects(self):
+        wide = Bounds.at_least(Level.SUBSEQUENCE)
+        cap = Bounds.at_most(Level.REPETITION)
+        assert wide.tighten(cap) == Bounds(Level.SUBSEQUENCE, Level.REPETITION)
+
+    def test_tighten_rejects_disjoint(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            Bounds.at_least(Level.REPETITION).tighten(
+                Bounds.at_most(Level.OSCILLATION)
+            )
+
+    def test_allows(self):
+        bounds = Bounds(Level.SUBSEQUENCE, Level.REPETITION)
+        assert bounds.allows(Level.SUBSEQUENCE)
+        assert bounds.allows(Level.REPETITION)
+        assert not bounds.allows(Level.EXACT)
+        assert not bounds.allows(Level.NONE)
+
+    def test_implies_containment(self):
+        inner = Bounds.exactly(Level.REPETITION)
+        outer = Bounds(Level.SUBSEQUENCE, Level.EXACT)
+        assert inner.implies(outer)
+        assert not outer.implies(inner)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "bounds, text",
+        [
+            (Bounds.exactly(Level.EXACT), "4"),
+            (Bounds.exactly(Level.REPETITION), "3"),
+            (Bounds.exactly(Level.SUBSEQUENCE), "2"),
+            (Bounds.exactly(Level.NONE), "-1"),
+            (Bounds.at_least(Level.REPETITION), ">=3"),
+            (Bounds(Level.NONE, Level.SUBSEQUENCE), "<=2"),
+            (Bounds(Level.SUBSEQUENCE, Level.REPETITION), "2,3"),
+            (UNKNOWN, ""),
+        ],
+    )
+    def test_paper_cell_notation(self, bounds, text):
+        assert bounds.render() == text
+
+    def test_str_of_unknown(self):
+        assert str(UNKNOWN) == "?"

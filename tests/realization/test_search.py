@@ -1,0 +1,140 @@
+"""Tests for the realization-sequence search (Examples A.3–A.5)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    FIG7_REO_SCHEDULE,
+    FIG8_REA_SCHEDULE,
+    FIG9_REA_SCHEDULE,
+)
+from repro.core import instances as canonical
+from repro.engine.execution import Execution
+from repro.models.taxonomy import model
+from repro.realization.search import RealizationSearch
+from repro.realization.verify import is_exact, is_repetition, is_subsequence
+
+
+def scripted_pi(instance, schedule, kind):
+    execution = Execution(instance)
+    execution.run_nodes(schedule, kind=kind)
+    return execution.trace.pi_sequence
+
+
+class TestPositiveControls:
+    """Sanity: searches find realizations when they obviously exist."""
+
+    def test_exact_self_realization(self):
+        instance = canonical.fig8_gadget()
+        target = scripted_pi(instance, FIG8_REA_SCHEDULE, "poll")
+        search = RealizationSearch(instance, model("REA"), queue_bound=4)
+        outcome = search.find_exact(target)
+        assert outcome.realizable
+        produced = Execution(instance).run(outcome.schedule).pi_sequence
+        assert is_exact(target, produced)
+
+    def test_rms_realizes_rea_trace_exactly(self):
+        # RMS exactly realizes REA (Figure 3).
+        instance = canonical.fig8_gadget()
+        target = scripted_pi(instance, FIG8_REA_SCHEDULE, "poll")
+        search = RealizationSearch(instance, model("RMS"), queue_bound=4)
+        outcome = search.find_exact(target)
+        assert outcome.realizable
+
+    def test_empty_target_trivially_realizable(self):
+        search = RealizationSearch(canonical.disagree(), model("R1O"))
+        outcome = search.find_exact(())
+        assert outcome.realizable
+        assert outcome.schedule == ()
+
+
+class TestExampleA3:
+    """Fig. 7: the REO execution is not exactly realizable in R1O."""
+
+    def test_impossible_exactly_in_r1o(self, fig7):
+        target = scripted_pi(fig7, FIG7_REO_SCHEDULE, "one-each")
+        search = RealizationSearch(fig7, model("R1O"), queue_bound=4)
+        outcome = search.find_exact(target)
+        assert outcome.proves_impossible
+
+    def test_possible_as_subsequence_in_r1o(self, fig7):
+        # The paper notes the obstruction forces a detour through svbd —
+        # so a subsequence realization does exist.
+        target = scripted_pi(fig7, FIG7_REO_SCHEDULE, "one-each")
+        search = RealizationSearch(fig7, model("R1O"), queue_bound=4)
+        outcome = search.find_subsequence(target, max_steps=24)
+        assert outcome.realizable
+        produced = Execution(fig7).run(outcome.schedule).pi_sequence
+        assert is_subsequence(target, produced)
+
+    def test_possible_exactly_in_rms(self, fig7):
+        target = scripted_pi(fig7, FIG7_REO_SCHEDULE, "one-each")
+        search = RealizationSearch(fig7, model("RMS"), queue_bound=4)
+        assert search.find_exact(target).realizable
+
+
+class TestExampleA4:
+    """Fig. 8: the REA execution is not realizable with repetition in
+    R1O, but is realizable as a subsequence."""
+
+    def test_impossible_with_repetition_in_r1o(self, fig8):
+        target = scripted_pi(fig8, FIG8_REA_SCHEDULE, "poll")
+        search = RealizationSearch(fig8, model("R1O"), queue_bound=4)
+        outcome = search.find_with_repetition(target)
+        assert outcome.proves_impossible
+
+    def test_possible_as_subsequence_in_r1o(self, fig8):
+        target = scripted_pi(fig8, FIG8_REA_SCHEDULE, "poll")
+        search = RealizationSearch(fig8, model("R1O"), queue_bound=4)
+        outcome = search.find_subsequence(target, max_steps=16)
+        assert outcome.realizable
+        produced = Execution(fig8).run(outcome.schedule).pi_sequence
+        assert is_subsequence(target, produced)
+        # The paper's own witness inserts suad just before subd.
+        assert not is_repetition(target, produced)
+
+    def test_paper_witness_schedule(self, fig8):
+        """The explicit R1O sequence from Ex. A.4: channels (d,a), (a,u),
+        (d,b), (b,u), (u,s), (u,s) — differs from the REA sequence only
+        by an interleaved suad."""
+        from repro.engine.activation import ActivationEntry
+
+        execution = Execution(fig8)
+        execution.step(ActivationEntry.single("d", ("a", "d")))  # kick d
+        for channel in [
+            ("d", "a"), ("a", "u"), ("d", "b"), ("b", "u"), ("u", "s"), ("u", "s"),
+        ]:
+            execution.step(ActivationEntry.single(channel[1], channel))
+        target = scripted_pi(fig8, FIG8_REA_SCHEDULE, "poll")
+        produced = execution.trace.pi_sequence
+        assert is_subsequence(target, produced)
+        s_paths = [state.path_of("s") for state in execution.trace.states]
+        assert ("s", "u", "a", "d") in s_paths  # the interleaved suad
+        assert s_paths[-1] == ("s", "u", "b", "d")
+
+
+class TestExampleA5:
+    """Fig. 9: the REA execution is not exactly realizable in R1S."""
+
+    def test_impossible_exactly_in_r1s(self, fig9):
+        target = scripted_pi(fig9, FIG9_REA_SCHEDULE, "poll")
+        search = RealizationSearch(fig9, model("R1S"), queue_bound=4)
+        outcome = search.find_exact(target)
+        assert outcome.proves_impossible
+
+    def test_possible_with_repetition_in_r1s(self, fig9):
+        # Figure 3 row REA, column R1S is "3": repetition is achievable.
+        target = scripted_pi(fig9, FIG9_REA_SCHEDULE, "poll")
+        search = RealizationSearch(fig9, model("R1S"), queue_bound=4)
+        outcome = search.find_with_repetition(target)
+        assert outcome.realizable
+        produced = Execution(fig9).run(outcome.schedule).pi_sequence
+        assert is_repetition(target, produced)
+
+
+class TestOutcomeSemantics:
+    def test_incomplete_outcome_is_not_a_proof(self, fig7):
+        target = scripted_pi(fig7, FIG7_REO_SCHEDULE, "one-each")
+        search = RealizationSearch(fig7, model("R1O"), max_visited=3)
+        outcome = search.find_exact(target)
+        if not outcome.realizable:
+            assert not outcome.proves_impossible

@@ -1,0 +1,158 @@
+"""Tests for the π-sequence relation checkers (Def. 3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.realization.verify import (
+    collapse_repeats,
+    is_exact,
+    is_repetition,
+    is_subsequence,
+    strongest_relation,
+)
+
+elements = st.sampled_from("abcd")
+sequences = st.lists(elements, min_size=0, max_size=8).map(tuple)
+nonempty = st.lists(elements, min_size=1, max_size=6).map(tuple)
+
+
+class TestExact:
+    def test_equal_sequences(self):
+        assert is_exact(("a", "b"), ("a", "b"))
+
+    def test_length_mismatch(self):
+        assert not is_exact(("a",), ("a", "a"))
+
+    def test_value_mismatch(self):
+        assert not is_exact(("a", "b"), ("a", "c"))
+
+    @given(sequences)
+    def test_reflexive(self, sequence):
+        assert is_exact(sequence, sequence)
+
+
+class TestRepetition:
+    def test_simple_expansion(self):
+        assert is_repetition(("a", "b"), ("a", "a", "b", "b", "b"))
+
+    def test_missing_element(self):
+        assert not is_repetition(("a", "b"), ("a", "a"))
+
+    def test_extra_element(self):
+        assert not is_repetition(("a", "b"), ("a", "c", "b"))
+
+    def test_order_matters(self):
+        assert not is_repetition(("a", "b"), ("b", "a"))
+
+    def test_adjacent_duplicates_need_enough_copies(self):
+        # Target [a, a] needs at least two a's — one block per element.
+        assert is_repetition(("a", "a"), ("a", "a"))
+        assert is_repetition(("a", "a"), ("a", "a", "a"))
+        assert not is_repetition(("a", "a"), ("a",))
+
+    def test_blocks_can_split_anywhere(self):
+        assert is_repetition(("a", "a", "b"), ("a", "a", "a", "b"))
+
+    def test_empty(self):
+        assert is_repetition((), ())
+        assert not is_repetition((), ("a",))
+        assert not is_repetition(("a",), ())
+
+    @given(sequences)
+    def test_exact_implies_repetition(self, sequence):
+        assert is_repetition(sequence, sequence)
+
+    @given(nonempty, st.lists(st.integers(min_value=1, max_value=3), min_size=6, max_size=6))
+    def test_constructed_expansions_validate(self, target, multipliers):
+        expanded = []
+        for index, value in enumerate(target):
+            expanded.extend([value] * multipliers[index % len(multipliers)])
+        assert is_repetition(target, tuple(expanded))
+
+    @given(nonempty, nonempty)
+    def test_repetition_implies_subsequence(self, target, candidate):
+        if is_repetition(target, candidate):
+            assert is_subsequence(target, candidate)
+
+
+class TestSubsequence:
+    def test_embedding_with_insertions(self):
+        assert is_subsequence(("a", "c"), ("a", "b", "c", "d"))
+
+    def test_order_preserved(self):
+        assert not is_subsequence(("c", "a"), ("a", "b", "c"))
+
+    def test_duplicates_require_duplicates(self):
+        assert not is_subsequence(("a", "a"), ("a", "b"))
+        assert is_subsequence(("a", "a"), ("a", "b", "a"))
+
+    def test_empty_target_always_embeds(self):
+        assert is_subsequence((), ("a",))
+        assert is_subsequence((), ())
+
+    @given(sequences, sequences)
+    def test_concatenation_embeds_both_orders(self, a, b):
+        assert is_subsequence(a, a + b)
+        assert is_subsequence(b, a + b)
+
+
+class TestCollapseAndStrongest:
+    def test_collapse(self):
+        assert collapse_repeats(("a", "a", "b", "b", "a")) == ("a", "b", "a")
+        assert collapse_repeats(()) == ()
+
+    def test_strongest_relation_ladder(self):
+        assert strongest_relation(("a", "b"), ("a", "b")) == "exact"
+        assert strongest_relation(("a", "b"), ("a", "a", "b")) == "repetition"
+        assert strongest_relation(("a", "b"), ("a", "c", "b")) == "subsequence"
+        assert strongest_relation(("a", "b"), ("b", "a")) == "none"
+
+    @given(sequences, sequences)
+    def test_strongest_is_consistent(self, target, candidate):
+        strongest = strongest_relation(target, candidate)
+        if strongest == "exact":
+            assert is_repetition(target, candidate)
+        if strongest in ("exact", "repetition"):
+            assert is_subsequence(target, candidate)
+
+
+class TestAgainstBruteForceDefinition:
+    """Cross-check the RLE-based repetition checker against a literal
+    enumeration of Def. 3.2's expansion functions f."""
+
+    @staticmethod
+    def _brute_force_repetition(target, candidate):
+        """Enumerate all strictly increasing f with f(0)=0 and blocks
+        covering the candidate; exponential, fine for tiny sizes."""
+        n, m = len(target), len(candidate)
+        if n == 0:
+            return m == 0
+        if m < n:
+            return False
+
+        def place(t_index, c_start):
+            if t_index == n:
+                return c_start == m
+            # Block for target[t_index] spans candidate[c_start:c_end).
+            for c_end in range(c_start + 1, m - (n - t_index - 1) + 1):
+                if all(
+                    candidate[k] == target[t_index]
+                    for k in range(c_start, c_end)
+                ):
+                    if place(t_index + 1, c_end):
+                        return True
+                else:
+                    break  # longer blocks only add mismatching items
+            return False
+
+        return place(0, 0)
+
+    @given(
+        st.lists(st.sampled_from("ab"), min_size=0, max_size=5).map(tuple),
+        st.lists(st.sampled_from("ab"), min_size=0, max_size=7).map(tuple),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_rle_checker_equals_definition(self, target, candidate):
+        assert is_repetition(target, candidate) == (
+            self._brute_force_repetition(target, candidate)
+        )

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("list", "matrix", "simulate", "explore", "trace", "experiments"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "RMS" in out and "queueing" in out
+        assert "disagree" in out
+
+    def test_matrix_figure3(self, capsys):
+        assert main(["matrix", "--figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "match=284" in out
+
+    def test_simulate_converging(self, capsys):
+        assert main(["simulate", "--instance", "good-gadget", "--model", "REA"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+
+    def test_simulate_diverging(self, capsys):
+        assert main([
+            "simulate", "--instance", "bad-gadget", "--model", "R1O",
+            "--max-steps", "120",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "converged: False" in out
+
+    def test_explore_oscillation(self, capsys):
+        assert main(["explore", "--instance", "disagree", "--model", "R1O"]) == 0
+        out = capsys.readouterr().out
+        assert "oscillates: True" in out
+        assert "witness" in out
+
+    def test_explore_safety(self, capsys):
+        assert main(["explore", "--instance", "disagree", "--model", "REA"]) == 0
+        out = capsys.readouterr().out
+        assert "oscillates: False" in out
+        assert "complete search: True" in out
+
+    @pytest.mark.parametrize("example", ["fig6", "fig7", "fig8", "fig9"])
+    def test_trace(self, example, capsys):
+        assert main(["trace", "--example", example]) == 0
+        out = capsys.readouterr().out
+        assert "U(t)" in out
+
+    def test_trace_fig8_content(self, capsys):
+        main(["trace", "--example", "fig8"])
+        out = capsys.readouterr().out
+        assert "subd" in out
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--instance", "nope"])
+
+
+class TestNewCommands:
+    def test_explain(self, capsys):
+        assert main(["explain", "REA", "R1O"]) == 0
+        out = capsys.readouterr().out
+        assert "R1O realizes REA: 2" in out
+        assert "Prop. 3.3" in out
+
+    def test_explain_unknown_cell_renders(self, capsys):
+        assert main(["explain", "R1A", "UEA"]) == 0
+        out = capsys.readouterr().out
+        assert "realizes" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--instance", "disagree"]) == 0
+        out = capsys.readouterr().out
+        assert "2 stable solution(s)" in out
+        assert "greedy construction succeeds: False" in out
+
+    def test_solve_good_gadget(self, capsys):
+        assert main(["solve", "--instance", "good-gadget"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stable solution(s)" in out
+        assert "greedy construction succeeds: True" in out
+
+    def test_wheel_present(self, capsys):
+        assert main(["wheel", "--instance", "bad-gadget"]) == 0
+        assert "DisputeWheel" in capsys.readouterr().out
+
+    def test_wheel_absent(self, capsys):
+        assert main(["wheel", "--instance", "chain"]) == 0
+        assert "no dispute wheel" in capsys.readouterr().out
+
+    def test_sat_satisfiable(self, capsys):
+        assert main(["sat", "1,-2;2,3;-1,-3"]) == 0
+        out = capsys.readouterr().out
+        assert "satisfying assignment" in out
+        assert "stable routing" in out
+
+    def test_sat_unsatisfiable(self, capsys):
+        assert main(["sat", "1;-1"]) == 0
+        out = capsys.readouterr().out
+        assert "UNSATISFIABLE" in out
+
+    def test_sat_bad_formula(self):
+        with pytest.raises(ValueError):
+            main(["sat", "foo"])

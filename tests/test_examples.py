@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their findings"
+
+
+def test_every_example_has_a_module_docstring():
+    for script in EXAMPLES:
+        source = script.read_text()
+        assert source.lstrip().startswith('"""'), script.name
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "disagree_oscillation",
+        "taxonomy_matrix",
+        "unreliable_channels",
+        "convergence_survey",
+        "bgp_commercial_policies",
+        "route_refresh",
+    } <= names

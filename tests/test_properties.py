@@ -1,0 +1,161 @@
+"""Property-based invariants of the execution engine (hypothesis).
+
+These run fair random executions over randomly generated instances
+under randomly drawn communication models and check structural
+invariants of Def. 2.1–2.3 that every other result in the repository
+quietly relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import random_instance
+from repro.core.paths import EPSILON, next_hop
+from repro.engine.execution import Execution, apply_entry
+from repro.engine.explorer import Explorer
+from repro.engine.schedulers import RandomScheduler
+from repro.engine.state import NetworkState
+from repro.models.taxonomy import ALL_MODELS
+
+model_indexes = st.integers(min_value=0, max_value=len(ALL_MODELS) - 1)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+SLOW = dict(max_examples=25, deadline=None)
+
+
+def run_random(seed: int, model_index: int, steps: int = 40):
+    instance = random_instance(seed % 50, n_nodes=3)
+    model = ALL_MODELS[model_index]
+    execution = Execution(instance)
+    scheduler = RandomScheduler(instance, model, seed=seed, drop_prob=0.25)
+    for _ in range(steps):
+        execution.step(scheduler.next_entry(execution.state))
+    return instance, model, execution
+
+
+class TestAssignmentInvariants:
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_assignments_are_permitted_or_empty(self, seed, model_index):
+        instance, _, execution = run_random(seed, model_index)
+        for state in execution.trace.states:
+            for node in instance.nodes:
+                path = state.path_of(node)
+                if node == instance.dest:
+                    assert path == (instance.dest,)
+                else:
+                    assert path == EPSILON or instance.is_permitted(node, path)
+
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_assignment_locally_consistent_with_knowledge(
+        self, seed, model_index
+    ):
+        """A non-empty π_v is the extension of its next hop's known route."""
+        instance, _, execution = run_random(seed, model_index)
+        state = execution.state
+        for node in instance.nodes:
+            path = state.path_of(node)
+            if node == instance.dest or path == EPSILON:
+                continue
+            hop = next_hop(path)
+            assert path == (node,) + tuple(state.known_route((hop, node)))
+
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_only_activated_nodes_change(self, seed, model_index):
+        instance, _, execution = run_random(seed, model_index)
+        previous = execution.trace.initial_state
+        for state, record in zip(execution.trace.states, execution.trace.records):
+            for node in instance.nodes:
+                if node not in record.entry.nodes:
+                    assert state.path_of(node) == previous.path_of(node)
+            previous = state
+
+
+class TestMessageInvariants:
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_in_flight_messages_are_senders_routes(self, seed, model_index):
+        instance, _, execution = run_random(seed, model_index)
+        for state in execution.trace.states:
+            for channel in instance.channels:
+                sender = channel[0]
+                for message in state.channel_contents(channel):
+                    if message == EPSILON:
+                        continue
+                    if sender == instance.dest:
+                        assert message == (instance.dest,)
+                    else:
+                        assert instance.is_permitted(sender, message)
+
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_announced_equals_assignment_after_activation(
+        self, seed, model_index
+    ):
+        instance, _, execution = run_random(seed, model_index)
+        activated: set = set()
+        for state, record in zip(execution.trace.states, execution.trace.records):
+            activated |= set(record.entry.nodes)
+            for node in activated:
+                assert state.last_announced(node) == state.path_of(node)
+
+
+class TestDeterminism:
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_replay_is_bitwise_identical(self, seed, model_index):
+        instance, _, execution = run_random(seed, model_index)
+        schedule = [record.entry for record in execution.trace.records]
+        replay = Execution(instance).run(schedule)
+        assert replay.pi_sequence == execution.trace.pi_sequence
+        assert replay.final_state == execution.state
+
+    @settings(**SLOW)
+    @given(seeds, model_indexes)
+    def test_apply_entry_is_pure(self, seed, model_index):
+        instance, _, execution = run_random(seed, model_index, steps=10)
+        state = execution.state
+        entry = execution.trace.records[-1].entry
+        first, _ = apply_entry(instance, state, entry)
+        second, _ = apply_entry(instance, state, entry)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestExplorerInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, model_indexes)
+    def test_canonicalize_is_idempotent_on_reachable_states(
+        self, seed, model_index
+    ):
+        instance, model, execution = run_random(seed, model_index, steps=15)
+        explorer = Explorer(instance, model)
+        state = explorer.canonicalize(execution.state)
+        assert explorer.canonicalize(state) == state
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, model_indexes)
+    def test_successors_preserve_invariants(self, seed, model_index):
+        instance, model, execution = run_random(seed, model_index, steps=10)
+        explorer = Explorer(instance, model)
+        state = explorer.canonicalize(execution.state)
+        for _, successor in explorer.successors(state):
+            for node in instance.nodes:
+                path = successor.path_of(node)
+                if node != instance.dest:
+                    assert path == EPSILON or instance.is_permitted(node, path)
+
+
+class TestInitialState:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_initial_state_matches_definition(self, seed):
+        instance = random_instance(seed % 50, n_nodes=4)
+        state = NetworkState.initial(instance)
+        assert state.path_of(instance.dest) == (instance.dest,)
+        assert state.is_quiescent()
+        for node in instance.nodes:
+            if node != instance.dest:
+                assert state.path_of(node) == EPSILON
