@@ -38,6 +38,56 @@ def test_explorer_state_throughput(benchmark):
     assert not result.oscillates
 
 
+def test_explorer_state_throughput_reference(benchmark):
+    """The didactic engine on the same search — the speedup denominator."""
+
+    def explore():
+        return Explorer(
+            fig6_gadget(),
+            model("REA"),
+            queue_bound=2,
+            max_states=100_000,
+            engine="reference",
+        ).explore()
+
+    result = benchmark(explore)
+    assert result.states_explored > 1000
+    assert not result.oscillates
+
+
+def test_compiled_replay_throughput(benchmark):
+    """The compiled Def. 2.3 step on a fixed recorded schedule."""
+    from repro.engine.compiled import replay_schedule
+
+    instance = fig6_gadget()
+    scheduler = RandomScheduler(instance, model("UMS"), seed=1, drop_prob=0.3)
+    execution = Execution(instance)
+    schedule = []
+    for _ in range(1000):
+        entry = scheduler.next_entry(execution.state)
+        schedule.append(entry)
+        execution.step(entry)
+
+    states = benchmark(replay_schedule, instance, schedule)
+    assert states == execution.trace.states
+
+
+def test_matrix_certification_speed(benchmark):
+    """All 24 models certified on DISAGREE — the matrix cross-check."""
+    from repro.analysis.experiments import (
+        MATRIX_CERTIFIED_SAFE,
+        matrix_certification,
+    )
+
+    cert = benchmark(matrix_certification, 1)
+    safe = frozenset(
+        name
+        for name, result in cert.items()
+        if not result.oscillates and result.complete
+    )
+    assert safe == MATRIX_CERTIFIED_SAFE
+
+
 def test_simulation_to_fixed_point(benchmark):
     def run():
         return simulate(fig6_gadget(), model("RMS"), seed=2, max_steps=4000)

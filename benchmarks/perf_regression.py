@@ -1,0 +1,148 @@
+"""Benchmark regression harness — writes ``BENCH_engine.json``.
+
+Runs the engine-throughput workloads that gate performance work (the
+fig6/REA explorer search, the Def. 2.3 step loop, and the 24-model
+matrix certification) under both execution cores and records absolute
+numbers plus the compiled-over-reference speedups::
+
+    PYTHONPATH=src python benchmarks/perf_regression.py [--out BENCH_engine.json]
+
+The JSON is committed alongside performance PRs so a regression shows
+up as a diff.  ``speedup.explorer_states`` is the headline number; the
+compiled engine must stay ≥ 3× the reference on the explorer workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.analysis.experiments import matrix_certification
+from repro.core.instances import fig6_gadget
+from repro.engine.compiled import replay_schedule
+from repro.engine.execution import Execution
+from repro.engine.explorer import Explorer
+from repro.engine.schedulers import RandomScheduler
+from repro.models.taxonomy import model
+
+MIN_EXPLORER_SPEEDUP = 3.0
+
+
+def _best_of(runs: int, fn):
+    """Best wall time over ``runs`` calls; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_explorer(engine: str, runs: int = 3) -> dict:
+    def explore():
+        return Explorer(
+            fig6_gadget(),
+            model("REA"),
+            queue_bound=2,
+            max_states=100_000,
+            engine=engine,
+        ).explore()
+
+    seconds, result = _best_of(runs, explore)
+    assert not result.oscillates and result.complete
+    return {
+        "engine": engine,
+        "states": result.states_explored,
+        "seconds": round(seconds, 4),
+        "states_per_sec": round(result.states_explored / seconds, 1),
+    }
+
+
+def bench_steps(runs: int = 3) -> dict:
+    instance = fig6_gadget()
+    scheduler = RandomScheduler(instance, model("UMS"), seed=1, drop_prob=0.3)
+    execution = Execution(instance)
+    schedule = []
+    for _ in range(1000):
+        entry = scheduler.next_entry(execution.state)
+        schedule.append(entry)
+        execution.step(entry)
+
+    ref_seconds, _ = _best_of(runs, lambda: Execution(instance).run(schedule))
+    cmp_seconds, states = _best_of(
+        runs, lambda: replay_schedule(instance, schedule)
+    )
+    assert states == execution.trace.states
+    return {
+        "steps": len(schedule),
+        "reference_steps_per_sec": round(len(schedule) / ref_seconds, 1),
+        "compiled_steps_per_sec": round(len(schedule) / cmp_seconds, 1),
+    }
+
+
+def bench_matrix(runs: int = 3) -> dict:
+    seconds, cert = _best_of(runs, lambda: matrix_certification(workers=1))
+    oscillating = sum(1 for result in cert.values() if result.oscillates)
+    assert oscillating == 14 and len(cert) == 24
+    return {
+        "models": len(cert),
+        "oscillating": oscillating,
+        "seconds": round(seconds, 4),
+    }
+
+
+def run(out_path: Path) -> dict:
+    compiled = bench_explorer("compiled")
+    reference = bench_explorer("reference")
+    steps = bench_steps()
+    matrix = bench_matrix()
+    explorer_speedup = round(
+        compiled["states_per_sec"] / reference["states_per_sec"], 2
+    )
+    step_speedup = round(
+        steps["compiled_steps_per_sec"] / steps["reference_steps_per_sec"], 2
+    )
+    report = {
+        "workload": "fig6_gadget REA queue_bound=2 (explorer), "
+        "fig6_gadget UMS 1000-step schedule (steps), "
+        "DISAGREE all 24 models (matrix)",
+        "python": platform.python_version(),
+        "explorer": {"compiled": compiled, "reference": reference},
+        "steps": steps,
+        "matrix_certification": matrix,
+        "speedup": {
+            "explorer_states": explorer_speedup,
+            "replay_steps": step_speedup,
+        },
+        "passes_min_speedup": explorer_speedup >= MIN_EXPLORER_SPEEDUP,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+    )
+    args = parser.parse_args()
+    report = run(Path(args.out))
+    print(json.dumps(report, indent=2))
+    if not report["passes_min_speedup"]:
+        print(
+            f"FAIL: explorer speedup {report['speedup']['explorer_states']}x "
+            f"< required {MIN_EXPLORER_SPEEDUP}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

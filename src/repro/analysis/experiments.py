@@ -32,9 +32,11 @@ from .stats import survey_convergence
 from .traces import matches_paper_trace
 
 __all__ = [
+    "MATRIX_CERTIFIED_SAFE",
     "MatrixExperiment",
     "OscillationExperiment",
     "TraceRealizationExperiment",
+    "matrix_certification",
     "experiment_figure3",
     "experiment_figure4",
     "experiment_disagree",
@@ -68,6 +70,10 @@ class MatrixExperiment:
     figure: str
     comparisons: list
     matrix_text: str
+    #: Optional explorer cross-check: model name → ExplorationResult on
+    #: DISAGREE (see :func:`matrix_certification`).  ``None`` when the
+    #: experiment ran without certification.
+    certification: "dict | None" = None
 
     @property
     def matches(self) -> int:
@@ -87,31 +93,93 @@ class MatrixExperiment:
 
     @property
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.figure}: {self.matches} entries match the paper, "
             f"{self.tighter} derived strictly tighter, "
             f"{len(self.problems)} problems\n"
             + reporting.render_comparison_summary(self.comparisons)
         )
+        if self.certification is not None:
+            oscillating = sorted(
+                name
+                for name, result in self.certification.items()
+                if result.oscillates
+            )
+            safe = sorted(
+                name
+                for name, result in self.certification.items()
+                if not result.oscillates and result.complete
+            )
+            text += (
+                f"\ncertified on DISAGREE: {len(oscillating)} models "
+                f"oscillate, {len(safe)} proved safe "
+                f"(safe: {', '.join(safe)})"
+            )
+        return text
 
 
-def experiment_figure3() -> MatrixExperiment:
-    """E1: regenerate Figure 3 (realization by reliable models)."""
+#: The models that provably cannot oscillate on DISAGREE — the five of
+#: Thm. 3.8 plus the unreliable twins the exhaustive search also proves
+#: safe (dropping messages does not rescue an oscillation here).
+MATRIX_CERTIFIED_SAFE = frozenset(
+    ("REO", "REF", "R1A", "RMA", "REA", "UEO", "UEF", "U1A", "UMA", "UEA")
+)
+
+
+def matrix_certification(
+    workers: "int | None" = 1, queue_bound: int = 3
+) -> dict:
+    """Explorer cross-check of the derived matrices on DISAGREE.
+
+    Runs the bounded model checker for **all 24 models** on the paper's
+    central counterexample and returns ``{model name: ExplorationResult}``.
+    The expected split (:data:`MATRIX_CERTIFIED_SAFE` versus the rest)
+    is exactly what the realization orderings behind Figures 3/4
+    predict, so the fan-out certifies the rule-derived matrices against
+    direct search.  Verdicts are identical for every ``workers`` value.
+    """
+    from ..engine.parallel import ExplorationTask, run_explorations
+    from ..models.taxonomy import ALL_MODELS
+
+    instance = canonical.disagree()
+    tasks = [
+        ExplorationTask(
+            instance=instance,
+            model_name=m.name,
+            key=(m.name,),
+            queue_bound=queue_bound,
+        )
+        for m in ALL_MODELS
+    ]
+    return {
+        key[0]: result
+        for key, result in run_explorations(tasks, workers=workers)
+    }
+
+
+def experiment_figure3(workers: "int | None" = None) -> MatrixExperiment:
+    """E1: regenerate Figure 3 (realization by reliable models).
+
+    With ``workers`` set, additionally runs :func:`matrix_certification`
+    across that many processes and attaches the verdicts.
+    """
     matrix = derive_matrix()
     return MatrixExperiment(
         figure="Figure 3",
         comparisons=compare_with_derived(matrix, columns=FIGURE3_COLUMNS),
         matrix_text=reporting.render_figure3(matrix),
+        certification=None if workers is None else matrix_certification(workers),
     )
 
 
-def experiment_figure4() -> MatrixExperiment:
+def experiment_figure4(workers: "int | None" = None) -> MatrixExperiment:
     """E2: regenerate Figure 4 (realization by unreliable models)."""
     matrix = derive_matrix()
     return MatrixExperiment(
         figure="Figure 4",
         comparisons=compare_with_derived(matrix, columns=FIGURE4_COLUMNS),
         matrix_text=reporting.render_figure4(matrix),
+        certification=None if workers is None else matrix_certification(workers),
     )
 
 
@@ -157,14 +225,27 @@ DISAGREE_OSCILLATING_MODELS = (
 )
 
 
-def experiment_disagree(queue_bound: int = 3) -> OscillationExperiment:
+def experiment_disagree(
+    queue_bound: int = 3, workers: "int | None" = 1
+) -> OscillationExperiment:
     """E3: DISAGREE oscillates in R1O & co. but never in the five
     models of Thm. 3.8."""
+    from ..engine.parallel import ExplorationTask, run_explorations
+
     instance = canonical.disagree()
     names = DISAGREE_OSCILLATING_MODELS + DISAGREE_SAFE_MODELS
-    results = {
-        name: can_oscillate(instance, model(name), queue_bound=queue_bound)
+    tasks = [
+        ExplorationTask(
+            instance=instance,
+            model_name=name,
+            key=(name,),
+            queue_bound=queue_bound,
+        )
         for name in names
+    ]
+    results = {
+        key[0]: result
+        for key, result in run_explorations(tasks, workers=workers)
     }
     return OscillationExperiment(
         instance_name=instance.name,
@@ -236,20 +317,33 @@ def run_fig6_reo_trace(extra_rounds: int = 8) -> "tuple":
 def experiment_fig6(
     polling_models: "tuple | None" = ("REA",),
     queue_bound: int = 2,
+    workers: "int | None" = 1,
 ) -> Fig6Experiment:
     """E4: Fig. 6 oscillates in REO but not in the polling models.
 
     ``polling_models`` defaults to REA only (seconds); pass
     ``("R1A", "RMA", "REA")`` for the full — minutes-long — Thm. 3.9
-    verification, as the benchmark does.
+    verification, as the benchmark does.  The polling explorations are
+    independent and fan out across ``workers`` processes.
     """
+    from ..engine.parallel import ExplorationTask, run_explorations
+
     _, matched, recurrence = run_fig6_reo_trace()
     instance = canonical.fig6_gadget()
-    results = {}
-    for name in polling_models or ():
-        results[name] = can_oscillate(
-            instance, model(name), queue_bound=queue_bound, max_states=2_000_000
+    tasks = [
+        ExplorationTask(
+            instance=instance,
+            model_name=name,
+            key=(name,),
+            queue_bound=queue_bound,
+            max_states=2_000_000,
         )
+        for name in polling_models or ()
+    ]
+    results = {
+        key[0]: result
+        for key, result in run_explorations(tasks, workers=workers)
+    }
     return Fig6Experiment(
         trace_matches=matched,
         recurrence=recurrence,
@@ -467,6 +561,7 @@ def experiment_convergence_rates(
     seeds_per_instance: int = 3,
     model_names: tuple = ("R1O", "REO", "RMS", "REA", "U1O", "UMS"),
     max_steps: int = 400,
+    workers: "int | None" = 1,
 ):
     """E10: convergence frequency per model on random policy instances."""
     instances = list(
@@ -477,6 +572,7 @@ def experiment_convergence_rates(
         [model(name) for name in model_names],
         seeds_per_instance=seeds_per_instance,
         max_steps=max_steps,
+        workers=workers,
     )
 
 

@@ -17,8 +17,6 @@ from statistics import mean
 from typing import Iterable, Sequence
 
 from ..core.spp import SPPInstance
-from ..engine.convergence import simulate
-from ..engine.schedulers import RandomScheduler
 from ..models.taxonomy import CommunicationModel
 
 __all__ = ["ModelStats", "ConvergenceSurvey", "survey_convergence"]
@@ -101,23 +99,34 @@ def survey_convergence(
     seeds_per_instance: int = 5,
     max_steps: int = 600,
     drop_prob: float = 0.2,
+    workers: "int | None" = 1,
 ) -> ConvergenceSurvey:
-    """Run the sweep: every instance × model × seed."""
+    """Run the sweep: every instance × model × seed.
+
+    Each (instance, model) pair becomes one :class:`SimulationTask`
+    carrying its explicit seed range, so the survey is deterministic
+    for every ``workers`` value: outcomes depend only on the seeds, and
+    the fan-out merges results in task order.  ``workers=None`` uses
+    one worker per core; ``workers=1`` runs in-process.
+    """
+    from ..engine.parallel import SimulationTask, run_simulations
+
     models = tuple(models)
     per_model = {m.name: ModelStats(model_name=m.name) for m in models}
-    for instance in instances:
-        for model in models:
-            for seed in range(seeds_per_instance):
-                scheduler = RandomScheduler(
-                    instance, model, seed=seed, drop_prob=drop_prob
-                )
-                result = simulate(
-                    instance,
-                    model,
-                    scheduler=scheduler,
-                    max_steps=max_steps,
-                )
-                per_model[model.name].record(result.converged, result.steps)
+    tasks = [
+        SimulationTask(
+            instance=instance,
+            model_name=model.name,
+            seeds=tuple(range(seeds_per_instance)),
+            max_steps=max_steps,
+            drop_prob=drop_prob,
+        )
+        for instance in instances
+        for model in models
+    ]
+    for (_, model_name), outcomes in run_simulations(tasks, workers=workers):
+        for converged, steps in outcomes:
+            per_model[model_name].record(converged, steps)
     return ConvergenceSurvey(
         per_model=per_model,
         instances=len(instances),

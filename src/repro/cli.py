@@ -48,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     matrix = sub.add_parser("matrix", help="derive and print Figures 3/4")
     matrix.add_argument("--figure", choices=("3", "4", "both"), default="both")
+    matrix.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the 24-model explorer certification "
+        "(verdicts are identical for every worker count)",
+    )
 
     sim = sub.add_parser("simulate", help="run one fair random execution")
     sim.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
@@ -60,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--model", default="R1O")
     explore.add_argument("--queue-bound", type=int, default=3)
     explore.add_argument("--max-states", type=int, default=500_000)
+    explore.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default="compiled",
+        help="execution core: the integer-interned fast path (default) "
+        "or the didactic reference search (identical verdicts)",
+    )
 
     trace = sub.add_parser("trace", help="print a scripted Appendix A execution")
     trace.add_argument("--example", choices=("fig6", "fig7", "fig8", "fig9"), default="fig6")
@@ -69,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="include the minutes-long exhaustive fig6 polling verification",
+    )
+    exp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the parallel exploration/simulation fan-outs "
+        "(results are identical for every worker count)",
     )
 
     explain = sub.add_parser(
@@ -117,19 +138,19 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_matrix(figure: str) -> int:
+def _cmd_matrix(figure: str, workers: int = 1) -> int:
     matrix = derive_matrix()
     if figure in ("3", "both"):
         print("Derived Figure 3 (rows: realized model; columns: reliable realizers)")
         print(reporting.render_figure3(matrix))
         print()
-        print(experiments.experiment_figure3().summary)
+        print(experiments.experiment_figure3(workers=workers).summary)
         print()
     if figure in ("4", "both"):
         print("Derived Figure 4 (rows: realized model; columns: unreliable realizers)")
         print(reporting.render_figure4(matrix))
         print()
-        print(experiments.experiment_figure4().summary)
+        print(experiments.experiment_figure4(workers=workers).summary)
     return 0
 
 
@@ -154,6 +175,7 @@ def _cmd_explore(args) -> int:
         model(args.model),
         queue_bound=args.queue_bound,
         max_states=args.max_states,
+        engine=args.engine,
     )
     print(f"instance: {instance.name}   model: {args.model}")
     print(
@@ -187,15 +209,19 @@ def _cmd_trace(example: str) -> int:
     return 0
 
 
-def _cmd_experiments(full: bool) -> int:
+def _cmd_experiments(full: bool, workers: int = 1) -> int:
     print("— E1/E2: Figures 3 and 4 —")
-    print(experiments.experiment_figure3().summary)
-    print(experiments.experiment_figure4().summary)
+    print(experiments.experiment_figure3(workers=workers).summary)
+    print(experiments.experiment_figure4(workers=workers).summary)
     print("\n— E3: DISAGREE (Ex. A.1) —")
-    print(experiments.experiment_disagree().summary)
+    print(experiments.experiment_disagree(workers=workers).summary)
     print("\n— E4: Fig. 6 separation (Ex. A.2) —")
     polling = ("R1A", "RMA", "REA") if full else ("REA",)
-    print(experiments.experiment_fig6(polling_models=polling).summary)
+    print(
+        experiments.experiment_fig6(
+            polling_models=polling, workers=workers
+        ).summary
+    )
     print("\n— E5/E6/E7: Figs. 7–9 (Ex. A.3–A.5) —")
     print(experiments.experiment_fig7().summary)
     print(experiments.experiment_fig8().summary)
@@ -222,7 +248,7 @@ def _cmd_experiments(full: bool) -> int:
     print("\n— E13: message overhead —")
     print(experiments.experiment_message_overhead().summary)
     print("\n— E10: convergence-rate survey —")
-    print(experiments.experiment_convergence_rates().format_table())
+    print(experiments.experiment_convergence_rates(workers=workers).format_table())
     return 0
 
 
@@ -294,7 +320,7 @@ def main(argv: "list | None" = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "matrix":
-        return _cmd_matrix(args.figure)
+        return _cmd_matrix(args.figure, workers=args.workers)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "explore":
@@ -302,7 +328,7 @@ def main(argv: "list | None" = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args.example)
     if args.command == "experiments":
-        return _cmd_experiments(args.full)
+        return _cmd_experiments(args.full, workers=args.workers)
     if args.command == "explain":
         return _cmd_explain(args.realized, args.realizer)
     if args.command == "solve":

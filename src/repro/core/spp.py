@@ -194,6 +194,30 @@ class SPPInstance:
         object.__setattr__(
             self, "_sorted_nodes_cache", tuple(sorted(nodes, key=repr))
         )
+        # Engine hot-path caches.  ``_selection_order`` is the per-node
+        # in-channel order used by best-response selection (repr-sorted
+        # by full channel, matching the historical per-step sort);
+        # ``_rank_table`` flattens the two-level ranking lookup; the
+        # feasible-extension memo is filled lazily because callers may
+        # probe arbitrary routes.
+        object.__setattr__(
+            self,
+            "_selection_order",
+            {
+                node: tuple(sorted(in_map[node], key=repr))
+                for node in nodes
+            },
+        )
+        object.__setattr__(
+            self,
+            "_rank_table",
+            {
+                (node, path): value
+                for node, ranking in self.rank.items()
+                for path, value in ranking.items()
+            },
+        )
+        object.__setattr__(self, "_feasible_cache", {})
 
     # ------------------------------------------------------------------
     # Graph accessors
@@ -228,6 +252,16 @@ class SPPInstance:
         """Channels on which ``node`` receives updates."""
         return self._in_channels_cache[node]
 
+    def selection_channels(self, node: Node) -> tuple:
+        """``in_channels(node)`` in the canonical selection (repr) order.
+
+        This is the order in which Def. 2.3 step 2 scans candidates when
+        recording which channel supplied the chosen path; it is hoisted
+        here so :func:`repro.engine.execution.apply_entry` does not
+        re-sort per step.
+        """
+        return self._selection_order[node]
+
     def out_channels(self, node: Node) -> tuple:
         """Channels on which ``node`` sends updates."""
         return self._out_channels_cache[node]
@@ -245,7 +279,9 @@ class SPPInstance:
 
     def rank_of(self, node: Node, path: Path) -> int:
         """The rank λ_v(path); raises ``KeyError`` for non-permitted paths."""
-        return self.rank[node][tuple(path)]
+        if type(path) is not tuple:
+            path = tuple(path)
+        return self._rank_table[(node, path)]
 
     def prefers(self, node: Node, first: Path, second: Path) -> bool:
         """Return True if ``node`` strictly prefers ``first`` to ``second``.
@@ -287,11 +323,22 @@ class SPPInstance:
         ``route`` is a neighbor's announced path (ending at the
         destination) or ε.  This implements the candidate formation of
         Def. 2.3 step 3: loops and non-permitted paths are infeasible.
+
+        Results are memoized per ``(node, route)`` — the engine asks for
+        the same handful of extensions on every step.
         """
-        extended = extend(node, tuple(route))
-        if is_empty(extended) or not self.is_permitted(node, extended):
-            return EPSILON
-        return extended
+        if type(route) is not tuple:
+            route = tuple(route)
+        key = (node, route)
+        cached = self._feasible_cache.get(key)
+        if cached is None:
+            extended = extend(node, route)
+            if is_empty(extended) or not self.is_permitted(node, extended):
+                cached = EPSILON
+            else:
+                cached = extended
+            self._feasible_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Introspection

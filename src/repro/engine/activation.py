@@ -70,6 +70,16 @@ class ActivationEntry:
                 )
             ),
         )
+        # Hoisted canonical orders: the engine consumes these on every
+        # applied step, so they are computed once here instead of being
+        # re-sorted per step (``_reads`` is already repr-sorted by
+        # channel, which makes the channel order free).
+        object.__setattr__(
+            self, "_sorted_nodes", tuple(sorted(node_set, key=repr))
+        )
+        object.__setattr__(
+            self, "_sorted_channels", tuple(c for c, _ in self._reads)
+        )
 
     @staticmethod
     def _validate(nodes, channels, reads, drops) -> None:
@@ -115,6 +125,16 @@ class ActivationEntry:
     def drops(self) -> dict:
         """The function g: channel → frozenset of dropped indices."""
         return {c: frozenset(g) for c, g in self._drops}
+
+    @property
+    def sorted_nodes(self) -> tuple:
+        """The updating nodes in the canonical (repr-sorted) step order."""
+        return self._sorted_nodes
+
+    @property
+    def sorted_channels(self) -> tuple:
+        """The processed channels in the canonical (repr-sorted) order."""
+        return self._sorted_channels
 
     def read_count(self, channel: Channel) -> "int | float":
         return dict(self._reads)[tuple(channel)]

@@ -86,7 +86,7 @@ def apply_entry(
     drops = entry.drops
 
     # --- Step 1: collect updates from the processed channels. ---------
-    for channel in sorted(entry.channels, key=repr):
+    for channel in entry.sorted_channels:
         if channel not in channels:
             raise ValueError(f"entry processes unknown channel {channel!r}")
         queue = channels[channel]
@@ -108,7 +108,7 @@ def apply_entry(
     # --- Steps 2-3: choose and record changes. -------------------------
     changes: dict = {}
     selected_source: dict = {}
-    for node in sorted(entry.nodes, key=repr):
+    for node in entry.sorted_nodes:
         if node == instance.dest:
             new_path = (instance.dest,)
         else:
@@ -118,10 +118,11 @@ def apply_entry(
             }
             new_path = instance.best_choice(node, candidates.values())
             source = None
-            for channel in sorted(candidates, key=repr):
-                if new_path != EPSILON and candidates[channel] == new_path:
-                    source = channel
-                    break
+            if new_path != EPSILON:
+                for channel in instance.selection_channels(node):
+                    if candidates[channel] == new_path:
+                        source = channel
+                        break
             selected_source[node] = source
         if new_path != pi[node]:
             changes[node] = (pi[node], new_path)
@@ -129,7 +130,7 @@ def apply_entry(
 
     # --- Step 4: announce changes. --------------------------------------
     announcements: list = []
-    for node in sorted(entry.nodes, key=repr):
+    for node in entry.sorted_nodes:
         if pi[node] == announced[node]:
             continue
         for out_channel in instance.out_channels(node):

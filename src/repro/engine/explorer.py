@@ -86,7 +86,21 @@ class ExplorationResult:
 
 
 class Explorer:
-    """Exhaustive bounded search of one (instance, model) state graph."""
+    """Exhaustive bounded search of one (instance, model) state graph.
+
+    ``engine`` selects the execution core: ``"compiled"`` (default)
+    runs the search on integer-packed states via
+    :mod:`repro.engine.compiled` — same verdicts, same witnesses,
+    several times faster — while ``"reference"`` runs the direct
+    Def. 2.1–2.3 implementation below.  The differential tests assert
+    the two are bit-identical; keep the reference path around as the
+    semantics of record (cf. Daggitt–Griffin on verified reference
+    models for policy-rich DBF protocols).
+    """
+
+    #: Class-level default so subclasses that bypass ``__init__`` (the
+    #: multi-node explorer) still resolve an engine attribute.
+    engine = "compiled"
 
     def __init__(
         self,
@@ -94,13 +108,17 @@ class Explorer:
         model: CommunicationModel,
         queue_bound: int = 3,
         max_states: int = 200_000,
+        engine: str = "compiled",
     ) -> None:
         if model.concurrency.name != "ONE":
             raise ValueError("the explorer supports one-node-per-step models only")
+        if engine not in ("compiled", "reference"):
+            raise ValueError(f"unknown explorer engine {engine!r}")
         self.instance = instance
         self.model = model
         self.queue_bound = queue_bound
         self.max_states = max_states
+        self.engine = engine
         self._dest_channels = frozenset(
             channel for channel in instance.channels if channel[1] == instance.dest
         )
@@ -281,6 +299,22 @@ class Explorer:
         one at geometrically spaced checkpoints and returns early on
         success instead of always materializing the full graph.
         """
+        # Fast path: the packed-integer port of this exact search.
+        # Subclasses (e.g. the multi-node explorer) override successor
+        # generation, so only the base class may take it.
+        if self.engine == "compiled" and type(self) is Explorer:
+            from .compiled import CompiledExplorer
+
+            return CompiledExplorer(
+                self.instance,
+                self.model,
+                queue_bound=self.queue_bound,
+                max_states=self.max_states,
+            ).explore()
+        return self._explore_reference()
+
+    def _explore_reference(self) -> ExplorationResult:
+        """The reference (rich-value) search loop."""
         initial = self.canonicalize(NetworkState.initial(self.instance))
         index_of: dict = {initial: 0}
         states: list = [initial]
@@ -530,6 +564,7 @@ def can_oscillate(
     queue_bound: int = 3,
     max_states: int = 200_000,
     reliable_twin_first: bool = True,
+    engine: str = "compiled",
 ) -> ExplorationResult:
     """Convenience wrapper: explore and report.
 
@@ -542,7 +577,11 @@ def can_oscillate(
     if reliable_twin_first and model.reliability is Reliability.UNRELIABLE:
         twin = CommunicationModel(Reliability.RELIABLE, model.scope, model.count)
         twin_result = Explorer(
-            instance, twin, queue_bound=queue_bound, max_states=max_states
+            instance,
+            twin,
+            queue_bound=queue_bound,
+            max_states=max_states,
+            engine=engine,
         ).explore()
         if twin_result.oscillates:
             return ExplorationResult(
@@ -555,6 +594,10 @@ def can_oscillate(
                 witness=twin_result.witness,
             )
     explorer = Explorer(
-        instance, model, queue_bound=queue_bound, max_states=max_states
+        instance,
+        model,
+        queue_bound=queue_bound,
+        max_states=max_states,
+        engine=engine,
     )
     return explorer.explore()

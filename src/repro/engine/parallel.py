@@ -1,0 +1,163 @@
+"""Process-parallel fan-out for explorations and simulation sweeps.
+
+The matrix experiments multiply one bounded model-checking run across
+24 communication models (and the random-instance surveys multiply fair
+simulations across instance × model × seed grids).  Each unit of work
+is completely independent and deterministic — an exploration verdict
+depends only on its ``(instance, model, bounds)`` triple, a simulation
+only on its explicit seed — so the fan-out here is embarrassingly
+parallel *and* reproducible:
+
+* every task carries its own seed/bounds (no shared RNG, no ordering
+  dependence between workers);
+* results are merged **in task-submission order** (``Executor.map``),
+  so downstream aggregation is independent of completion order;
+* ``workers=1`` (or a single task) degrades to a plain in-process loop
+  with no executor involved, which keeps the serial path exactly the
+  code the parallel path runs per worker.
+
+Tasks and results travel by pickle: :class:`~repro.core.spp.SPPInstance`,
+:class:`~repro.engine.explorer.ExplorationResult`, and witnesses are
+all plain picklable values.  Workers rebuild per-instance codec tables
+lazily on first use (see :func:`repro.engine.compiled.codec_for`), so
+shipping an instance costs one table build per process, not per task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.spp import SPPInstance
+
+__all__ = [
+    "ExplorationTask",
+    "SimulationTask",
+    "default_workers",
+    "parallel_map",
+    "run_explorations",
+    "run_simulations",
+]
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(function, tasks, workers: "int | None" = None) -> list:
+    """Apply a picklable ``function`` to ``tasks`` across processes.
+
+    Returns results in task order.  ``workers=None`` uses
+    :func:`default_workers`; ``workers<=1`` (or fewer than two tasks)
+    runs serially in-process.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(tasks) <= 1:
+        return [function(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(function, tasks))
+
+
+# ----------------------------------------------------------------------
+# Exploration fan-out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExplorationTask:
+    """One ``can_oscillate`` unit: an (instance, model) cell of a matrix."""
+
+    instance: SPPInstance
+    model_name: str
+    key: tuple = ()
+    queue_bound: int = 3
+    max_states: int = 200_000
+    reliable_twin_first: bool = True
+    engine: str = "compiled"
+
+    def resolved_key(self) -> tuple:
+        return self.key or (self.instance.name, self.model_name)
+
+
+def _explore_one(task: ExplorationTask):
+    from ..models.taxonomy import model
+    from .explorer import can_oscillate
+
+    return can_oscillate(
+        task.instance,
+        model(task.model_name),
+        queue_bound=task.queue_bound,
+        max_states=task.max_states,
+        reliable_twin_first=task.reliable_twin_first,
+        engine=task.engine,
+    )
+
+
+def run_explorations(tasks, workers: "int | None" = None) -> list:
+    """Run exploration tasks across workers; ordered ``(key, result)``s.
+
+    Verdicts are identical for every worker count: each exploration is
+    a deterministic function of its task, and merging follows task
+    order.
+    """
+    tasks = list(tasks)
+    results = parallel_map(_explore_one, tasks, workers=workers)
+    return [
+        (task.resolved_key(), result)
+        for task, result in zip(tasks, results)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Simulation fan-out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimulationTask:
+    """A batch of seeded fair simulations of one (instance, model) pair."""
+
+    instance: SPPInstance
+    model_name: str
+    seeds: tuple = (0,)
+    max_steps: int = 600
+    drop_prob: float = 0.2
+    key: tuple = ()
+
+    def resolved_key(self) -> tuple:
+        return self.key or (self.instance.name, self.model_name)
+
+
+def _simulate_batch(task: SimulationTask) -> tuple:
+    from ..engine.convergence import simulate
+    from ..engine.schedulers import RandomScheduler
+    from ..models.taxonomy import model as model_by_name
+
+    model = model_by_name(task.model_name)
+    outcomes = []
+    for seed in task.seeds:
+        scheduler = RandomScheduler(
+            task.instance, model, seed=seed, drop_prob=task.drop_prob
+        )
+        result = simulate(
+            task.instance,
+            model,
+            scheduler=scheduler,
+            max_steps=task.max_steps,
+        )
+        outcomes.append((result.converged, result.steps))
+    return tuple(outcomes)
+
+
+def run_simulations(tasks, workers: "int | None" = None) -> list:
+    """Run simulation batches across workers; ordered ``(key, outcomes)``.
+
+    Each outcome is a ``(converged, steps)`` tuple per seed, in seed
+    order — deterministic because every batch owns its explicit seeds.
+    """
+    tasks = list(tasks)
+    results = parallel_map(_simulate_batch, tasks, workers=workers)
+    return [
+        (task.resolved_key(), outcomes)
+        for task, outcomes in zip(tasks, results)
+    ]

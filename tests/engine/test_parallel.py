@@ -1,0 +1,165 @@
+"""Determinism of the process-parallel fan-out.
+
+One CPU or many, ``workers=1`` or ``workers=4`` — every fan-out in
+``repro.engine.parallel`` must return identical, identically-ordered
+results, because each task is a pure function of its own payload
+(explicit seeds, explicit bounds) and merging follows task order.
+"""
+
+from repro.analysis.experiments import (
+    MATRIX_CERTIFIED_SAFE,
+    experiment_disagree,
+    experiment_figure3,
+    experiment_figure4,
+    matrix_certification,
+)
+from repro.analysis.stats import survey_convergence
+from repro.core import instances as canonical
+from repro.core.generators import instance_family
+from repro.engine.parallel import (
+    ExplorationTask,
+    SimulationTask,
+    default_workers,
+    parallel_map,
+    run_explorations,
+    run_simulations,
+)
+from repro.models.taxonomy import model
+
+
+def result_tuple(result):
+    return (
+        result.model_name,
+        result.oscillates,
+        result.complete,
+        result.states_explored,
+        result.truncated_states,
+    )
+
+
+class TestParallelMap:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_serial_and_parallel_agree(self):
+        tasks = list(range(7))
+        assert parallel_map(_square, tasks, workers=1) == [
+            _square(t) for t in tasks
+        ]
+        assert parallel_map(_square, tasks, workers=3) == [
+            _square(t) for t in tasks
+        ]
+
+    def test_single_task_stays_in_process(self):
+        # A lambda is not picklable; a single task must not hit the pool.
+        assert parallel_map(lambda x: x + 1, [41], workers=8) == [42]
+
+
+def _square(x):
+    return x * x
+
+
+class TestExplorationFanOut:
+    def test_workers_do_not_change_verdicts(self):
+        instance = canonical.disagree()
+        tasks = [
+            ExplorationTask(instance=instance, model_name=name, queue_bound=3)
+            for name in ("R1O", "REO", "RMS", "REA", "UMS", "UEA")
+        ]
+        serial = run_explorations(tasks, workers=1)
+        parallel = run_explorations(tasks, workers=2)
+        assert [key for key, _ in serial] == [key for key, _ in parallel]
+        for (_, a), (_, b) in zip(serial, parallel):
+            assert result_tuple(a) == result_tuple(b)
+            assert (a.witness is None) == (b.witness is None)
+            if a.witness is not None:
+                assert a.witness.prefix == b.witness.prefix
+                assert a.witness.cycle == b.witness.cycle
+                assert a.witness.assignments == b.witness.assignments
+
+    def test_keys_preserve_task_order(self):
+        instance = canonical.disagree()
+        names = ("UMS", "R1O", "REA")
+        results = run_explorations(
+            [
+                ExplorationTask(instance=instance, model_name=name)
+                for name in names
+            ],
+            workers=2,
+        )
+        assert [key for key, _ in results] == [
+            (instance.name, name) for name in names
+        ]
+
+
+class TestSimulationFanOut:
+    def test_workers_do_not_change_outcomes(self):
+        instance = canonical.good_gadget()
+        tasks = [
+            SimulationTask(
+                instance=instance,
+                model_name=name,
+                seeds=(0, 1, 2),
+                max_steps=300,
+            )
+            for name in ("R1O", "REA", "UMS")
+        ]
+        assert run_simulations(tasks, workers=1) == run_simulations(
+            tasks, workers=2
+        )
+
+    def test_survey_convergence_workers_identical(self):
+        instances = list(instance_family(3, base_seed=7, n_nodes=4))
+        models = [model(name) for name in ("R1O", "REA")]
+        serial = survey_convergence(
+            instances, models, seeds_per_instance=2, max_steps=200, workers=1
+        )
+        fanned = survey_convergence(
+            instances, models, seeds_per_instance=2, max_steps=200, workers=2
+        )
+        assert serial.format_table() == fanned.format_table()
+        for name in ("R1O", "REA"):
+            assert (
+                serial.per_model[name].steps_to_converge
+                == fanned.per_model[name].steps_to_converge
+            )
+
+
+class TestMatrixCertification:
+    def test_certification_matches_expected_split(self):
+        cert = matrix_certification(workers=1)
+        assert len(cert) == 24
+        safe = frozenset(
+            name
+            for name, result in cert.items()
+            if not result.oscillates and result.complete
+        )
+        assert safe == MATRIX_CERTIFIED_SAFE
+        for name, result in cert.items():
+            if name not in MATRIX_CERTIFIED_SAFE:
+                assert result.oscillates, name
+
+    def test_certification_workers_identical(self):
+        serial = matrix_certification(workers=1)
+        fanned = matrix_certification(workers=2)
+        assert set(serial) == set(fanned)
+        for name in serial:
+            assert result_tuple(serial[name]) == result_tuple(fanned[name])
+
+    def test_matrix_experiments_attach_certification(self):
+        fig3 = experiment_figure3(workers=1)
+        fig4 = experiment_figure4(workers=1)
+        for result in (fig3, fig4):
+            assert result.certification is not None
+            assert "certified on DISAGREE" in result.summary
+        assert experiment_figure3().certification is None
+
+    def test_disagree_experiment_workers_identical(self):
+        serial = experiment_disagree(workers=1)
+        fanned = experiment_disagree(workers=2)
+        assert serial.correct and fanned.correct
+        assert set(serial.results) == set(fanned.results)
+        for name in serial.results:
+            assert result_tuple(serial.results[name]) == result_tuple(
+                fanned.results[name]
+            )
