@@ -1,15 +1,29 @@
-"""Benchmark regression harness — writes ``BENCH_engine.json``.
+"""Benchmark regression harness — writes ``BENCH_engine.json`` and
+``BENCH_matrix.json``.
 
 Runs the engine-throughput workloads that gate performance work (the
 fig6/REA explorer search, the Def. 2.3 step loop, and the 24-model
 matrix certification) under both execution cores and records absolute
 numbers plus the compiled-over-reference speedups::
 
-    PYTHONPATH=src python benchmarks/perf_regression.py [--out BENCH_engine.json]
+    PYTHONPATH=src python benchmarks/perf_regression.py \
+        [--out BENCH_engine.json] [--matrix-out BENCH_matrix.json]
 
-The JSON is committed alongside performance PRs so a regression shows
-up as a diff.  ``speedup.explorer_states`` is the headline number; the
-compiled engine must stay ≥ 3× the reference on the explorer workload.
+``BENCH_engine.json`` pins the compiled-over-reference comparison on
+the *unreduced* search (the PR-1 workload, unchanged for continuity);
+``speedup.explorer_states`` must stay ≥ 3×.
+
+``BENCH_matrix.json`` pins the partial-order reducer and the verdict
+cache on the matrix workload — the 24-model certification of the
+Fig. 7 gadget, whose interleaving explosion is what the reducer exists
+for (DISAGREE is recorded alongside but is too small to gate on).
+Two numbers are gated: the cold reduction speedup (reduced vs
+unreduced search, ≥ 3×) and the warm cache speedup (second run against
+a populated cache, ≥ 20×).  Verdict equality between every
+configuration is asserted before any number is reported.
+
+The JSONs are committed alongside performance PRs so a regression
+shows up as a diff.
 """
 
 from __future__ import annotations
@@ -17,11 +31,12 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 from repro.analysis.experiments import matrix_certification
-from repro.core.instances import fig6_gadget
+from repro.core.instances import fig6_gadget, fig7_gadget
 from repro.engine.compiled import replay_schedule
 from repro.engine.execution import Execution
 from repro.engine.explorer import Explorer
@@ -29,6 +44,8 @@ from repro.engine.schedulers import RandomScheduler
 from repro.models.taxonomy import model
 
 MIN_EXPLORER_SPEEDUP = 3.0
+MIN_REDUCTION_SPEEDUP = 3.0
+MIN_WARM_CACHE_SPEEDUP = 20.0
 
 
 def _best_of(runs: int, fn):
@@ -46,12 +63,16 @@ def _best_of(runs: int, fn):
 
 def bench_explorer(engine: str, runs: int = 3) -> dict:
     def explore():
+        # reduction="none" keeps this the exact PR-1 workload: the
+        # compiled-vs-reference ratio is measured on the full search
+        # (the reducer has its own gates in BENCH_matrix.json).
         return Explorer(
             fig6_gadget(),
             model("REA"),
             queue_bound=2,
             max_states=100_000,
             engine=engine,
+            reduction="none",
         ).explore()
 
     seconds, result = _best_of(runs, explore)
@@ -87,13 +108,95 @@ def bench_steps(runs: int = 3) -> dict:
 
 
 def bench_matrix(runs: int = 3) -> dict:
-    seconds, cert = _best_of(runs, lambda: matrix_certification(workers=1))
+    seconds, cert = _best_of(
+        runs, lambda: matrix_certification(workers=1, reduction="none")
+    )
     oscillating = sum(1 for result in cert.values() if result.oscillates)
     assert oscillating == 14 and len(cert) == 24
     return {
         "models": len(cert),
         "oscillating": oscillating,
         "seconds": round(seconds, 4),
+    }
+
+
+def _timed_certification(instance, reduction: str, cache_dir=None) -> dict:
+    start = time.perf_counter()
+    cert = matrix_certification(
+        workers=1,
+        queue_bound=2,
+        instance=instance,
+        reduction=reduction,
+        cache_dir=cache_dir,
+    )
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "states": sum(r.states_explored for r in cert.values()),
+        "pruned": sum(r.states_pruned for r in cert.values()),
+        "complete": sum(1 for r in cert.values() if r.complete),
+        "verdicts": {name: cert[name].oscillates for name in sorted(cert)},
+        "_raw_seconds": seconds,
+    }
+
+
+def _strip(entry: dict) -> dict:
+    return {k: v for k, v in entry.items() if not k.startswith("_")}
+
+
+def bench_matrix_workload() -> dict:
+    """The reducer/cache gates: 24-model certification of Fig. 7.
+
+    Single-shot timings (the unreduced baseline alone runs for minutes;
+    best-of-N would triple that for no extra signal on 10×-class gaps).
+    """
+    fig7 = fig7_gadget()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        unreduced = _timed_certification(fig7, "none")
+        cold = _timed_certification(fig7, "ample", cache_dir=cache_dir)
+        warm = _timed_certification(fig7, "ample", cache_dir=cache_dir)
+
+    # The reduction and the cache must change *performance only*.
+    assert cold["verdicts"] == unreduced["verdicts"]
+    assert warm["verdicts"] == cold["verdicts"]
+    assert warm["states"] == cold["states"]
+    assert cold["complete"] >= unreduced["complete"]  # monotone coverage
+
+    # DISAGREE is recorded for context (too small for the reducer to
+    # win — table builds dominate its sub-millisecond searches).
+    disagree_base = _timed_certification(None, "none")
+    disagree_reduced = _timed_certification(None, "ample")
+    assert disagree_reduced["verdicts"] == disagree_base["verdicts"]
+    assert sum(disagree_base["verdicts"].values()) == 14
+
+    reduction_speedup = round(
+        unreduced["_raw_seconds"] / cold["_raw_seconds"], 2
+    )
+    warm_cache_speedup = round(cold["_raw_seconds"] / warm["_raw_seconds"], 2)
+    return {
+        "workload": "fig7_gadget all 24 models queue_bound=2 "
+        "(reduced vs unreduced, cold vs warm cache); "
+        "DISAGREE recorded for context",
+        "python": platform.python_version(),
+        "fig7": {
+            "unreduced": _strip(unreduced),
+            "cold_reduced": _strip(cold),
+            "warm_cache": _strip(warm),
+        },
+        "disagree": {
+            "unreduced": _strip(disagree_base),
+            "reduced": _strip(disagree_reduced),
+        },
+        "speedup": {
+            "reduction_cold": reduction_speedup,
+            "cache_warm": warm_cache_speedup,
+        },
+        "passes_min_reduction_speedup": (
+            reduction_speedup >= MIN_REDUCTION_SPEEDUP
+        ),
+        "passes_min_warm_cache_speedup": (
+            warm_cache_speedup >= MIN_WARM_CACHE_SPEEDUP
+        ),
     }
 
 
@@ -126,22 +229,52 @@ def run(out_path: Path) -> dict:
     return report
 
 
+def run_matrix(out_path: Path) -> dict:
+    report = bench_matrix_workload()
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(repo / "BENCH_engine.json"))
     parser.add_argument(
-        "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        "--matrix-out", default=str(repo / "BENCH_matrix.json")
+    )
+    parser.add_argument(
+        "--skip-matrix",
+        action="store_true",
+        help="skip the minutes-long reducer/cache workload",
     )
     args = parser.parse_args()
     report = run(Path(args.out))
     print(json.dumps(report, indent=2))
+    failed = False
     if not report["passes_min_speedup"]:
         print(
             f"FAIL: explorer speedup {report['speedup']['explorer_states']}x "
             f"< required {MIN_EXPLORER_SPEEDUP}x"
         )
-        return 1
-    return 0
+        failed = True
+    if not args.skip_matrix:
+        matrix_report = run_matrix(Path(args.matrix_out))
+        print(json.dumps(matrix_report, indent=2))
+        if not matrix_report["passes_min_reduction_speedup"]:
+            print(
+                "FAIL: cold reduction speedup "
+                f"{matrix_report['speedup']['reduction_cold']}x "
+                f"< required {MIN_REDUCTION_SPEEDUP}x"
+            )
+            failed = True
+        if not matrix_report["passes_min_warm_cache_speedup"]:
+            print(
+                "FAIL: warm cache speedup "
+                f"{matrix_report['speedup']['cache_warm']}x "
+                f"< required {MIN_WARM_CACHE_SPEEDUP}x"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

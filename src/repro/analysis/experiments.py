@@ -127,7 +127,12 @@ MATRIX_CERTIFIED_SAFE = frozenset(
 
 
 def matrix_certification(
-    workers: "int | None" = 1, queue_bound: int = 3
+    workers: "int | None" = 1,
+    queue_bound: int = 3,
+    instance=None,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
 ) -> dict:
     """Explorer cross-check of the derived matrices on DISAGREE.
 
@@ -137,17 +142,27 @@ def matrix_certification(
     is exactly what the realization orderings behind Figures 3/4
     predict, so the fan-out certifies the rule-derived matrices against
     direct search.  Verdicts are identical for every ``workers`` value.
+
+    ``instance`` substitutes another gadget for DISAGREE (the perf
+    benchmark certifies Fig. 7, whose state space actually stresses the
+    reducer); ``engine``/``reduction``/``cache_dir`` select the
+    execution core, partial-order reducer, and shared verdict cache per
+    :class:`~repro.engine.parallel.ExplorationTask`.
     """
     from ..engine.parallel import ExplorationTask, run_explorations
     from ..models.taxonomy import ALL_MODELS
 
-    instance = canonical.disagree()
+    if instance is None:
+        instance = canonical.disagree()
     tasks = [
         ExplorationTask(
             instance=instance,
             model_name=m.name,
             key=(m.name,),
             queue_bound=queue_bound,
+            engine=engine,
+            reduction=reduction,
+            cache_dir=cache_dir,
         )
         for m in ALL_MODELS
     ]
@@ -157,7 +172,12 @@ def matrix_certification(
     }
 
 
-def experiment_figure3(workers: "int | None" = None) -> MatrixExperiment:
+def experiment_figure3(
+    workers: "int | None" = None,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
+) -> MatrixExperiment:
     """E1: regenerate Figure 3 (realization by reliable models).
 
     With ``workers`` set, additionally runs :func:`matrix_certification`
@@ -168,18 +188,27 @@ def experiment_figure3(workers: "int | None" = None) -> MatrixExperiment:
         figure="Figure 3",
         comparisons=compare_with_derived(matrix, columns=FIGURE3_COLUMNS),
         matrix_text=reporting.render_figure3(matrix),
-        certification=None if workers is None else matrix_certification(workers),
+        certification=None if workers is None else matrix_certification(
+            workers, engine=engine, reduction=reduction, cache_dir=cache_dir
+        ),
     )
 
 
-def experiment_figure4(workers: "int | None" = None) -> MatrixExperiment:
+def experiment_figure4(
+    workers: "int | None" = None,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
+) -> MatrixExperiment:
     """E2: regenerate Figure 4 (realization by unreliable models)."""
     matrix = derive_matrix()
     return MatrixExperiment(
         figure="Figure 4",
         comparisons=compare_with_derived(matrix, columns=FIGURE4_COLUMNS),
         matrix_text=reporting.render_figure4(matrix),
-        certification=None if workers is None else matrix_certification(workers),
+        certification=None if workers is None else matrix_certification(
+            workers, engine=engine, reduction=reduction, cache_dir=cache_dir
+        ),
     )
 
 
@@ -226,7 +255,11 @@ DISAGREE_OSCILLATING_MODELS = (
 
 
 def experiment_disagree(
-    queue_bound: int = 3, workers: "int | None" = 1
+    queue_bound: int = 3,
+    workers: "int | None" = 1,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
 ) -> OscillationExperiment:
     """E3: DISAGREE oscillates in R1O & co. but never in the five
     models of Thm. 3.8."""
@@ -240,6 +273,9 @@ def experiment_disagree(
             model_name=name,
             key=(name,),
             queue_bound=queue_bound,
+            engine=engine,
+            reduction=reduction,
+            cache_dir=cache_dir,
         )
         for name in names
     ]
@@ -318,6 +354,9 @@ def experiment_fig6(
     polling_models: "tuple | None" = ("REA",),
     queue_bound: int = 2,
     workers: "int | None" = 1,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
 ) -> Fig6Experiment:
     """E4: Fig. 6 oscillates in REO but not in the polling models.
 
@@ -337,6 +376,9 @@ def experiment_fig6(
             key=(name,),
             queue_bound=queue_bound,
             max_states=2_000_000,
+            engine=engine,
+            reduction=reduction,
+            cache_dir=cache_dir,
         )
         for name in polling_models or ()
     ]

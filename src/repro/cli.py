@@ -12,6 +12,8 @@ Subcommands
   under the model?
 * ``trace`` — print the scripted Appendix A executions.
 * ``experiments`` — run the full experiment suite.
+* ``cache`` — inspect (``stats``) or empty (``clear``) the
+  content-addressed verdict cache shared by the search commands.
 * ``explain`` / ``solve`` / ``wheel`` / ``sat`` / ``artifacts`` — targeted
   derivations, solution enumeration, dispute wheels, the NP-completeness
   reduction, and artifact regeneration.
@@ -20,18 +22,62 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import experiments, reporting
 from .analysis.traces import format_trace_table
 from .core.instances import ALL_NAMED_INSTANCES
+from .engine.cache import DEFAULT_CACHE_DIR, VerdictCache
 from .engine.convergence import simulate
 from .engine.execution import Execution
 from .engine.explorer import can_oscillate
+from .engine.reduction import REDUCTIONS
 from .models.taxonomy import ALL_MODELS, model
 from .realization.closure import derive_matrix
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared engine/reduction/cache knobs of the search commands."""
+    parser.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default="compiled",
+        help="execution core: the integer-interned fast path (default) "
+        "or the didactic reference search (identical verdicts)",
+    )
+    parser.add_argument(
+        "--reduction",
+        choices=REDUCTIONS,
+        default="ample",
+        help="partial-order reducer: 'ample' (default) merges "
+        "ext-equivalent interleavings; 'none' searches the full graph",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="verdict-cache directory (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed verdict cache",
+    )
+
+
+def _resolve_cache_dir(args) -> "str | None":
+    """The cache directory a command should use, or ``None`` when off."""
+    if args.no_cache:
+        return None
+    return (
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the 24-model explorer certification "
         "(verdicts are identical for every worker count)",
     )
+    _add_perf_flags(matrix)
 
     sim = sub.add_parser("simulate", help="run one fair random execution")
     sim.add_argument("--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES))
@@ -67,13 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--model", default="R1O")
     explore.add_argument("--queue-bound", type=int, default=3)
     explore.add_argument("--max-states", type=int, default=500_000)
-    explore.add_argument(
-        "--engine",
-        choices=("compiled", "reference"),
-        default="compiled",
-        help="execution core: the integer-interned fast path (default) "
-        "or the didactic reference search (identical verdicts)",
-    )
+    _add_perf_flags(explore)
 
     trace = sub.add_parser("trace", help="print a scripted Appendix A execution")
     trace.add_argument("--example", choices=("fig6", "fig7", "fig8", "fig9"), default="fig6")
@@ -90,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for the parallel exploration/simulation fan-outs "
         "(results are identical for every worker count)",
+    )
+    _add_perf_flags(exp)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed verdict cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
     )
 
     explain = sub.add_parser(
@@ -138,19 +192,25 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_matrix(figure: str, workers: int = 1) -> int:
+def _cmd_matrix(args) -> int:
     matrix = derive_matrix()
-    if figure in ("3", "both"):
+    perf = dict(
+        workers=args.workers,
+        engine=args.engine,
+        reduction=args.reduction,
+        cache_dir=_resolve_cache_dir(args),
+    )
+    if args.figure in ("3", "both"):
         print("Derived Figure 3 (rows: realized model; columns: reliable realizers)")
         print(reporting.render_figure3(matrix))
         print()
-        print(experiments.experiment_figure3(workers=workers).summary)
+        print(experiments.experiment_figure3(**perf).summary)
         print()
-    if figure in ("4", "both"):
+    if args.figure in ("4", "both"):
         print("Derived Figure 4 (rows: realized model; columns: unreliable realizers)")
         print(reporting.render_figure4(matrix))
         print()
-        print(experiments.experiment_figure4(workers=workers).summary)
+        print(experiments.experiment_figure4(**perf).summary)
     return 0
 
 
@@ -176,11 +236,14 @@ def _cmd_explore(args) -> int:
         queue_bound=args.queue_bound,
         max_states=args.max_states,
         engine=args.engine,
+        reduction=args.reduction,
+        cache=_resolve_cache_dir(args),
     )
     print(f"instance: {instance.name}   model: {args.model}")
     print(
         f"oscillates: {result.oscillates}   complete search: {result.complete}"
         f"   states: {result.states_explored}"
+        f"   pruned: {result.states_pruned}"
     )
     if result.witness:
         print(
@@ -209,17 +272,25 @@ def _cmd_trace(example: str) -> int:
     return 0
 
 
-def _cmd_experiments(full: bool, workers: int = 1) -> int:
+def _cmd_experiments(args) -> int:
+    full = args.full
+    workers = args.workers
+    perf = dict(
+        workers=workers,
+        engine=args.engine,
+        reduction=args.reduction,
+        cache_dir=_resolve_cache_dir(args),
+    )
     print("— E1/E2: Figures 3 and 4 —")
-    print(experiments.experiment_figure3(workers=workers).summary)
-    print(experiments.experiment_figure4(workers=workers).summary)
+    print(experiments.experiment_figure3(**perf).summary)
+    print(experiments.experiment_figure4(**perf).summary)
     print("\n— E3: DISAGREE (Ex. A.1) —")
-    print(experiments.experiment_disagree(workers=workers).summary)
+    print(experiments.experiment_disagree(**perf).summary)
     print("\n— E4: Fig. 6 separation (Ex. A.2) —")
     polling = ("R1A", "RMA", "REA") if full else ("REA",)
     print(
         experiments.experiment_fig6(
-            polling_models=polling, workers=workers
+            polling_models=polling, **perf
         ).summary
     )
     print("\n— E5/E6/E7: Figs. 7–9 (Ex. A.3–A.5) —")
@@ -249,6 +320,22 @@ def _cmd_experiments(full: bool, workers: int = 1) -> int:
     print(experiments.experiment_message_overhead().summary)
     print("\n— E10: convergence-rate survey —")
     print(experiments.experiment_convergence_rates(workers=workers).format_table())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = VerdictCache(
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries: {stats['entries']}   bytes: {stats['bytes']}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached verdict(s) from {cache.root}")
     return 0
 
 
@@ -320,7 +407,7 @@ def main(argv: "list | None" = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "matrix":
-        return _cmd_matrix(args.figure, workers=args.workers)
+        return _cmd_matrix(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "explore":
@@ -328,7 +415,9 @@ def main(argv: "list | None" = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args.example)
     if args.command == "experiments":
-        return _cmd_experiments(args.full, workers=args.workers)
+        return _cmd_experiments(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "explain":
         return _cmd_explain(args.realized, args.realizer)
     if args.command == "solve":

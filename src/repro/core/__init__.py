@@ -13,6 +13,7 @@ from .solutions import (
     is_solution,
     is_stable,
 )
+from .canonical import canonical_form, canonical_hash, canonical_labeling
 from .spp import Channel, SPPInstance, SPPValidationError
 from . import compose, gao_rexford, generators, instances, sat, satgadgets, serialization
 
@@ -27,6 +28,9 @@ __all__ = [
     "DisputeWheel",
     "PathAssignment",
     "best_response",
+    "canonical_form",
+    "canonical_hash",
+    "canonical_labeling",
     "enumerate_stable_solutions",
     "extend",
     "find_dispute_wheel",

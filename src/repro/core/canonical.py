@@ -1,0 +1,198 @@
+"""Relabeling-invariant canonical form and hash for SPP instances.
+
+The verdict cache (:mod:`repro.engine.cache`) keys results by instance
+*content*, not by node spelling: DISAGREE with nodes ``{d, x, y}`` and
+the same gadget renamed to ``{d, a0, a1}`` must hit the same cache
+entry.  This module computes a canonical node ordering from the
+instance's label-free structure and a stable hash of the instance
+re-encoded under it.
+
+The algorithm is a small graph-canonicalization in the classic
+colour-refinement / individualization style, specialized to SPP:
+
+1. **Initial colouring** — each node gets a label-free signature:
+   ``(is_dest, degree, multiset of (|path|, rank) over its permitted
+   paths)``.  The destination is always alone in its colour class, so
+   it is pinned to position 0 of every candidate ordering.
+2. **Refinement** — signatures are iteratively extended with the
+   multiset of neighbour colours and the colour *sequences* of each
+   permitted path, until the partition stops splitting.  Both
+   extensions are label-free, so the fixpoint partition is invariant
+   under node renaming.
+3. **Minimization** — candidate orderings enumerate all permutations
+   within each colour class (classes ordered by colour).  The instance
+   is re-encoded under each candidate as nested integer tuples — node
+   count, sorted edge index pairs, and per-node sorted ``(rank, path
+   as indices)`` lists — and the lexicographically least encoding is
+   the canonical form.
+
+When the refined partition is so symmetric that the number of
+candidate orderings exceeds :data:`CANDIDATE_CAP`, enumeration falls
+back to a single ordering sorted by ``(colour, repr(node))``.  That
+fallback is deterministic for a fixed instance but **not** guaranteed
+relabeling-invariant; it can only trigger on instances whose automorphism
+classes stay large after refinement (e.g. many structurally identical
+stub nodes), where a cache miss is the worst consequence — never a
+wrong hit, because the hash still encodes the full instance content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from itertools import permutations, product
+
+from .spp import SPPInstance
+
+__all__ = [
+    "CANDIDATE_CAP",
+    "canonical_labeling",
+    "canonical_form",
+    "canonical_hash",
+]
+
+#: Upper bound (8!) on the number of candidate orderings tried during
+#: minimization before falling back to the deterministic repr ordering.
+CANDIDATE_CAP = 40320
+
+
+def _normalize(colors: dict) -> dict:
+    """Replace signature values with dense ranks (smaller = earlier)."""
+    ranking = {sig: i for i, sig in enumerate(sorted(set(colors.values())))}
+    return {node: ranking[sig] for node, sig in colors.items()}
+
+
+def _initial_colors(instance: SPPInstance) -> dict:
+    colors = {}
+    for node in instance.sorted_nodes:
+        colors[node] = (
+            node != instance.dest,  # False sorts first: dest gets colour 0
+            len(instance.neighbors(node)),
+            tuple(
+                sorted(
+                    (len(path), instance.rank_of(node, path))
+                    for path in instance.permitted_at(node)
+                )
+            ),
+        )
+    return _normalize(colors)
+
+
+def _refine(instance: SPPInstance, colors: dict) -> dict:
+    while True:
+        refined = {}
+        for node in instance.sorted_nodes:
+            refined[node] = (
+                colors[node],
+                tuple(sorted(colors[n] for n in instance.neighbors(node))),
+                tuple(
+                    sorted(
+                        (
+                            instance.rank_of(node, path),
+                            tuple(colors[hop] for hop in path),
+                        )
+                        for path in instance.permitted_at(node)
+                    )
+                ),
+            )
+        refined = _normalize(refined)
+        if len(set(refined.values())) == len(set(colors.values())):
+            return refined
+        colors = refined
+
+
+def _color_classes(instance: SPPInstance) -> list:
+    """Refined colour classes, ordered by colour (dest's class first)."""
+    colors = _refine(instance, _initial_colors(instance))
+    classes: dict = {}
+    for node in instance.sorted_nodes:
+        classes.setdefault(colors[node], []).append(node)
+    return [classes[color] for color in sorted(classes)]
+
+
+def _encode(instance: SPPInstance, ordering: tuple) -> tuple:
+    """Re-encode the instance as nested int tuples under ``ordering``."""
+    index = {node: i for i, node in enumerate(ordering)}
+    edges = tuple(
+        sorted(tuple(sorted(index[n] for n in edge)) for edge in instance.edges)
+    )
+    permitted = tuple(
+        tuple(
+            sorted(
+                (
+                    instance.rank_of(node, path),
+                    tuple(index[hop] for hop in path),
+                )
+                for path in instance.permitted_at(node)
+            )
+        )
+        for node in ordering
+    )
+    return (len(ordering), edges, permitted)
+
+
+def canonical_labeling(instance: SPPInstance) -> tuple:
+    """The canonical node ordering (destination always at position 0).
+
+    Memoized on the instance (it is consulted on every cache lookup to
+    translate stored witnesses back into this instance's node names).
+    """
+    cached = instance.__dict__.get("_canonical_labeling")
+    if cached is not None:
+        return cached
+    ordering = _canonical_labeling(instance)
+    object.__setattr__(instance, "_canonical_labeling", ordering)
+    return ordering
+
+
+def _canonical_labeling(instance: SPPInstance) -> tuple:
+    classes = _color_classes(instance)
+    candidates = 1
+    for cls in classes:
+        for k in range(2, len(cls) + 1):
+            candidates *= k
+        if candidates > CANDIDATE_CAP:
+            # Documented fallback: deterministic but label-dependent.
+            return tuple(
+                node
+                for cls in classes
+                for node in sorted(cls, key=repr)
+            )
+    best = None
+    best_ordering = None
+    for perm_choice in product(*(permutations(cls) for cls in classes)):
+        ordering = tuple(node for cls in perm_choice for node in cls)
+        encoding = _encode(instance, ordering)
+        if best is None or encoding < best:
+            best = encoding
+            best_ordering = ordering
+    return best_ordering
+
+
+def canonical_form(instance: SPPInstance) -> tuple:
+    """The lexicographically-least integer encoding of the instance.
+
+    Two instances have equal canonical forms iff they are identical up
+    to node renaming (modulo the :data:`CANDIDATE_CAP` fallback, which
+    can only cause spurious *inequality*, never spurious equality).
+    Memoized on the instance.
+    """
+    cached = instance.__dict__.get("_canonical_form")
+    if cached is not None:
+        return cached
+    form = _encode(instance, canonical_labeling(instance))
+    object.__setattr__(instance, "_canonical_form", form)
+    return form
+
+
+def canonical_hash(instance: SPPInstance) -> str:
+    """Hex sha256 of the canonical form — the cache's instance key."""
+    cached = instance.__dict__.get("_canonical_hash")
+    if cached is not None:
+        return cached
+    payload = json.dumps(
+        canonical_form(instance), separators=(",", ":"), sort_keys=True
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    object.__setattr__(instance, "_canonical_hash", digest)
+    return digest

@@ -1,6 +1,7 @@
 """Execution engine: channels, activation sequences, and the algorithm."""
 
 from .activation import INFINITY, ActivationEntry, Schedule
+from .cache import VerdictCache, verdict_key
 from .convergence import (
     RunResult,
     find_oscillation_evidence,
@@ -14,6 +15,7 @@ from .fairness import FairnessReport, audit_schedule, service_gaps
 from .messages import ChannelQueue
 from .metrics import ExecutionMetrics, measure
 from .multinode import MultiNodeExplorer, can_oscillate_multinode
+from .reduction import REDUCTIONS
 from .schedulers import RandomScheduler, RoundRobinScheduler, Scheduler
 from .serialization import entry_from_dict, entry_to_dict, schedule_from_json, schedule_to_json, trace_to_dict
 from .state import NetworkState
@@ -30,6 +32,7 @@ __all__ = [
     "MultiNodeExplorer",
     "NetworkState",
     "OscillationWitness",
+    "REDUCTIONS",
     "RandomScheduler",
     "RoundRobinScheduler",
     "RunResult",
@@ -37,6 +40,7 @@ __all__ = [
     "Scheduler",
     "StepRecord",
     "Trace",
+    "VerdictCache",
     "apply_entry",
     "audit_schedule",
     "entry_from_dict",
@@ -52,4 +56,5 @@ __all__ = [
     "service_gaps",
     "trace_to_dict",
     "simulate",
+    "verdict_key",
 ]

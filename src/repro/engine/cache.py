@@ -1,0 +1,340 @@
+"""Content-addressed, relabeling-invariant verdict cache.
+
+Oscillation verdicts are expensive (bounded exhaustive search) but
+deterministic: the same instance *content*, model, and search bounds
+always produce the same :class:`~repro.engine.explorer.ExplorationResult`.
+This module memoizes them on disk so a 24-model certification sweep
+re-run after an analysis tweak costs milliseconds instead of minutes.
+
+**Key derivation.**  :func:`verdict_key` is the sha256 of a sorted JSON
+payload containing: :data:`CACHE_VERSION`, the explorer's
+:data:`~repro.engine.explorer.ENGINE_REVISION`, the reducer's
+:data:`~repro.engine.reduction.REDUCTION_REVISION`, the instance's
+relabeling-invariant :func:`~repro.core.canonical.canonical_hash`, the
+model name, and every bound that can change the verdict or its
+accounting (``queue_bound``, ``max_states``, ``reliable_twin_first``,
+``reduction``).  Bumping any revision constant invalidates every stale
+entry by construction — the cache never needs a migration step.  The
+``engine`` choice (compiled vs reference) is deliberately *not* part of
+the key: the differential tests pin the two engines bit-identical, so
+their results are interchangeable.  Because the instance key is the
+canonical hash, a renamed copy of a cached gadget hits the same entry;
+stored witnesses are encoded in canonical-index space and translated
+back into the requesting instance's node names on load.
+
+**Storage.**  One JSON file per key under
+``<root>/verdicts/<key[:2]>/<key>.json`` (default root ``.repro-cache``,
+overridable via the ``REPRO_CACHE_DIR`` environment variable or the
+constructor).  Entries are write-once and written atomically (tempfile
+in the destination directory + ``os.replace``), so concurrent
+``parallel.py`` workers can share one cache directory without locks:
+racing writers of the same key produce identical bytes, and readers
+never observe a partial file.  Corrupt or version-skewed files are
+treated as misses and quarantined out of the way rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..core.canonical import canonical_hash, canonical_labeling
+from ..core.spp import SPPInstance
+from .activation import INFINITY, ActivationEntry
+from .explorer import ENGINE_REVISION, ExplorationResult, OscillationWitness
+from .reduction import REDUCTION_REVISION
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "VerdictCache",
+    "as_cache",
+    "verdict_key",
+]
+
+#: Bumped whenever the on-disk payload format changes.
+CACHE_VERSION = 1
+
+#: Default cache root (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def verdict_key(
+    instance: SPPInstance,
+    model_name: str,
+    *,
+    queue_bound: int,
+    max_states: int,
+    reliable_twin_first: bool,
+    reduction: str,
+) -> str:
+    """The content address of one (instance, model, bounds) verdict."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "engine_revision": ENGINE_REVISION,
+        "reduction_revision": REDUCTION_REVISION,
+        "instance": canonical_hash(instance),
+        "model": model_name,
+        "queue_bound": queue_bound,
+        "max_states": max_states,
+        "reliable_twin_first": bool(reliable_twin_first),
+        "reduction": reduction,
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Witness translation: node names <-> canonical indices.
+
+def _encode_count(count) -> "int | str":
+    return "inf" if count is INFINITY else count
+
+
+def _decode_count(raw) -> "int | float":
+    return INFINITY if raw == "inf" else raw
+
+
+def _entry_to_jsonable(entry: ActivationEntry, index: dict) -> dict:
+    data = {
+        "nodes": sorted(index[node] for node in entry.nodes),
+        "reads": sorted(
+            ([index[u], index[v]], _encode_count(count))
+            for (u, v), count in entry.reads.items()
+        ),
+    }
+    drops = sorted(
+        ([index[u], index[v]], sorted(dropped))
+        for (u, v), dropped in entry.drops.items()
+        if dropped
+    )
+    if drops:
+        data["drops"] = drops
+    return data
+
+
+def _entry_from_jsonable(data: dict, ordering: tuple) -> ActivationEntry:
+    reads = {
+        (ordering[u], ordering[v]): _decode_count(count)
+        for (u, v), count in data["reads"]
+    }
+    drops = {
+        (ordering[u], ordering[v]): frozenset(indices)
+        for (u, v), indices in data.get("drops", [])
+    }
+    return ActivationEntry(
+        nodes=[ordering[i] for i in data["nodes"]],
+        channels=list(reads),
+        reads=reads,
+        drops=drops,
+    )
+
+
+def _witness_to_jsonable(witness: OscillationWitness, index: dict) -> dict:
+    return {
+        "prefix": [_entry_to_jsonable(e, index) for e in witness.prefix],
+        "cycle": [_entry_to_jsonable(e, index) for e in witness.cycle],
+        "assignments": [
+            [[index[node], [index[hop] for hop in path]] for node, path in pi]
+            for pi in witness.assignments
+        ],
+    }
+
+
+def _witness_from_jsonable(data: dict, ordering: tuple) -> OscillationWitness:
+    return OscillationWitness(
+        prefix=tuple(_entry_from_jsonable(e, ordering) for e in data["prefix"]),
+        cycle=tuple(_entry_from_jsonable(e, ordering) for e in data["cycle"]),
+        assignments=tuple(
+            tuple(
+                (ordering[node], tuple(ordering[hop] for hop in path))
+                for node, path in pi
+            )
+            for pi in data["assignments"]
+        ),
+    )
+
+
+def _result_to_jsonable(result: ExplorationResult, instance: SPPInstance) -> dict:
+    index = {node: i for i, node in enumerate(canonical_labeling(instance))}
+    return {
+        "cache_version": CACHE_VERSION,
+        "model_name": result.model_name,
+        "oscillates": result.oscillates,
+        "complete": result.complete,
+        "states_explored": result.states_explored,
+        "truncated_states": result.truncated_states,
+        "states_pruned": result.states_pruned,
+        "witness": (
+            None
+            if result.witness is None
+            else _witness_to_jsonable(result.witness, index)
+        ),
+    }
+
+
+def _result_from_jsonable(data: dict, instance: SPPInstance) -> ExplorationResult:
+    ordering = canonical_labeling(instance)
+    witness = data.get("witness")
+    return ExplorationResult(
+        model_name=data["model_name"],
+        instance_name=instance.name,
+        oscillates=data["oscillates"],
+        complete=data["complete"],
+        states_explored=data["states_explored"],
+        truncated_states=data["truncated_states"],
+        states_pruned=data.get("states_pruned", 0),
+        witness=(
+            None if witness is None else _witness_from_jsonable(witness, ordering)
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+
+class VerdictCache:
+    """A directory of memoized exploration results.
+
+    Safe to share between processes: entries are write-once and all
+    writes are atomic renames.  An in-process memo layer avoids
+    re-reading (and re-decoding) hot keys during a sweep.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self._memo: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def verdict_dir(self) -> Path:
+        return self.root / "verdicts"
+
+    def _path(self, key: str) -> Path:
+        return self.verdict_dir / key[:2] / f"{key}.json"
+
+    def _entries(self):
+        if not self.verdict_dir.is_dir():
+            return
+        for shard in sorted(self.verdict_dir.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    # -- core operations ------------------------------------------------
+    def get(self, key: str, instance: SPPInstance) -> "ExplorationResult | None":
+        """The cached result for ``key``, re-labeled for ``instance``."""
+        payload = self._memo.get(key)
+        if payload is None:
+            path = self._path(key)
+            try:
+                payload = json.loads(path.read_text())
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                # Corrupt entry (e.g. a crashed writer on a filesystem
+                # without atomic rename): drop it and treat as a miss.
+                path.unlink(missing_ok=True)
+                self.misses += 1
+                return None
+            if payload.get("cache_version") != CACHE_VERSION:
+                self.misses += 1
+                return None
+            self._memo[key] = payload
+        try:
+            result = _result_from_jsonable(payload, instance)
+        except (KeyError, IndexError, TypeError, ValueError):
+            self._memo.pop(key, None)
+            self._path(key).unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, instance: SPPInstance, result: ExplorationResult) -> None:
+        """Store ``result`` under ``key`` (no-op if already present)."""
+        payload = _result_to_jsonable(result, instance)
+        self._memo[key] = payload
+        path = self._path(key)
+        if path.exists():
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------
+    def stats(self) -> dict:
+        """Entry count / byte totals on disk plus this process's hit rate."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached verdict; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._memo.clear()
+        return removed
+
+    def evict(self, max_entries: int) -> int:
+        """Keep the ``max_entries`` most recently touched verdicts."""
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        paths = list(self._entries())
+        if len(paths) <= max_entries:
+            return 0
+        paths.sort(key=lambda p: p.stat().st_mtime, reverse=True)
+        removed = 0
+        for path in paths[max_entries:]:
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._memo.clear()
+        return removed
+
+
+def as_cache(cache) -> "VerdictCache | None":
+    """Coerce the user-facing ``cache`` argument to a :class:`VerdictCache`.
+
+    ``None`` stays ``None`` (caching off); ``True`` opens the default
+    directory; a string or path opens that directory; an existing
+    :class:`VerdictCache` passes through.
+    """
+    if cache is None or isinstance(cache, VerdictCache):
+        return cache
+    if cache is True:
+        return VerdictCache()
+    if isinstance(cache, (str, os.PathLike)):
+        return VerdictCache(cache)
+    raise TypeError(f"cannot interpret {cache!r} as a verdict cache")

@@ -50,6 +50,11 @@ from ..core.spp import SPPInstance
 from ..models.dimensions import MessageCount, NeighborScope, Reliability
 from ..models.taxonomy import CommunicationModel
 from .activation import INFINITY, ActivationEntry
+from .reduction import (
+    absorption_allowed,
+    representative_tables,
+    validate_reduction,
+)
 from .state import NetworkState
 
 __all__ = [
@@ -378,6 +383,7 @@ class CompiledExplorer:
         model: CommunicationModel,
         queue_bound: int = 3,
         max_states: int = 200_000,
+        reduction: str = "ample",
     ) -> None:
         if model.concurrency.name != "ONE":
             raise ValueError("the explorer supports one-node-per-step models only")
@@ -385,6 +391,7 @@ class CompiledExplorer:
         self.model = model
         self.queue_bound = queue_bound
         self.max_states = max_states
+        self.reduction = validate_reduction(reduction)
         self.codec = codec_for(instance)
         self._dest_in = frozenset(self.codec.dest_in)
         self._collapse = (
@@ -392,6 +399,18 @@ class CompiledExplorer:
             and model.reliability is Reliability.RELIABLE
         )
         self._combo_cache: dict = {}
+        self._count_all = model.count is MessageCount.ALL
+        if self.reduction == "ample":
+            self._rep = representative_tables(instance)
+            self._absorb = absorption_allowed(model)
+            self._receiver_of = tuple(
+                self.codec.node_id[channel[1]] for channel in self.codec.channels
+            )
+        else:
+            self._rep = None
+            self._absorb = False
+            self._receiver_of = ()
+        self._pruned = 0
 
     # ------------------------------------------------------------------
     # State canonicalization (packed twin of Explorer.canonicalize)
@@ -408,18 +427,43 @@ class CompiledExplorer:
                 if len(queue) > 1:
                     needs_work = True
                     break
-        if not needs_work:
-            return packed
-        channels = list(channels)
-        rho = list(rho)
-        for cid in self.codec.dest_in:
-            channels[cid] = ()
-            rho[cid] = 0
-        if self._collapse:
+        if needs_work:
+            channels = list(channels)
+            rho = list(rho)
+            for cid in self.codec.dest_in:
+                channels[cid] = ()
+                rho[cid] = 0
+            if self._collapse:
+                for cid, queue in enumerate(channels):
+                    if len(queue) > 1:
+                        channels[cid] = (queue[-1],)
+            rho = tuple(rho)
+            channels = tuple(channels)
+        rep = self._rep
+        if rep is not None:
+            # ext-projection quotient: known routes and queued messages
+            # are only ever observed through their feasible extension,
+            # so each is replaced by its ext-class representative.
+            new_rho = None
+            for cid, r in enumerate(rho):
+                if rep[cid][r] != r:
+                    if new_rho is None:
+                        new_rho = list(rho)
+                    new_rho[cid] = rep[cid][r]
+            new_channels = None
             for cid, queue in enumerate(channels):
-                if len(queue) > 1:
-                    channels[cid] = (queue[-1],)
-        return (pi, tuple(rho), tuple(channels), announced)
+                table = rep[cid]
+                for m in queue:
+                    if table[m] != m:
+                        if new_channels is None:
+                            new_channels = list(channels)
+                        new_channels[cid] = tuple(table[m] for m in queue)
+                        break
+            if new_rho is not None:
+                rho = tuple(new_rho)
+            if new_channels is not None:
+                channels = tuple(new_channels)
+        return (pi, rho, channels, announced)
 
     # ------------------------------------------------------------------
     # Successor enumeration (same orders as the reference explorer)
@@ -496,8 +540,88 @@ class CompiledExplorer:
         combo = tuple((cid, count, _NO_DROPS) for cid in cids)
         return ((codec.dest_id,), combo)
 
+    def _absorption(self, packed: tuple) -> "tuple | None":
+        """The forced absorption step at ``packed``, if one applies.
+
+        Scans channels in canonical order for a front message whose
+        ext-class equals the channel's known route; reading it is a
+        pure queue-shortening no-op (see :mod:`repro.engine.reduction`),
+        so it is expanded as the state's sole successor.  The successor
+        is built directly — ρ keeps its (ext-equal) old value, π and
+        announcements provably cannot change — and then canonicalized,
+        which projects ρ onto the shared representative.
+        """
+        rep = self._rep
+        rho = packed[1]
+        channels = packed[2]
+        count_all = self._count_all
+        dest_id = self.codec.dest_id
+        for cid, queue in enumerate(channels):
+            if not queue:
+                continue
+            if count_all and len(queue) != 1:
+                # An ∞-read consumes the whole queue; only a singleton
+                # is a pure front-absorption.  (Reliable count-A queues
+                # are collapsed to ≤ 1 by canonicalization already.)
+                continue
+            table = rep[cid]
+            if table[queue[0]] != table[rho[cid]]:
+                continue
+            nid = self._receiver_of[cid]
+            if nid == dest_id:
+                continue
+            count: "int | float" = INFINITY if count_all else 1
+            entry = ((nid,), ((cid, count, _NO_DROPS),))
+            nxt = (
+                packed[0],
+                rho,
+                channels[:cid] + (queue[1:],) + channels[cid + 1 :],
+                packed[3],
+            )
+            return entry, self.canonicalize(nxt)
+        return None
+
+    def _full_entry_count(self, packed: tuple) -> int:
+        """How many entries unreduced enumeration would yield here.
+
+        Pure counting twin of :meth:`successors` (no states are built);
+        used to account ``states_pruned`` when absorption replaces the
+        full successor set.
+        """
+        codec = self.codec
+        channels = packed[2]
+        total = 0 if self._kickoff(packed) is None else 1
+        scope = self.model.scope
+        for nid in range(len(codec.nodes)):
+            counts = [
+                len(self._combos_for(len(channels[cid])))
+                for cid in codec.in_ch[nid]
+                if channels[cid]
+            ]
+            if not counts:
+                continue
+            if scope is NeighborScope.ONE:
+                total += sum(counts)
+            elif scope is NeighborScope.EVERY:
+                product = 1
+                for cid in codec.in_ch[nid]:
+                    product *= len(self._combos_for(len(channels[cid])))
+                total += product
+            else:
+                product = 1
+                for n in counts:
+                    product *= n + 1
+                total += product - 1
+        return total
+
     def successors(self, packed: tuple):
         """Yield ``(packed_entry, canonical_next)`` — reference order."""
+        if self._absorb:
+            forced = self._absorption(packed)
+            if forced is not None:
+                self._pruned += self._full_entry_count(packed) - 1
+                yield forced
+                return
         codec = self.codec
         apply_step = apply_packed
         canonicalize = self.canonicalize
@@ -537,6 +661,7 @@ class CompiledExplorer:
     def explore(self):
         from .explorer import ExplorationResult
 
+        self._pruned = 0
         initial = self.canonicalize(self.codec.initial_packed())
         index_of: dict = {initial: 0}
         states: list = [initial]
@@ -558,6 +683,7 @@ class CompiledExplorer:
                 complete=complete,
                 states_explored=len(states),
                 truncated_states=truncated,
+                states_pruned=self._pruned,
                 witness=witness,
             )
 

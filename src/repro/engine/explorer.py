@@ -50,9 +50,25 @@ from ..models.dimensions import MessageCount, NeighborScope, Reliability
 from ..models.taxonomy import CommunicationModel
 from .activation import INFINITY, ActivationEntry
 from .execution import apply_entry
+from .reduction import (
+    absorption_allowed,
+    representative_paths,
+    validate_reduction,
+)
 from .state import NetworkState
 
-__all__ = ["ExplorationResult", "OscillationWitness", "Explorer", "can_oscillate"]
+__all__ = [
+    "ENGINE_REVISION",
+    "ExplorationResult",
+    "OscillationWitness",
+    "Explorer",
+    "can_oscillate",
+]
+
+#: Bumped whenever the search semantics change (state counts, verdict
+#: logic, canonicalization) — part of every verdict-cache key so cached
+#: results from an older engine are never replayed.
+ENGINE_REVISION = 2
 
 
 @dataclass(frozen=True)
@@ -77,6 +93,11 @@ class ExplorationResult:
     complete: bool
     states_explored: int
     truncated_states: int
+    #: Successor expansions skipped by the partial-order reducer (0 when
+    #: ``reduction="none"``); ``states_explored`` counts the *reduced*
+    #: graph, so the reduction ratio is visible instead of counts
+    #: silently shrinking.
+    states_pruned: int = 0
     witness: "OscillationWitness | None" = None
 
     @property
@@ -98,9 +119,14 @@ class Explorer:
     models for policy-rich DBF protocols).
     """
 
-    #: Class-level default so subclasses that bypass ``__init__`` (the
-    #: multi-node explorer) still resolve an engine attribute.
+    #: Class-level defaults so subclasses that bypass ``__init__`` (the
+    #: multi-node explorer) still resolve engine/reduction attributes —
+    #: subclasses run unreduced unless they opt in explicitly.
     engine = "compiled"
+    reduction = "none"
+    _rep_paths = None
+    _absorb = False
+    _pruned = 0
 
     def __init__(
         self,
@@ -109,6 +135,7 @@ class Explorer:
         queue_bound: int = 3,
         max_states: int = 200_000,
         engine: str = "compiled",
+        reduction: str = "ample",
     ) -> None:
         if model.concurrency.name != "ONE":
             raise ValueError("the explorer supports one-node-per-step models only")
@@ -119,6 +146,12 @@ class Explorer:
         self.queue_bound = queue_bound
         self.max_states = max_states
         self.engine = engine
+        self.reduction = validate_reduction(reduction)
+        self._rep_paths = (
+            representative_paths(instance) if self.reduction == "ample" else None
+        )
+        self._absorb = self.reduction == "ample" and absorption_allowed(model)
+        self._pruned = 0
         self._dest_channels = frozenset(
             channel for channel in instance.channels if channel[1] == instance.dest
         )
@@ -140,6 +173,16 @@ class Explorer:
             needs_work = any(
                 len(contents) > 1 for contents in state.channels.values()
             )
+        rep = self._rep_paths
+        if not needs_work and rep is not None:
+            for channel, mapping in rep.items():
+                known = state.known_route(channel)
+                if mapping[known] != known or any(
+                    mapping[m] != m
+                    for m in state.channel_contents(channel)
+                ):
+                    needs_work = True
+                    break
         if not needs_work:
             return state
         channels = state.channels
@@ -155,6 +198,15 @@ class Explorer:
             for channel, contents in channels.items():
                 if len(contents) > 1:
                     channels[channel] = (contents[-1],)
+        if rep is not None:
+            # ext-projection quotient (see repro.engine.reduction):
+            # routes on a channel act only through their feasible
+            # extension, so each is replaced by its class representative.
+            for channel, mapping in rep.items():
+                rho[channel] = mapping[rho[channel]]
+                contents = channels[channel]
+                if contents:
+                    channels[channel] = tuple(mapping[m] for m in contents)
         return NetworkState.from_instance_order(
             self.instance,
             pi=state.pi,
@@ -255,9 +307,92 @@ class Explorer:
             reads={channel: count for channel in channels},
         )
 
+    def _combo_count(self, pending: int) -> int:
+        """How many ``(f, g)`` choices one channel with ``pending``
+        messages contributes — the counting twin of the enumeration in
+        :meth:`successors`."""
+        total = 0
+        for count in self._count_options(pending):
+            effective = pending if count is INFINITY else min(count, pending)
+            total += len(self._drop_options(effective))
+        return total
+
+    def _absorption(self, state: NetworkState):
+        """The forced absorption step at ``state``, if one applies.
+
+        Mirror of ``CompiledExplorer._absorption`` (same channel scan
+        order, same guards) — see :mod:`repro.engine.reduction` for the
+        soundness argument.  The successor is built directly: reading a
+        front message that is ext-equivalent to the known route cannot
+        change ρ's class, the best response, or announcements.
+        """
+        rep = self._rep_paths
+        count_all = self.model.count is MessageCount.ALL
+        dest = self.instance.dest
+        for channel in self.instance.channels:
+            contents = state.channel_contents(channel)
+            if not contents:
+                continue
+            if count_all and len(contents) != 1:
+                continue
+            mapping = rep[channel]
+            if mapping[contents[0]] != mapping[state.known_route(channel)]:
+                continue
+            receiver = channel[1]
+            if receiver == dest:
+                continue
+            count: "int | float" = INFINITY if count_all else 1
+            entry = ActivationEntry(
+                nodes=[receiver], channels=(channel,), reads={channel: count}
+            )
+            channels = state.channels
+            channels[channel] = contents[1:]
+            next_state = NetworkState.from_instance_order(
+                self.instance,
+                pi=state.pi,
+                rho=state.rho,
+                channels=channels,
+                announced=state.announced,
+            )
+            return entry, self.canonicalize(next_state)
+        return None
+
+    def _full_entry_count(self, state: NetworkState) -> int:
+        """How many entries unreduced enumeration would yield here."""
+        total = 0 if self._destination_kickoff(state) is None else 1
+        scope = self.model.scope
+        for node in self.instance.sorted_nodes:
+            in_channels = self.instance.in_channels(node)
+            counts = [
+                self._combo_count(state.message_count(channel))
+                for channel in in_channels
+                if state.channel_contents(channel)
+            ]
+            if not counts:
+                continue
+            if scope is NeighborScope.ONE:
+                total += sum(counts)
+            elif scope is NeighborScope.EVERY:
+                product = 1
+                for channel in in_channels:
+                    product *= self._combo_count(state.message_count(channel))
+                total += product
+            else:
+                product = 1
+                for n in counts:
+                    product *= n + 1
+                total += product - 1
+        return total
+
     def successors(self, state: NetworkState):
         """Yield ``(entry, next_state)`` for every behaviourally distinct,
         non-no-op entry."""
+        if self._absorb:
+            forced = self._absorption(state)
+            if forced is not None:
+                self._pruned += self._full_entry_count(state) - 1
+                yield forced
+                return
         kickoff = self._destination_kickoff(state)
         if kickoff is not None:
             next_state, _ = apply_entry(self.instance, state, kickoff)
@@ -310,11 +445,13 @@ class Explorer:
                 self.model,
                 queue_bound=self.queue_bound,
                 max_states=self.max_states,
+                reduction=self.reduction,
             ).explore()
         return self._explore_reference()
 
     def _explore_reference(self) -> ExplorationResult:
         """The reference (rich-value) search loop."""
+        self._pruned = 0
         initial = self.canonicalize(NetworkState.initial(self.instance))
         index_of: dict = {initial: 0}
         states: list = [initial]
@@ -337,6 +474,7 @@ class Explorer:
                 complete=complete,
                 states_explored=len(states),
                 truncated_states=truncated,
+                states_pruned=self._pruned,
                 witness=witness,
             )
 
@@ -565,6 +703,8 @@ def can_oscillate(
     max_states: int = 200_000,
     reliable_twin_first: bool = True,
     engine: str = "compiled",
+    reduction: str = "ample",
+    cache=None,
 ) -> ExplorationResult:
     """Convenience wrapper: explore and report.
 
@@ -573,7 +713,34 @@ def can_oscillate(
     reliable-twin witness *is* an unreliable-model witness, found in a
     state space that is orders of magnitude smaller.  Safety verdicts
     still require (and get) the full lossy search.
+
+    ``reduction`` selects the partial-order reducer of
+    :mod:`repro.engine.reduction` (``"ample"``, the default) or the
+    plain exhaustive search (``"none"``).  ``cache`` — a
+    :class:`repro.engine.cache.VerdictCache`, a path for one, or
+    ``None`` — memoizes the result in the content-addressed verdict
+    store, keyed by the instance's canonical hash plus the search
+    parameters (the ``engine`` is *not* part of the key: compiled and
+    reference runs are bit-identical by construction).
     """
+    validate_reduction(reduction)
+    key = None
+    if cache is not None:
+        from .cache import as_cache, verdict_key
+
+        cache = as_cache(cache)
+        key = verdict_key(
+            instance,
+            model.name,
+            queue_bound=queue_bound,
+            max_states=max_states,
+            reliable_twin_first=reliable_twin_first,
+            reduction=reduction,
+        )
+        hit = cache.get(key, instance)
+        if hit is not None:
+            return hit
+    result = None
     if reliable_twin_first and model.reliability is Reliability.UNRELIABLE:
         twin = CommunicationModel(Reliability.RELIABLE, model.scope, model.count)
         twin_result = Explorer(
@@ -582,22 +749,28 @@ def can_oscillate(
             queue_bound=queue_bound,
             max_states=max_states,
             engine=engine,
+            reduction=reduction,
         ).explore()
         if twin_result.oscillates:
-            return ExplorationResult(
+            result = ExplorationResult(
                 model_name=model.name,
                 instance_name=twin_result.instance_name,
                 oscillates=True,
                 complete=False,  # only the drop-free subgraph was searched
                 states_explored=twin_result.states_explored,
                 truncated_states=twin_result.truncated_states,
+                states_pruned=twin_result.states_pruned,
                 witness=twin_result.witness,
             )
-    explorer = Explorer(
-        instance,
-        model,
-        queue_bound=queue_bound,
-        max_states=max_states,
-        engine=engine,
-    )
-    return explorer.explore()
+    if result is None:
+        result = Explorer(
+            instance,
+            model,
+            queue_bound=queue_bound,
+            max_states=max_states,
+            engine=engine,
+            reduction=reduction,
+        ).explore()
+    if cache is not None:
+        cache.put(key, instance, result)
+    return result

@@ -76,6 +76,12 @@ class ExplorationTask:
     max_states: int = 200_000
     reliable_twin_first: bool = True
     engine: str = "compiled"
+    reduction: str = "ample"
+    #: Directory of a shared :class:`repro.engine.cache.VerdictCache`
+    #: (``None`` disables caching).  Safe across workers: entries are
+    #: write-once and written via atomic renames, so racing processes
+    #: only ever duplicate work, never corrupt the store.
+    cache_dir: "str | None" = None
 
     def resolved_key(self) -> tuple:
         return self.key or (self.instance.name, self.model_name)
@@ -92,6 +98,8 @@ def _explore_one(task: ExplorationTask):
         max_states=task.max_states,
         reliable_twin_first=task.reliable_twin_first,
         engine=task.engine,
+        reduction=task.reduction,
+        cache=task.cache_dir,
     )
 
 

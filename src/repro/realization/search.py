@@ -70,8 +70,16 @@ class RealizationSearch:
         self.model = model
         self.queue_bound = queue_bound
         self.max_visited = max_visited
+        # Realization asks about *exact* π-sequences, which the
+        # partial-order reduction deliberately does not preserve (it
+        # merges ext-equivalent states and forces absorption steps), so
+        # the search always runs on the full unreduced graph.
         self._explorer = Explorer(
-            instance, model, queue_bound=queue_bound, max_states=max_visited
+            instance,
+            model,
+            queue_bound=queue_bound,
+            max_states=max_visited,
+            reduction="none",
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,220 @@
+"""Tests for the content-addressed verdict cache."""
+
+import json
+
+import pytest
+
+from repro.core import instances as gadgets
+from repro.core.compose import rename_nodes
+from repro.engine.cache import (
+    CACHE_VERSION,
+    VerdictCache,
+    as_cache,
+    verdict_key,
+)
+from repro.engine.execution import Execution
+from repro.engine.explorer import can_oscillate
+from repro.engine.parallel import ExplorationTask, run_explorations
+from repro.models.taxonomy import ALL_MODELS, model
+
+BOUNDS = dict(
+    queue_bound=3, max_states=200_000, reliable_twin_first=True,
+    reduction="ample",
+)
+
+
+def result_tuple(result):
+    return (
+        result.model_name,
+        result.oscillates,
+        result.complete,
+        result.states_explored,
+        result.truncated_states,
+        result.states_pruned,
+    )
+
+
+class TestKeys:
+    def test_key_is_stable_and_parameter_sensitive(self, disagree):
+        base = verdict_key(disagree, "R1O", **BOUNDS)
+        assert base == verdict_key(disagree, "R1O", **BOUNDS)
+        assert base != verdict_key(disagree, "REA", **BOUNDS)
+        assert base != verdict_key(
+            disagree, "R1O", **{**BOUNDS, "queue_bound": 4}
+        )
+        assert base != verdict_key(
+            disagree, "R1O", **{**BOUNDS, "max_states": 17}
+        )
+        assert base != verdict_key(
+            disagree, "R1O", **{**BOUNDS, "reliable_twin_first": False}
+        )
+        assert base != verdict_key(
+            disagree, "R1O", **{**BOUNDS, "reduction": "none"}
+        )
+
+    def test_key_is_relabeling_invariant(self, disagree):
+        renamed = rename_nodes(disagree, prefix="zz_")
+        assert verdict_key(disagree, "R1O", **BOUNDS) == verdict_key(
+            renamed, "R1O", **BOUNDS
+        )
+
+    def test_key_distinguishes_instances(self, disagree, fig7):
+        assert verdict_key(disagree, "R1O", **BOUNDS) != verdict_key(
+            fig7, "R1O", **BOUNDS
+        )
+
+
+class TestHitMiss:
+    def test_miss_then_hit_round_trips_the_result(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path)
+        cold = can_oscillate(disagree, model("R1O"), queue_bound=3,
+                             cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        warm_cache = VerdictCache(tmp_path)  # fresh memo: forces a disk read
+        warm = can_oscillate(disagree, model("R1O"), queue_bound=3,
+                             cache=warm_cache)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert result_tuple(warm) == result_tuple(cold)
+        assert warm.witness == cold.witness
+
+    def test_relabeled_instance_hits_with_translated_witness(
+        self, tmp_path, disagree
+    ):
+        can_oscillate(disagree, model("R1O"), queue_bound=3,
+                      cache=VerdictCache(tmp_path))
+        renamed = rename_nodes(disagree, prefix="zz_")
+        cache = VerdictCache(tmp_path)
+        hit = can_oscillate(renamed, model("R1O"), queue_bound=3, cache=cache)
+        assert cache.hits == 1 and cache.misses == 0
+        assert hit.oscillates and hit.witness is not None
+        assert hit.instance_name == renamed.name
+        # The stored witness was recorded on the original labels; the
+        # translated replay must execute on the renamed instance.
+        execution = Execution(renamed)
+        for entry in hit.witness.prefix + hit.witness.cycle:
+            execution.step(entry)
+
+    def test_safety_verdicts_cache_too(self, tmp_path, disagree):
+        cold = can_oscillate(disagree, model("REA"), queue_bound=3,
+                             cache=VerdictCache(tmp_path))
+        assert not cold.oscillates and cold.witness is None
+        cache = VerdictCache(tmp_path)
+        warm = can_oscillate(disagree, model("REA"), queue_bound=3,
+                             cache=cache)
+        assert cache.hits == 1
+        assert result_tuple(warm) == result_tuple(cold)
+
+    def test_different_bounds_do_not_collide(self, tmp_path, disagree):
+        can_oscillate(disagree, model("R1O"), queue_bound=3,
+                      cache=VerdictCache(tmp_path))
+        cache = VerdictCache(tmp_path)
+        can_oscillate(disagree, model("R1O"), queue_bound=2, cache=cache)
+        assert cache.hits == 0 and cache.misses == 1
+
+
+class TestRobustness:
+    def _populate_one(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path)
+        key = verdict_key(disagree, "R1O", **BOUNDS)
+        can_oscillate(disagree, model("R1O"), queue_bound=3, cache=cache)
+        return cache._path(key)
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path, disagree):
+        path = self._populate_one(tmp_path, disagree)
+        path.write_text("{not json")
+        cache = VerdictCache(tmp_path)
+        result = can_oscillate(disagree, model("R1O"), queue_bound=3,
+                               cache=cache)
+        assert cache.misses == 1
+        assert result.oscillates  # recomputed and re-stored
+        assert json.loads(path.read_text())["model_name"] == "R1O"
+
+    def test_version_skew_is_a_miss(self, tmp_path, disagree):
+        path = self._populate_one(tmp_path, disagree)
+        payload = json.loads(path.read_text())
+        payload["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        cache = VerdictCache(tmp_path)
+        assert cache.get(verdict_key(disagree, "R1O", **BOUNDS), disagree) is None
+        assert cache.misses == 1
+
+    def test_put_is_write_once(self, tmp_path, disagree):
+        path = self._populate_one(tmp_path, disagree)
+        before = path.read_bytes()
+        cache = VerdictCache(tmp_path)
+        key = verdict_key(disagree, "R1O", **BOUNDS)
+        result = cache.get(key, disagree)
+        cache.put(key, disagree, result)
+        assert path.read_bytes() == before
+
+
+class TestMaintenance:
+    def _populate(self, tmp_path, disagree, names=("R1O", "REA", "UMS")):
+        cache = VerdictCache(tmp_path)
+        for name in names:
+            can_oscillate(disagree, model(name), queue_bound=3, cache=cache)
+        return cache
+
+    def test_stats_counts_entries(self, tmp_path, disagree):
+        cache = self._populate(tmp_path, disagree)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["misses"] == 3
+
+    def test_clear_removes_everything(self, tmp_path, disagree):
+        cache = self._populate(tmp_path, disagree)
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+        # Post-clear lookups recompute from scratch.
+        can_oscillate(disagree, model("R1O"), queue_bound=3, cache=cache)
+        assert cache.stats()["entries"] == 1
+
+    def test_evict_keeps_most_recent(self, tmp_path, disagree):
+        cache = self._populate(tmp_path, disagree)
+        assert cache.evict(2) == 1
+        assert cache.stats()["entries"] == 2
+        assert cache.evict(2) == 0
+        with pytest.raises(ValueError):
+            cache.evict(-1)
+
+
+class TestParallelSharing:
+    def test_workers_share_one_cache_directory(self, tmp_path, disagree):
+        tasks = [
+            ExplorationTask(
+                instance=disagree,
+                model_name=m.name,
+                key=(m.name,),
+                queue_bound=3,
+                cache_dir=str(tmp_path),
+            )
+            for m in ALL_MODELS
+        ]
+        cold = dict(
+            (key[0], result)
+            for key, result in run_explorations(tasks, workers=4)
+        )
+        assert VerdictCache(tmp_path).stats()["entries"] == len(ALL_MODELS)
+        warm = dict(
+            (key[0], result)
+            for key, result in run_explorations(tasks, workers=4)
+        )
+        for name in cold:
+            assert result_tuple(warm[name]) == result_tuple(cold[name])
+            assert warm[name].witness == cold[name].witness
+
+
+class TestAsCache:
+    def test_coercions(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        assert as_cache(None) is None
+        assert as_cache(cache) is cache
+        assert as_cache(str(tmp_path)).root == cache.root
+        assert as_cache(tmp_path).root == cache.root
+        with pytest.raises(TypeError):
+            as_cache(42)
+
+    def test_true_opens_the_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert as_cache(True).root == tmp_path / "env"

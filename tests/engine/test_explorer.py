@@ -125,7 +125,7 @@ class TestCanonicalization:
 
     def test_polling_collapse_keeps_last_message_only(self):
         instance = canonical.disagree()
-        explorer = Explorer(instance, model("R1A"))
+        explorer = Explorer(instance, model("R1A"), reduction="none")
         from repro.engine.activation import ActivationEntry
 
         execution = Execution(instance)
@@ -137,6 +137,12 @@ class TestCanonicalization:
         assert len(execution.state.channel_contents(("x", "y"))) == 2
         collapsed = explorer.canonicalize(execution.state)
         assert collapsed.channel_contents(("x", "y")) == (("x", "y", "d"),)
+        # With the reducer on, the surviving message is additionally
+        # projected onto its ext-class representative: xyd loops at y,
+        # so its feasible extension — and hence its representative — is ε.
+        reduced = Explorer(instance, model("R1A"), reduction="ample")
+        projected = reduced.canonicalize(execution.state)
+        assert projected.channel_contents(("x", "y")) == ((),)
 
     def test_canonicalize_is_idempotent(self):
         instance = canonical.disagree()

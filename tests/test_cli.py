@@ -117,3 +117,57 @@ class TestNewCommands:
     def test_sat_bad_formula(self):
         with pytest.raises(ValueError):
             main(["sat", "foo"])
+
+
+class TestPerfFlags:
+    def test_explore_reference_engine_unreduced(self, capsys, tmp_path):
+        assert main([
+            "explore", "--instance", "disagree", "--model", "R1O",
+            "--engine", "reference", "--reduction", "none", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "oscillates: True" in out
+        assert "pruned: 0" in out
+
+    def test_explore_warm_cache_round_trip(self, capsys, tmp_path):
+        argv = [
+            "explore", "--instance", "disagree", "--model", "REA",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert "oscillates: False" in warm
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        main([
+            "explore", "--instance", "disagree", "--model", "R1O",
+            "--cache-dir", str(tmp_path),
+        ])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_dir_env_override(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        main(["explore", "--instance", "disagree", "--model", "R1O"])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "env") in out
+        assert "entries: 1" in out
+
+    def test_matrix_accepts_perf_flags(self, capsys, tmp_path):
+        assert main([
+            "matrix", "--figure", "3", "--reduction", "ample",
+            "--engine", "compiled", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out

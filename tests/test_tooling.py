@@ -41,4 +41,8 @@ class TestTierOneContainsDifferentialSuite:
     def test_bench_regression_harness_present(self):
         harness = REPO / "benchmarks" / "perf_regression.py"
         assert harness.is_file()
-        assert "BENCH_engine.json" in harness.read_text()
+        text = harness.read_text()
+        assert "BENCH_engine.json" in text
+        assert "BENCH_matrix.json" in text
+        assert "MIN_REDUCTION_SPEEDUP" in text
+        assert "MIN_WARM_CACHE_SPEEDUP" in text
