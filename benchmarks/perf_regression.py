@@ -17,10 +17,14 @@ the *unreduced* search (the PR-1 workload, unchanged for continuity);
 cache on the matrix workload — the 24-model certification of the
 Fig. 7 gadget, whose interleaving explosion is what the reducer exists
 for (DISAGREE is recorded alongside but is too small to gate on).
-Two numbers are gated: the cold reduction speedup (reduced vs
-unreduced search, ≥ 3×) and the warm cache speedup (second run against
-a populated cache, ≥ 20×).  Verdict equality between every
-configuration is asserted before any number is reported.
+Three numbers are gated: the cold reduction speedup (reduced vs
+unreduced search, ≥ 3×), the warm cache speedup (second run against
+a populated cache, ≥ 20×), and the telemetry overhead (the ``repro.obs``
+instrumentation enabled vs disabled on the cold reduced certification,
+≤ 5% — its span-level breakdown is recorded under ``"telemetry"``;
+``--telemetry-only``/``--telemetry-out`` run just this gate for the CI
+observability job).  Verdict equality between every configuration is
+asserted before any number is reported.
 
 The JSONs are committed alongside performance PRs so a regression
 shows up as a diff.
@@ -35,6 +39,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.experiments import matrix_certification
 from repro.core.instances import fig6_gadget, fig7_gadget
 from repro.engine.compiled import replay_schedule
@@ -46,6 +51,7 @@ from repro.models.taxonomy import model
 MIN_EXPLORER_SPEEDUP = 3.0
 MIN_REDUCTION_SPEEDUP = 3.0
 MIN_WARM_CACHE_SPEEDUP = 20.0
+MAX_TELEMETRY_OVERHEAD_PCT = 5.0
 
 
 def _best_of(runs: int, fn):
@@ -200,6 +206,74 @@ def bench_matrix_workload() -> dict:
     }
 
 
+def bench_telemetry_overhead(
+    telemetry_out: "Path | None" = None, runs: int = 2
+) -> dict:
+    """The observability gate: instrumentation must stay below
+    :data:`MAX_TELEMETRY_OVERHEAD_PCT` on the cold reduced Fig. 7
+    certification (the longest single-process search in the suite, so
+    per-state costs have nowhere to hide).  Disabled and enabled runs
+    are *interleaved* (off/on pairs, best of each) so slow machine
+    drift cancels instead of biasing whichever side runs last.
+    Verdict equality between the disabled and enabled runs is asserted
+    — telemetry observes only — and the enabled runs' span breakdown
+    is recorded so the committed JSON shows where certification time
+    goes.
+    """
+    fig7 = fig7_gadget()
+
+    def certify():
+        return matrix_certification(
+            workers=1, queue_bound=2, instance=fig7, reduction="ample"
+        )
+
+    def certify_instrumented():
+        telemetry = obs.Telemetry(
+            telemetry_out, run={"command": "bench-telemetry"}
+        )
+        previous = obs.install(telemetry)
+        try:
+            return certify(), telemetry.summary
+        finally:
+            obs.install(previous)
+            telemetry.close()
+
+    off_seconds = on_seconds = None
+    summary: dict = {}
+    for _ in range(runs):
+        start = time.perf_counter()
+        baseline = certify()
+        elapsed = time.perf_counter() - start
+        if off_seconds is None or elapsed < off_seconds:
+            off_seconds = elapsed
+
+        start = time.perf_counter()
+        instrumented, summarize = certify_instrumented()
+        elapsed = time.perf_counter() - start
+        if on_seconds is None or elapsed < on_seconds:
+            on_seconds = elapsed
+            summary = summarize()
+
+        assert {name: baseline[name].oscillates for name in baseline} == {
+            name: instrumented[name].oscillates for name in instrumented
+        }
+
+    overhead_pct = round((on_seconds / off_seconds - 1.0) * 100.0, 2)
+    return {
+        "workload": "fig7_gadget all 24 models queue_bound=2, cold "
+        "reduced, telemetry disabled vs enabled (best of "
+        f"{runs})",
+        "seconds_disabled": round(off_seconds, 4),
+        "seconds_enabled": round(on_seconds, 4),
+        "overhead_pct": overhead_pct,
+        "spans": summary.get("spans", {}),
+        "counters": summary.get("counters", {}),
+        "passes_max_telemetry_overhead": (
+            overhead_pct <= MAX_TELEMETRY_OVERHEAD_PCT
+        ),
+    }
+
+
 def run(out_path: Path) -> dict:
     compiled = bench_explorer("compiled")
     reference = bench_explorer("reference")
@@ -229,10 +303,27 @@ def run(out_path: Path) -> dict:
     return report
 
 
-def run_matrix(out_path: Path) -> dict:
+def run_matrix(
+    out_path: Path,
+    telemetry_out: "Path | None" = None,
+    skip_telemetry: bool = False,
+) -> dict:
     report = bench_matrix_workload()
+    if not skip_telemetry:
+        report["telemetry"] = bench_telemetry_overhead(telemetry_out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def _check_telemetry(report: dict) -> bool:
+    """Print the overhead verdict; ``True`` when the gate fails."""
+    if not report["passes_max_telemetry_overhead"]:
+        print(
+            f"FAIL: telemetry overhead {report['overhead_pct']}% "
+            f"> allowed {MAX_TELEMETRY_OVERHEAD_PCT}%"
+        )
+        return True
+    return False
 
 
 def main() -> int:
@@ -247,7 +338,28 @@ def main() -> int:
         action="store_true",
         help="skip the minutes-long reducer/cache workload",
     )
+    parser.add_argument(
+        "--telemetry-only",
+        action="store_true",
+        help="run only the telemetry overhead gate (CI observability job)",
+    )
+    parser.add_argument(
+        "--skip-telemetry",
+        action="store_true",
+        help="omit the telemetry overhead gate (it has its own CI job)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the instrumented runs' JSONL event stream to PATH",
+    )
     args = parser.parse_args()
+    telemetry_out = Path(args.telemetry_out) if args.telemetry_out else None
+    if args.telemetry_only:
+        report = bench_telemetry_overhead(telemetry_out)
+        print(json.dumps(report, indent=2))
+        return 1 if _check_telemetry(report) else 0
     report = run(Path(args.out))
     print(json.dumps(report, indent=2))
     failed = False
@@ -258,7 +370,9 @@ def main() -> int:
         )
         failed = True
     if not args.skip_matrix:
-        matrix_report = run_matrix(Path(args.matrix_out))
+        matrix_report = run_matrix(
+            Path(args.matrix_out), telemetry_out, args.skip_telemetry
+        )
         print(json.dumps(matrix_report, indent=2))
         if not matrix_report["passes_min_reduction_speedup"]:
             print(
@@ -273,6 +387,10 @@ def main() -> int:
                 f"{matrix_report['speedup']['cache_warm']}x "
                 f"< required {MIN_WARM_CACHE_SPEEDUP}x"
             )
+            failed = True
+        if "telemetry" in matrix_report and _check_telemetry(
+            matrix_report["telemetry"]
+        ):
             failed = True
     return 1 if failed else 0
 

@@ -48,6 +48,7 @@ __all__ = [
     "experiment_dispute_wheels",
     "experiment_convergence_rates",
     "experiment_message_overhead",
+    "suite_as_dict",
     "OverheadExperiment",
     "FIG6_REO_SCHEDULE",
     "FIG6_REO_EXPECTED",
@@ -113,9 +114,27 @@ class MatrixExperiment:
             text += (
                 f"\ncertified on DISAGREE: {len(oscillating)} models "
                 f"oscillate, {len(safe)} proved safe "
-                f"(safe: {', '.join(safe)})"
+                f"(safe: {', '.join(safe)})\n"
+                + reporting.render_certification_table(self.certification)
             )
         return text
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro experiments --json``)."""
+        return {
+            "figure": self.figure,
+            "matches": self.matches,
+            "tighter": self.tighter,
+            "problems": len(self.problems),
+            "certification": (
+                None
+                if self.certification is None
+                else {
+                    name: result.as_dict()
+                    for name, result in sorted(self.certification.items())
+                }
+            ),
+        }
 
 
 #: The models that provably cannot oscillate on DISAGREE — the five of
@@ -244,6 +263,16 @@ class OscillationExperiment:
             + reporting.render_oscillation_table(self.results)
         )
 
+    def as_dict(self) -> dict:
+        return {
+            "instance": self.instance_name,
+            "correct": self.correct,
+            "results": {
+                name: result.as_dict()
+                for name, result in sorted(self.results.items())
+            },
+        }
+
 
 #: The models Ex. A.1 proves cannot oscillate on DISAGREE.
 DISAGREE_SAFE_MODELS = ("REO", "REF", "R1A", "RMA", "REA")
@@ -330,6 +359,20 @@ class Fig6Experiment:
         if self.polling_results:
             lines.append(reporting.render_oscillation_table(self.polling_results))
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_matches": self.trace_matches,
+            "oscillates_in_reo": self.oscillates_in_reo,
+            "recurrence": (
+                None if self.recurrence is None else list(self.recurrence)
+            ),
+            "polling_safe": self.polling_safe,
+            "polling_results": {
+                name: result.as_dict()
+                for name, result in sorted(self.polling_results.items())
+            },
+        }
 
 
 def run_fig6_reo_trace(extra_rounds: int = 8) -> "tuple":
@@ -443,6 +486,23 @@ class TraceRealizationExperiment:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "trace_matches": self.trace_matches,
+            "target_model": self.target_model,
+            "impossible_mode": self.impossible_mode,
+            "impossible_proved": self.impossible_proved,
+            "search_states": self.search_states,
+            "possible_mode": self.possible_mode,
+            "possible_found": (
+                None
+                if self.possible_mode is None
+                else self.possible_schedule is not None
+            ),
+            "correct": self.correct,
+        }
+
 
 def _scripted_trace(instance, schedule, kind: str):
     execution = Execution(instance)
@@ -527,6 +587,15 @@ class MultiNodeExperiment:
             f"{self.assignments_seen} → oscillates={self.oscillates}"
         )
 
+    def as_dict(self) -> dict:
+        return {
+            "recurrence": (
+                None if self.recurrence is None else list(self.recurrence)
+            ),
+            "assignments_seen": self.assignments_seen,
+            "oscillates": self.oscillates,
+        }
+
 
 def experiment_multinode(rounds: int = 6) -> MultiNodeExperiment:
     """E8: run the Ex. A.6 schedule — x and y polling in lockstep."""
@@ -574,6 +643,19 @@ class DisputeWheelExperiment:
                 f"{name:<15} | {str(wheel):<5} | {solutions:>16} | {oscillates}"
             )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "instance": name,
+                    "dispute_wheel": wheel,
+                    "stable_solutions": solutions,
+                    "oscillates_in_rms": oscillates,
+                }
+                for name, wheel, solutions, oscillates in self.rows
+            ]
+        }
 
 
 def experiment_dispute_wheels() -> DisputeWheelExperiment:
@@ -645,6 +727,21 @@ class OverheadExperiment:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        return {
+            "instance": self.instance_name,
+            "rows": {
+                name: {
+                    "converged": converged,
+                    "steps": steps,
+                    "metrics": metrics.as_dict(),
+                }
+                for name, (converged, steps, metrics) in sorted(
+                    self.rows.items()
+                )
+            },
+        }
+
 
 def experiment_message_overhead(
     instance=None,
@@ -679,3 +776,56 @@ def experiment_message_overhead(
                 break
         rows[name] = (converged, steps, measure(execution.trace))
     return OverheadExperiment(instance_name=instance.name, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable suite (``repro experiments --json``).
+# ----------------------------------------------------------------------
+def suite_as_dict(
+    full: bool = False,
+    workers: "int | None" = 1,
+    engine: str = "compiled",
+    reduction: str = "ample",
+    cache_dir: "str | None" = None,
+) -> dict:
+    """Run the experiment suite and return one JSON-serializable dict.
+
+    Mirrors the CLI's text path experiment for experiment (E1–E13), but
+    every result is reported through its ``as_dict()`` instead of its
+    ``summary`` string, so downstream tooling never scrapes tables.
+    """
+    from ..engine.multinode import can_oscillate_multinode
+    from ..models.taxonomy import model as model_by_name
+
+    perf = dict(
+        workers=workers, engine=engine, reduction=reduction,
+        cache_dir=cache_dir,
+    )
+    polling = ("R1A", "RMA", "REA") if full else ("REA",)
+    lockstep = can_oscillate_multinode(
+        canonical.disagree(), model_by_name("R1A"), queue_bound=2
+    )
+    staggered = can_oscillate_multinode(
+        canonical.disagree(),
+        model_by_name("R1A"),
+        queue_bound=2,
+        require_solo_activations=True,
+    )
+    survey = experiment_convergence_rates(workers=workers)
+    return {
+        "figure3": experiment_figure3(**perf).as_dict(),
+        "figure4": experiment_figure4(**perf).as_dict(),
+        "disagree": experiment_disagree(**perf).as_dict(),
+        "fig6": experiment_fig6(polling_models=polling, **perf).as_dict(),
+        "fig7": experiment_fig7().as_dict(),
+        "fig8": experiment_fig8().as_dict(),
+        "fig9": experiment_fig9().as_dict(),
+        "multinode": experiment_multinode().as_dict(),
+        "multinode_exhaustive": {
+            "lockstep_oscillates": lockstep.oscillates,
+            "solo_activation_oscillates": staggered.oscillates,
+        },
+        "dispute_wheels": experiment_dispute_wheels().as_dict(),
+        "message_overhead": experiment_message_overhead().as_dict(),
+        "convergence_rates": survey.as_dict(),
+    }

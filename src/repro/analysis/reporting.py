@@ -25,6 +25,7 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_comparison_summary",
+    "render_certification_table",
     "render_oscillation_table",
 ]
 
@@ -143,6 +144,35 @@ def render_realization_dot(
     for a, b in sorted(edge_set, key=lambda e: (e[0].name, e[1].name)):
         lines.append(f'  "{a.name}" -> "{b.name}";')
     lines.append("}")
+    return "\n".join(lines)
+
+
+def render_certification_table(results: dict) -> str:
+    """Per-cell explorer accounting: states, pruning, and cache status.
+
+    ``results`` maps model name → ExplorationResult.  Surfaces the
+    ``states_pruned`` accounting and the verdict-cache outcome
+    (``hit``/``miss``; ``-`` when the run did not consult a cache) that
+    the matrix certification always computes but the verdict tables
+    omit.
+    """
+    lines = ["model | oscillates | proof    |  states | pruned | cache"]
+    lines.append("-" * 60)
+    for name in sorted(results):
+        result = results[name]
+        proof = "complete" if result.complete else (
+            "witness" if result.oscillates else "bounded"
+        )
+        cache = (
+            "-"
+            if result.cache_hit is None
+            else ("hit" if result.cache_hit else "miss")
+        )
+        lines.append(
+            f"{name:<5} | {str(result.oscillates):<10} | {proof:<8} | "
+            f"{result.states_explored:>7} | {result.states_pruned:>6} | "
+            f"{cache}"
+        )
     return "\n".join(lines)
 
 

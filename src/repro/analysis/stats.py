@@ -81,6 +81,24 @@ class ConvergenceSurvey:
             key=lambda stats: (-stats.convergence_rate, stats.model_name),
         )
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro experiments --json``)."""
+        return {
+            "instances": self.instances,
+            "seeds_per_instance": self.seeds_per_instance,
+            "max_steps": self.max_steps,
+            "per_model": {
+                stats.model_name: {
+                    "runs": stats.runs,
+                    "converged": stats.converged,
+                    "rate": round(stats.convergence_rate, 6),
+                    "mean_steps": round(stats.mean_steps, 3),
+                    "p95_steps": stats.steps_percentile(0.95),
+                }
+                for stats in self.ordered_by_rate()
+            },
+        }
+
     def format_table(self) -> str:
         lines = ["model | runs | converged | rate   | mean steps | p95 steps"]
         lines.append("-" * 64)

@@ -11,9 +11,12 @@ Subcommands
 * ``explore`` — bounded model checking: can the instance oscillate
   under the model?
 * ``trace`` — print the scripted Appendix A executions.
-* ``experiments`` — run the full experiment suite.
+* ``experiments`` — run the full experiment suite (``--json`` for
+  machine-readable results).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed verdict cache shared by the search commands.
+* ``stats`` — aggregate telemetry JSONL files (``--telemetry`` on the
+  search commands) into a per-phase wall-time breakdown.
 * ``explain`` / ``solve`` / ``wheel`` / ``sat`` / ``artifacts`` — targeted
   derivations, solution enumeration, dispute wheels, the NP-completeness
   reduction, and artifact regeneration.
@@ -22,9 +25,11 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
+from . import obs
 from .analysis import experiments, reporting
 from .analysis.traces import format_trace_table
 from .core.instances import ALL_NAMED_INSTANCES
@@ -67,6 +72,19 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the content-addressed verdict cache",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL telemetry events to PATH "
+        f"(default: ${obs.TELEMETRY_ENV_VAR} when set); verdicts are "
+        "identical with telemetry on or off",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live search heartbeats to stderr",
+    )
 
 
 def _resolve_cache_dir(args) -> "str | None":
@@ -78,6 +96,12 @@ def _resolve_cache_dir(args) -> "str | None":
         or os.environ.get("REPRO_CACHE_DIR")
         or DEFAULT_CACHE_DIR
     )
+
+
+def _resolve_telemetry(args) -> "str | None":
+    """The telemetry JSONL path, or ``None`` when telemetry is off."""
+    explicit = getattr(args, "telemetry", None)
+    return explicit or os.environ.get(obs.TELEMETRY_ENV_VAR) or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the parallel exploration/simulation fan-outs "
         "(results are identical for every worker count)",
     )
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the suite results as one JSON document instead of text",
+    )
     _add_perf_flags(exp)
 
     cache = sub.add_parser(
@@ -144,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache directory (default: $REPRO_CACHE_DIR or "
         f"{DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="also report hit/miss/write/evicted counters aggregated "
+        "from a telemetry JSONL file (stats action only)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="aggregate telemetry JSONL files into a phase table"
+    )
+    stats.add_argument(
+        "files", nargs="+", metavar="FILE", help="telemetry JSONL file(s)"
+    )
+    stats.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print the raw counter/gauge totals",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregate as JSON instead of a table",
     )
 
     explain = sub.add_parser(
@@ -281,6 +334,9 @@ def _cmd_experiments(args) -> int:
         reduction=args.reduction,
         cache_dir=_resolve_cache_dir(args),
     )
+    if args.json:
+        print(json.dumps(experiments.suite_as_dict(full=full, **perf), indent=2))
+        return 0
     print("— E1/E2: Figures 3 and 4 —")
     print(experiments.experiment_figure3(**perf).summary)
     print(experiments.experiment_figure4(**perf).summary)
@@ -333,9 +389,31 @@ def _cmd_cache(args) -> int:
         stats = cache.stats()
         print(f"cache root: {stats['root']}")
         print(f"entries: {stats['entries']}   bytes: {stats['bytes']}")
+        if getattr(args, "telemetry", None):
+            aggregate = obs.aggregate_files([args.telemetry])
+            counters = aggregate.counters
+            print(
+                "recorded: "
+                f"hits: {counters.get('cache.hit', 0)}   "
+                f"misses: {counters.get('cache.miss', 0)}   "
+                f"writes: {counters.get('cache.write', 0)}   "
+                f"evicted: {counters.get('cache.evicted', 0)}"
+            )
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached verdict(s) from {cache.root}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    aggregate = obs.aggregate_files(args.files)
+    if args.json:
+        print(json.dumps(aggregate.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(obs.render_phase_table(aggregate))
+    if args.counters:
+        print()
+        print(obs.render_counters(aggregate))
     return 0
 
 
@@ -402,8 +480,35 @@ def _cmd_sat(text: str) -> int:
     return 0
 
 
+#: Commands that report into the telemetry sink while they run.
+_TELEMETRY_COMMANDS = frozenset({"matrix", "explore", "experiments"})
+
+
+def _setup_telemetry(args) -> bool:
+    """Activate telemetry/progress for a search command, if requested."""
+    if args.command not in _TELEMETRY_COMMANDS:
+        return False
+    path = _resolve_telemetry(args)
+    progress = getattr(args, "progress", False)
+    if path is None and not progress:
+        return False
+    telemetry = obs.configure(path, run={"command": args.command})
+    if progress:
+        telemetry.add_listener(obs.ProgressReporter())
+    return True
+
+
 def main(argv: "list | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if _setup_telemetry(args):
+        try:
+            return _dispatch(args)
+        finally:
+            obs.shutdown()
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "matrix":
@@ -418,6 +523,8 @@ def main(argv: "list | None" = None) -> int:
         return _cmd_experiments(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "explain":
         return _cmd_explain(args.realized, args.realizer)
     if args.command == "solve":

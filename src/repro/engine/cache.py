@@ -43,6 +43,7 @@ from pathlib import Path
 
 from ..core.canonical import canonical_hash, canonical_labeling
 from ..core.spp import SPPInstance
+from ..obs import active as _telemetry
 from .activation import INFINITY, ActivationEntry
 from .explorer import ENGINE_REVISION, ExplorationResult, OscillationWitness
 from .reduction import REDUCTION_REVISION
@@ -210,6 +211,8 @@ class VerdictCache:
         self._memo: dict = {}
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.evictions = 0
 
     # -- paths ----------------------------------------------------------
     @property
@@ -229,6 +232,13 @@ class VerdictCache:
     # -- core operations ------------------------------------------------
     def get(self, key: str, instance: SPPInstance) -> "ExplorationResult | None":
         """The cached result for ``key``, re-labeled for ``instance``."""
+        tel = _telemetry()
+        with tel.span("cache.get"):
+            result = self._get(key, instance)
+        tel.count("cache.hit" if result is not None else "cache.miss")
+        return result
+
+    def _get(self, key: str, instance: SPPInstance) -> "ExplorationResult | None":
         payload = self._memo.get(key)
         if payload is None:
             path = self._path(key)
@@ -259,26 +269,30 @@ class VerdictCache:
 
     def put(self, key: str, instance: SPPInstance, result: ExplorationResult) -> None:
         """Store ``result`` under ``key`` (no-op if already present)."""
-        payload = _result_to_jsonable(result, instance)
-        self._memo[key] = payload
-        path = self._path(key)
-        if path.exists():
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
+        tel = _telemetry()
+        with tel.span("cache.put"):
+            payload = _result_to_jsonable(result, instance)
+            self._memo[key] = payload
+            path = self._path(key)
+            if path.exists():
+                return
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self.writes += 1
+        tel.count("cache.write")
 
     # -- maintenance ----------------------------------------------------
     def stats(self) -> dict:
@@ -297,6 +311,8 @@ class VerdictCache:
             "bytes": total_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
         }
 
     def clear(self) -> int:
@@ -321,6 +337,8 @@ class VerdictCache:
             path.unlink(missing_ok=True)
             removed += 1
         self._memo.clear()
+        self.evictions += removed
+        _telemetry().count("cache.evicted", removed)
         return removed
 
 

@@ -44,11 +44,13 @@ only at API boundaries.
 from __future__ import annotations
 
 import itertools
+import time
 
 from ..core.paths import EPSILON
 from ..core.spp import SPPInstance
 from ..models.dimensions import MessageCount, NeighborScope, Reliability
 from ..models.taxonomy import CommunicationModel
+from ..obs import active as _telemetry
 from .activation import INFINITY, ActivationEntry
 from .reduction import (
     absorption_allowed,
@@ -661,6 +663,8 @@ class CompiledExplorer:
     def explore(self):
         from .explorer import ExplorationResult
 
+        tel = _telemetry()
+        search_start = time.perf_counter()
         self._pruned = 0
         initial = self.canonicalize(self.codec.initial_packed())
         index_of: dict = {initial: 0}
@@ -676,6 +680,7 @@ class CompiledExplorer:
         max_states = self.max_states
 
         def result(witness, complete) -> "ExplorationResult":
+            tel.timing("explore.search", time.perf_counter() - search_start)
             return ExplorationResult(
                 model_name=self.model.name,
                 instance_name=self.instance.name,
@@ -717,6 +722,20 @@ class CompiledExplorer:
             edges[current] = adjacency
             if len(states) >= checkpoint:
                 checkpoint *= 4
+                if tel.enabled:
+                    tel.heartbeat(
+                        "explore",
+                        instance=self.instance.name,
+                        model=self.model.name,
+                        engine="compiled",
+                        states=len(states),
+                        pruned=self._pruned,
+                        truncated=truncated,
+                        frontier=len(frontier),
+                        elapsed_s=round(
+                            time.perf_counter() - search_start, 6
+                        ),
+                    )
                 witness = self._find_fair_oscillation(states, edges, parent)
                 if witness is not None:
                     return result(witness, complete=False)

@@ -42,12 +42,14 @@ should raise the bounds.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
 
 from ..core.paths import EPSILON, Node
 from ..core.spp import SPPInstance
 from ..models.dimensions import MessageCount, NeighborScope, Reliability
 from ..models.taxonomy import CommunicationModel
+from ..obs import active as _telemetry
 from .activation import INFINITY, ActivationEntry
 from .execution import apply_entry
 from .reduction import (
@@ -99,11 +101,35 @@ class ExplorationResult:
     #: silently shrinking.
     states_pruned: int = 0
     witness: "OscillationWitness | None" = None
+    #: Whether this result was answered from the verdict cache —
+    #: observability metadata only, excluded from equality/repr so
+    #: warm and cold results stay interchangeable values.
+    cache_hit: "bool | None" = field(default=None, compare=False, repr=False)
 
     @property
     def conclusive(self) -> bool:
         """True when the verdict is a proof (witness found, or full search)."""
         return self.oscillates or self.complete
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (telemetry events, ``--json`` outputs)."""
+        return {
+            "model": self.model_name,
+            "instance": self.instance_name,
+            "oscillates": self.oscillates,
+            "complete": self.complete,
+            "states_explored": self.states_explored,
+            "truncated_states": self.truncated_states,
+            "states_pruned": self.states_pruned,
+            "witness_period": (
+                None if self.witness is None else self.witness.period()
+            ),
+            "cache": (
+                None
+                if self.cache_hit is None
+                else ("hit" if self.cache_hit else "miss")
+            ),
+        }
 
 
 class Explorer:
@@ -451,6 +477,8 @@ class Explorer:
 
     def _explore_reference(self) -> ExplorationResult:
         """The reference (rich-value) search loop."""
+        tel = _telemetry()
+        search_start = time.perf_counter()
         self._pruned = 0
         initial = self.canonicalize(NetworkState.initial(self.instance))
         index_of: dict = {initial: 0}
@@ -467,6 +495,7 @@ class Explorer:
         checkpoint = 1024
 
         def result(witness, complete) -> ExplorationResult:
+            tel.timing("explore.search", time.perf_counter() - search_start)
             return ExplorationResult(
                 model_name=self.model.name,
                 instance_name=self.instance.name,
@@ -503,6 +532,20 @@ class Explorer:
             edges[current] = adjacency
             if len(states) >= checkpoint:
                 checkpoint *= 4
+                if tel.enabled:
+                    tel.heartbeat(
+                        "explore",
+                        instance=self.instance.name,
+                        model=self.model.name,
+                        engine="reference",
+                        states=len(states),
+                        pruned=self._pruned,
+                        truncated=truncated,
+                        frontier=len(frontier),
+                        elapsed_s=round(
+                            time.perf_counter() - search_start, 6
+                        ),
+                    )
                 witness = self._find_fair_oscillation(states, edges, parent)
                 if witness is not None:
                     return result(witness, complete=False)
@@ -724,7 +767,9 @@ def can_oscillate(
     reference runs are bit-identical by construction).
     """
     validate_reduction(reduction)
+    tel = _telemetry()
     key = None
+    cache_status = "off"
     if cache is not None:
         from .cache import as_cache, verdict_key
 
@@ -739,7 +784,10 @@ def can_oscillate(
         )
         hit = cache.get(key, instance)
         if hit is not None:
+            hit = replace(hit, cache_hit=True)
+            _record_verdict(tel, hit, cache="hit")
             return hit
+        cache_status = "miss"
     result = None
     if reliable_twin_first and model.reliability is Reliability.UNRELIABLE:
         twin = CommunicationModel(Reliability.RELIABLE, model.scope, model.count)
@@ -773,4 +821,26 @@ def can_oscillate(
         ).explore()
     if cache is not None:
         cache.put(key, instance, result)
+        result = replace(result, cache_hit=False)
+    _record_verdict(tel, result, cache=cache_status)
     return result
+
+
+def _record_verdict(tel, result: ExplorationResult, cache: str) -> None:
+    """Counters + one ``verdict`` event for a finished exploration."""
+    if not tel.enabled:
+        return
+    tel.count("explore.runs")
+    tel.count("explore.states", result.states_explored)
+    tel.count("explore.states_pruned", result.states_pruned)
+    tel.event(
+        "verdict",
+        instance=result.instance_name,
+        model=result.model_name,
+        oscillates=result.oscillates,
+        complete=result.complete,
+        states=result.states_explored,
+        pruned=result.states_pruned,
+        truncated=result.truncated_states,
+        cache=cache,
+    )

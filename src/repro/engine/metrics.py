@@ -51,6 +51,28 @@ class ExecutionMetrics:
             return float(self.announcements)
         return self.announcements / self.route_changes
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro experiments --json``)."""
+        return {
+            "steps": self.steps,
+            "activations": self.activations,
+            "announcements": self.announcements,
+            "withdrawals": self.withdrawals,
+            "messages_processed": self.messages_processed,
+            "messages_dropped": self.messages_dropped,
+            "route_changes": self.route_changes,
+            "delivery_ratio": round(self.delivery_ratio, 6),
+            "announcements_per_change": round(
+                self.announcements_per_change, 6
+            ),
+            "churn_by_node": {
+                str(node): count
+                for node, count in sorted(
+                    self.churn_by_node.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        }
+
     def format_summary(self) -> str:
         lines = [
             f"steps={self.steps} activations={self.activations}",

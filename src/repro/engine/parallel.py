@@ -26,10 +26,13 @@ shipping an instance costs one table build per process, not per task.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 from ..core.spp import SPPInstance
+from ..obs import active as _telemetry
 
 __all__ = [
     "ExplorationTask",
@@ -46,20 +49,111 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _timed_call(function, task) -> tuple:
+    """Worker-side wrapper: run ``function(task)`` and report telemetry.
+
+    Returns ``(result, (pid, started_wall, elapsed_seconds, deltas))``
+    — the parent turns these into per-worker task counts, queue-wait,
+    and idle-time telemetry, and merges ``deltas`` (the counter and
+    span registry growth this call produced in the worker, present when
+    the worker inherited an enabled telemetry across ``fork``) into its
+    own registry so ``cache.*``/``explore.*`` totals survive the worker
+    processes.  Module-level (and invoked through
+    :func:`functools.partial` over a picklable ``function``) so it
+    crosses the process boundary.
+    """
+    tel = _telemetry()
+    before_counters = dict(tel.counters) if tel.enabled else {}
+    before_timings = (
+        {name: tuple(cell) for name, cell in tel.timings.items()}
+        if tel.enabled
+        else {}
+    )
+    started = time.time()
+    t0 = time.perf_counter()
+    result = function(task)
+    elapsed = time.perf_counter() - t0
+    deltas = None
+    if tel.enabled:
+        counters = {
+            name: value - before_counters.get(name, 0)
+            for name, value in tel.counters.items()
+            if value != before_counters.get(name, 0)
+        }
+        timings = {}
+        for name, (calls, total, peak) in tel.timings.items():
+            calls_0, total_0, _ = before_timings.get(name, (0, 0.0, 0.0))
+            if calls != calls_0:
+                timings[name] = (calls - calls_0, total - total_0, peak)
+        deltas = (counters, timings)
+    return result, (os.getpid(), started, elapsed, deltas)
+
+
 def parallel_map(function, tasks, workers: "int | None" = None) -> list:
     """Apply a picklable ``function`` to ``tasks`` across processes.
 
     Returns results in task order.  ``workers=None`` uses
     :func:`default_workers`; ``workers<=1`` (or fewer than two tasks)
     runs serially in-process.
+
+    With telemetry enabled the fan-out additionally records, in the
+    *parent* process, per-worker task counts plus ``worker.task`` /
+    ``worker.queue_wait`` / ``worker.idle`` span timings — results are
+    identical either way (workers report timing alongside their result;
+    merging still follows task-submission order).
     """
     tasks = list(tasks)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(tasks) <= 1:
         return [function(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(function, tasks))
+    tel = _telemetry()
+    pool_size = min(workers, len(tasks))
+    if not tel.enabled:
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            return list(pool.map(function, tasks))
+    return _instrumented_map(tel, function, tasks, pool_size)
+
+
+def _instrumented_map(tel, function, tasks, pool_size: int) -> list:
+    """The telemetry-recording twin of the executor branch."""
+    timed = partial(_timed_call, function)
+    pool_start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        submitted = []
+        for task in tasks:
+            submitted.append((pool.submit(timed, task), time.time()))
+        results = []
+        worker_index: dict = {}
+        busy = 0.0
+        for future, submit_wall in submitted:
+            result, (pid, started_wall, elapsed, deltas) = future.result()
+            results.append(result)
+            index = worker_index.setdefault(pid, len(worker_index))
+            tel.count(f"worker.w{index}.tasks")
+            tel.timing("worker.task", elapsed)
+            tel.timing(
+                "worker.queue_wait", max(0.0, started_wall - submit_wall)
+            )
+            busy += elapsed
+            if deltas is not None:
+                counters, timings = deltas
+                for name, value in counters.items():
+                    tel.count(name, value)
+                for name, (calls, total, peak) in timings.items():
+                    cell = tel.timings.get(name)
+                    if cell is None:
+                        tel.timings[name] = [calls, total, peak]
+                    else:
+                        cell[0] += calls
+                        cell[1] += total
+                        if peak > cell[2]:
+                            cell[2] = peak
+    pool_elapsed = time.perf_counter() - pool_start
+    tel.gauge("worker.count", len(worker_index))
+    tel.timing("worker.pool", pool_elapsed)
+    tel.timing("worker.idle", max(0.0, pool_elapsed * pool_size - busy))
+    return results
 
 
 # ----------------------------------------------------------------------

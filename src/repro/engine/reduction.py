@@ -61,6 +61,7 @@ from __future__ import annotations
 
 from ..core.paths import EPSILON
 from ..models.dimensions import NeighborScope
+from ..obs import active as _telemetry
 
 __all__ = [
     "REDUCTIONS",
@@ -120,17 +121,20 @@ def representative_tables(instance) -> tuple:
     cached = instance.__dict__.get("_reduction_tables")
     if cached is not None:
         return cached
-    routes = route_universe(instance)
-    tables = []
-    for channel in instance.channels:
-        receiver = channel[1]
-        first: dict = {}
-        table = []
-        for rid, route in enumerate(routes):
-            ext = instance.feasible_extension(receiver, route)
-            table.append(first.setdefault(ext, rid))
-        tables.append(tuple(table))
-    tables = tuple(tables)
+    tel = _telemetry()
+    with tel.span("reduction.tables"):
+        routes = route_universe(instance)
+        tables = []
+        for channel in instance.channels:
+            receiver = channel[1]
+            first: dict = {}
+            table = []
+            for rid, route in enumerate(routes):
+                ext = instance.feasible_extension(receiver, route)
+                table.append(first.setdefault(ext, rid))
+            tables.append(tuple(table))
+        tables = tuple(tables)
+    tel.count("reduction.table_builds")
     object.__setattr__(instance, "_reduction_tables", tables)
     return tables
 
@@ -145,14 +149,15 @@ def representative_paths(instance) -> dict:
     cached = instance.__dict__.get("_reduction_paths")
     if cached is not None:
         return cached
-    routes = route_universe(instance)
     tables = representative_tables(instance)
-    mapping = {
-        channel: {
-            routes[rid]: routes[table[rid]] for rid in range(len(routes))
+    with _telemetry().span("reduction.tables"):
+        routes = route_universe(instance)
+        mapping = {
+            channel: {
+                routes[rid]: routes[table[rid]] for rid in range(len(routes))
+            }
+            for channel, table in zip(instance.channels, tables)
         }
-        for channel, table in zip(instance.channels, tables)
-    }
     object.__setattr__(instance, "_reduction_paths", mapping)
     return mapping
 

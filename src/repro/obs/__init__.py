@@ -1,0 +1,61 @@
+"""``repro.obs`` — runtime telemetry: spans, counters, JSONL events.
+
+The observability layer the search/cache/fan-out stack reports into
+(see ``docs/observability.md``).  Three pieces:
+
+* :mod:`~repro.obs.telemetry` — the process-wide active sink: nested
+  wall-time spans, a counter/gauge registry, and a structured JSONL
+  event stream (run metadata, exploration heartbeats, per-verdict
+  records, a final summary).  Disabled by default at negligible cost.
+* :mod:`~repro.obs.stats` — aggregates one or more JSONL files into a
+  per-phase wall-time breakdown (``repro stats``).
+* :mod:`~repro.obs.progress` — a live stderr heartbeat printer
+  (``--progress`` on the search commands).
+
+Everything here *observes only*: enabling telemetry changes no verdict,
+witness, state count, or cache key.  ``repro.obs`` sits below the
+engine in the layering — it imports nothing from the rest of the
+package, so any module may report into it.
+"""
+
+from .progress import ProgressReporter
+from .stats import (
+    KNOWN_PHASES,
+    TelemetryAggregate,
+    aggregate_files,
+    aggregate_records,
+    read_records,
+    render_counters,
+    render_phase_table,
+)
+from .telemetry import (
+    NULL,
+    SCHEMA_VERSION,
+    TELEMETRY_ENV_VAR,
+    NullTelemetry,
+    Telemetry,
+    active,
+    configure,
+    install,
+    shutdown,
+)
+
+__all__ = [
+    "KNOWN_PHASES",
+    "NULL",
+    "SCHEMA_VERSION",
+    "TELEMETRY_ENV_VAR",
+    "NullTelemetry",
+    "ProgressReporter",
+    "Telemetry",
+    "TelemetryAggregate",
+    "active",
+    "aggregate_files",
+    "aggregate_records",
+    "configure",
+    "install",
+    "read_records",
+    "render_counters",
+    "render_phase_table",
+    "shutdown",
+]

@@ -1,0 +1,47 @@
+"""Live stderr progress for long explorations.
+
+A :class:`ProgressReporter` subscribes to the active telemetry's
+heartbeats (see :meth:`repro.obs.telemetry.Telemetry.add_listener`) and
+prints one line per heartbeat to stderr.  Heartbeats fire at the
+explorer's geometric state-count checkpoints, so even a multi-minute
+search emits only a dozen-odd lines — safe for logs and CI, no cursor
+tricks required.
+
+Stdout is never touched: every ``repro`` command's machine-readable
+output stays byte-identical with and without progress reporting.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Formats heartbeat events as single stderr lines."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.lines = 0
+
+    def on_heartbeat(self, phase: str, fields: dict) -> None:
+        parts = [f"[repro] {phase}"]
+        where = fields.get("instance")
+        model = fields.get("model")
+        if where or model:
+            parts.append(f"{where or '?'}/{model or '?'}")
+        states = fields.get("states")
+        if states is not None:
+            parts.append(f"states={states:,}")
+        pruned = fields.get("pruned")
+        if pruned:
+            parts.append(f"pruned={pruned:,}")
+        frontier = fields.get("frontier")
+        if frontier is not None:
+            parts.append(f"frontier={frontier:,}")
+        elapsed = fields.get("elapsed_s")
+        if elapsed is not None:
+            parts.append(f"{elapsed:.1f}s")
+        print(" ".join(parts), file=self.stream, flush=True)
+        self.lines += 1

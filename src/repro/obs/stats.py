@@ -1,0 +1,182 @@
+"""Aggregation of telemetry JSONL streams → per-phase breakdown tables.
+
+``repro stats run.jsonl [more.jsonl ...]`` reads every record, merges
+the ``summary`` records (counters and span totals add; gauges keep the
+last value seen), counts heartbeats and verdicts, and renders a table
+grouping span wall time by *phase* — the first dot-separated segment of
+the span name.  The four phases the engine emits are always shown, even
+at zero, so a missing phase is visible instead of silently absent:
+
+* ``explore`` — the bounded-search loops,
+* ``reduction`` — partial-order-reduction table builds,
+* ``cache`` — verdict-cache get/put latency,
+* ``worker`` — parallel fan-out task time, queue wait, and idle time.
+
+Anything else (future spans) lands in its own group after the four.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "KNOWN_PHASES",
+    "TelemetryAggregate",
+    "aggregate_files",
+    "aggregate_records",
+    "read_records",
+    "render_phase_table",
+    "render_counters",
+]
+
+#: Phase groups always present in the breakdown, in display order.
+KNOWN_PHASES = ("explore", "reduction", "cache", "worker")
+
+
+class TelemetryAggregate:
+    """Merged view over any number of telemetry record streams."""
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.heartbeats = 0
+        self.verdicts = 0
+        self.summaries = 0
+        self.elapsed_s = 0.0
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self.spans: dict = {}  # name → {"calls", "total_s", "max_s"}
+
+    def add_record(self, record: dict) -> None:
+        kind = record.get("type")
+        if kind == "run":
+            self.runs += 1
+        elif kind == "heartbeat":
+            self.heartbeats += 1
+        elif kind == "verdict":
+            self.verdicts += 1
+        elif kind == "summary":
+            self.summaries += 1
+            self.elapsed_s += record.get("elapsed_s", 0.0)
+            for name, value in record.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(record.get("gauges", {}))
+            for name, cell in record.get("spans", {}).items():
+                merged = self.spans.setdefault(
+                    name, {"calls": 0, "total_s": 0.0, "max_s": 0.0}
+                )
+                merged["calls"] += cell.get("calls", 0)
+                merged["total_s"] += cell.get("total_s", 0.0)
+                merged["max_s"] = max(merged["max_s"], cell.get("max_s", 0.0))
+
+    # -- grouping -------------------------------------------------------
+    def phases(self) -> dict:
+        """Span totals grouped by phase (first dotted segment).
+
+        Returns ``{phase: {"total_s", "calls", "spans": {name: cell}}}``
+        with the :data:`KNOWN_PHASES` always present.
+        """
+        groups: dict = {
+            phase: {"total_s": 0.0, "calls": 0, "spans": {}}
+            for phase in KNOWN_PHASES
+        }
+        for name, cell in sorted(self.spans.items()):
+            phase = name.split(".", 1)[0]
+            group = groups.setdefault(
+                phase, {"total_s": 0.0, "calls": 0, "spans": {}}
+            )
+            group["total_s"] += cell["total_s"]
+            group["calls"] += cell["calls"]
+            group["spans"][name] = cell
+        return groups
+
+    def as_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "heartbeats": self.heartbeats,
+            "verdicts": self.verdicts,
+            "summaries": self.summaries,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "phases": self.phases(),
+        }
+
+
+def read_records(path) -> list:
+    """Parse one JSONL file, skipping blank or torn lines."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn tail line from a killed writer
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def aggregate_records(records) -> TelemetryAggregate:
+    aggregate = TelemetryAggregate()
+    for record in records:
+        aggregate.add_record(record)
+    return aggregate
+
+
+def aggregate_files(paths) -> TelemetryAggregate:
+    aggregate = TelemetryAggregate()
+    for path in paths:
+        for record in read_records(path):
+            aggregate.add_record(record)
+    return aggregate
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _mean_ms(cell: dict) -> float:
+    calls = cell["calls"]
+    return (cell["total_s"] / calls * 1000.0) if calls else 0.0
+
+
+def render_phase_table(aggregate: TelemetryAggregate) -> str:
+    """The per-phase wall-time breakdown table."""
+    groups = aggregate.phases()
+    grand_total = sum(group["total_s"] for group in groups.values())
+    lines = [
+        f"runs: {aggregate.runs}   heartbeats: {aggregate.heartbeats}   "
+        f"verdicts: {aggregate.verdicts}   "
+        f"wall clock: {aggregate.elapsed_s:.3f}s",
+        "",
+        "phase / span              |  calls |   total s |  mean ms |  share",
+        "-" * 68,
+    ]
+    ordered = list(KNOWN_PHASES) + sorted(
+        phase for phase in groups if phase not in KNOWN_PHASES
+    )
+    for phase in ordered:
+        group = groups[phase]
+        share = group["total_s"] / grand_total if grand_total else 0.0
+        lines.append(
+            f"{phase:<25} | {group['calls']:>6} | {group['total_s']:>9.3f} | "
+            f"{'':>8} | {share:>6.1%}"
+        )
+        for name, cell in group["spans"].items():
+            lines.append(
+                f"  {name:<23} | {cell['calls']:>6} | {cell['total_s']:>9.3f} "
+                f"| {_mean_ms(cell):>8.2f} | {'':>6}"
+            )
+    return "\n".join(lines)
+
+
+def render_counters(aggregate: TelemetryAggregate) -> str:
+    """The counter/gauge registry as aligned ``name = value`` lines."""
+    lines = []
+    for name, value in sorted(aggregate.counters.items()):
+        lines.append(f"{name:<28} = {value}")
+    for name, value in sorted(aggregate.gauges.items()):
+        lines.append(f"{name:<28} = {value}  (gauge)")
+    return "\n".join(lines) if lines else "(no counters recorded)"

@@ -1,0 +1,294 @@
+"""Spans, counters, gauges, and the JSONL event sink.
+
+One process owns one *active* telemetry object (module-level, like a
+logging root).  By default it is :data:`NULL`, a no-op whose methods
+cost one attribute lookup — the engines guard their per-checkpoint work
+behind ``tel.enabled`` so a disabled run pays nothing measurable.
+:func:`configure` swaps in a live :class:`Telemetry`, optionally backed
+by a JSONL file (the CLI's ``--telemetry PATH``; the
+:data:`TELEMETRY_ENV_VAR` environment variable is the fallback).
+
+**Differential safety.**  Telemetry only *observes*: no verdict,
+witness, state count, or cache key depends on whether it is enabled
+(``tests/engine/test_telemetry_differential.py`` pins this).
+
+**Spans** measure nested wall time::
+
+    with tel.span("explore.search"):
+        ...
+
+Each span name accumulates ``(calls, total seconds, max seconds)``.
+Span names are dot-separated; the first segment is the *phase* the
+``repro stats`` aggregator groups by (``explore`` / ``reduction`` /
+``cache`` / ``worker``).
+
+**Counters and gauges** are a flat name → value registry: counters
+accumulate (``cache.hit``, ``explore.states``), gauges keep the last
+written value (``worker.count``).
+
+**Events** are JSONL records ``{"ts": ..., "type": ..., ...}`` appended
+to the sink: one ``run`` record at configure time, ``heartbeat``
+records from long-running searches (geometric checkpoints, so the
+stream stays small), ``verdict`` records per exploration, and one
+``summary`` record — the counter/gauge/span totals — at close.  Lines
+are written whole and flushed, so concurrent appenders (rare: workers
+report through the parent by design) interleave without tearing on
+POSIX.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TELEMETRY_ENV_VAR",
+    "NULL",
+    "NullTelemetry",
+    "Telemetry",
+    "active",
+    "configure",
+    "install",
+    "shutdown",
+]
+
+#: Bumped whenever the JSONL record shapes change.
+SCHEMA_VERSION = 1
+
+#: Environment fallback for the CLI's ``--telemetry PATH``.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the disabled sink."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The disabled sink: every operation is a no-op.
+
+    Kept API-compatible with :class:`Telemetry` so call sites never
+    branch beyond the ``enabled`` guard they use for non-trivial work.
+    """
+
+    enabled = False
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value) -> None:
+        pass
+
+    def timing(self, name: str, seconds: float) -> None:
+        pass
+
+    def event(self, type_: str, **fields) -> None:
+        pass
+
+    def heartbeat(self, phase: str, **fields) -> None:
+        pass
+
+    def add_listener(self, listener) -> None:
+        pass
+
+    def remove_listener(self, listener) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+    def emit_summary(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL = NullTelemetry()
+
+
+class _Span:
+    """One timed region; records into the owning telemetry on exit."""
+
+    __slots__ = ("_telemetry", "name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self.name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._telemetry.timing(self.name, time.perf_counter() - self._start)
+        return False
+
+
+class Telemetry:
+    """A live instrumentation registry, optionally writing JSONL.
+
+    ``path=None`` keeps the registry in memory only (used by the
+    ``--progress`` reporter, which listens to heartbeats without a
+    file).  The file is opened in append mode so several sequential
+    runs can share one stream; each run is delimited by its ``run``
+    and ``summary`` records.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: "str | os.PathLike | None" = None,
+        run: "dict | None" = None,
+    ) -> None:
+        self.path = None if path is None else os.fspath(path)
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self.timings: dict = {}  # name → [calls, total_s, max_s]
+        self._listeners: list = []
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._closed = False
+        self._handle = None
+        if self.path is not None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+        }
+        if run:
+            meta.update(run)
+        self.event("run", **meta)
+
+    # -- registries -----------------------------------------------------
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        self.gauges[name] = value
+
+    def timing(self, name: str, seconds: float) -> None:
+        cell = self.timings.get(name)
+        if cell is None:
+            self.timings[name] = [1, seconds, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+            if seconds > cell[2]:
+                cell[2] = seconds
+
+    # -- events ---------------------------------------------------------
+    def event(self, type_: str, **fields) -> None:
+        if self._handle is None:
+            return
+        record = {"ts": round(time.time(), 6), "type": type_}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def heartbeat(self, phase: str, **fields) -> None:
+        fields.setdefault("elapsed_s", self.elapsed())
+        self.event("heartbeat", phase=phase, **fields)
+        for listener in self._listeners:
+            listener.on_heartbeat(phase, fields)
+
+    # -- listeners (live progress reporters) ----------------------------
+    def add_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # -- lifecycle ------------------------------------------------------
+    def elapsed(self) -> float:
+        return round(time.perf_counter() - self._started, 6)
+
+    def summary(self) -> dict:
+        return {
+            "elapsed_s": self.elapsed(),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": {
+                name: {
+                    "calls": calls,
+                    "total_s": round(total, 6),
+                    "max_s": round(peak, 6),
+                }
+                for name, (calls, total, peak) in sorted(self.timings.items())
+            },
+        }
+
+    def emit_summary(self) -> None:
+        self.event("summary", **self.summary())
+
+    def close(self) -> None:
+        """Emit the final summary record and release the sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.emit_summary()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# The process-wide active telemetry.
+# ----------------------------------------------------------------------
+_active: "Telemetry | NullTelemetry" = NULL
+
+
+def active() -> "Telemetry | NullTelemetry":
+    """The process's current telemetry (the no-op sink by default)."""
+    return _active
+
+
+def install(telemetry) -> "Telemetry | NullTelemetry":
+    """Swap the active telemetry; returns the previous one (for tests)."""
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+def configure(
+    path: "str | os.PathLike | None" = None,
+    run: "dict | None" = None,
+) -> Telemetry:
+    """Activate a live telemetry writing to ``path`` (or memory-only)."""
+    telemetry = Telemetry(path, run=run)
+    install(telemetry)
+    return telemetry
+
+
+def shutdown() -> None:
+    """Close and deactivate the live telemetry, if one is installed."""
+    global _active
+    current = _active
+    _active = NULL
+    current.close()

@@ -178,6 +178,23 @@ class TestMaintenance:
         with pytest.raises(ValueError):
             cache.evict(-1)
 
+    def test_stats_counts_writes_and_evictions(self, tmp_path, disagree):
+        from repro import obs
+
+        previous = obs.active()
+        telemetry = obs.configure(None)
+        try:
+            cache = self._populate(tmp_path, disagree)
+            cache.evict(1)
+        finally:
+            obs.install(previous)
+        stats = cache.stats()
+        assert stats["writes"] == 3
+        assert stats["evictions"] == 2
+        assert telemetry.counters["cache.write"] == 3
+        assert telemetry.counters["cache.evicted"] == 2
+        assert telemetry.counters["cache.miss"] == 3
+
 
 class TestParallelSharing:
     def test_workers_share_one_cache_directory(self, tmp_path, disagree):

@@ -80,6 +80,74 @@ class TestCounting:
         assert metrics.activations == 2
 
 
+class TestMultiNodeTraces:
+    """Metrics over traces whose steps activate several nodes at once."""
+
+    def multi_node_trace(self, steps=6, drop=False):
+        from repro.engine.activation import INFINITY
+
+        execution = Execution(disagree())
+        for index in range(steps):
+            drop_x = (1,) if drop and index % 2 else ()
+            execution.step(
+                ActivationEntry(
+                    nodes=["x", "y", "d"],
+                    channels=[("d", "x"), ("d", "y"), ("x", "y"), ("y", "x")],
+                    reads={
+                        ("d", "x"): INFINITY,
+                        ("d", "y"): INFINITY,
+                        ("x", "y"): INFINITY,
+                        ("y", "x"): INFINITY,
+                    },
+                    drops={("d", "x"): drop_x},
+                )
+            )
+        return execution.trace
+
+    def test_activations_at_least_steps(self):
+        metrics = measure(self.multi_node_trace())
+        assert metrics.steps == 6
+        assert metrics.activations == 18  # three nodes every step
+        assert metrics.activations >= metrics.steps
+
+    def test_multi_node_drop_accounting(self):
+        lossless = measure(self.multi_node_trace())
+        lossy = measure(self.multi_node_trace(drop=True))
+        assert lossless.messages_dropped == 0
+        assert lossless.delivery_ratio == 1.0
+        assert lossy.messages_dropped >= 1
+        assert lossy.delivery_ratio < 1.0
+        # Drops never exceed what was processed.
+        assert lossy.messages_dropped <= lossy.messages_processed
+
+    def test_mixed_single_and_multi_node_steps(self):
+        from repro.engine.activation import INFINITY
+
+        execution = Execution(disagree())
+        execution.step(ActivationEntry.single("d", ("x", "d")))
+        execution.step(
+            ActivationEntry(
+                nodes=["x", "y"],
+                channels=[("d", "x"), ("d", "y")],
+                reads={("d", "x"): INFINITY, ("d", "y"): INFINITY},
+            )
+        )
+        metrics = measure(execution.trace)
+        assert metrics.steps == 2
+        assert metrics.activations == 3
+        assert metrics.route_changes == 2  # x→xd, y→yd
+
+    def test_as_dict_round_trips(self):
+        import json
+
+        metrics = measure(self.multi_node_trace(drop=True))
+        data = json.loads(json.dumps(metrics.as_dict()))
+        assert data["steps"] == metrics.steps
+        assert data["activations"] == metrics.activations
+        assert data["messages_dropped"] == metrics.messages_dropped
+        assert set(data["churn_by_node"]) <= {"x", "y", "d"}
+
+
 class TestDerivedQuantities:
     def test_chattiness(self):
         metrics = ExecutionMetrics(announcements=10, route_changes=4)

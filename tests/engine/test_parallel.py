@@ -92,6 +92,61 @@ class TestExplorationFanOut:
         ]
 
 
+class TestFanOutTelemetry:
+    def test_parallel_map_records_worker_registry(self, tmp_path):
+        from repro import obs
+
+        previous = obs.active()
+        telemetry = obs.configure(tmp_path / "t.jsonl")
+        try:
+            results = parallel_map(_square, list(range(8)), workers=2)
+        finally:
+            obs.install(previous)
+            telemetry.close()
+        assert results == [x * x for x in range(8)]
+        task_counts = {
+            name: value
+            for name, value in telemetry.counters.items()
+            if name.endswith(".tasks")
+        }
+        assert sum(task_counts.values()) == 8
+        assert telemetry.gauges["worker.count"] == len(task_counts) <= 2
+        assert telemetry.timings["worker.task"][0] == 8
+        assert telemetry.timings["worker.queue_wait"][0] == 8
+        assert telemetry.timings["worker.pool"][0] == 1
+        assert telemetry.timings["worker.idle"][0] == 1
+
+    def test_exploration_counters_survive_workers(self, tmp_path):
+        """Worker-side counter deltas (cache hits, states) merge back
+        into the parent registry, and verdicts are unchanged."""
+        from repro import obs
+
+        instance = canonical.disagree()
+        tasks = [
+            ExplorationTask(
+                instance=instance,
+                model_name=name,
+                cache_dir=str(tmp_path / "cache"),
+            )
+            for name in ("R1O", "REA", "UMS", "RMS")
+        ]
+        plain = run_explorations(tasks, workers=2)
+        previous = obs.active()
+        telemetry = obs.configure(tmp_path / "t.jsonl")
+        try:
+            instrumented = run_explorations(tasks, workers=2)
+        finally:
+            obs.install(previous)
+            telemetry.close()
+        for (_, a), (_, b) in zip(plain, instrumented):
+            assert result_tuple(a) == result_tuple(b)
+        assert telemetry.counters["explore.runs"] == 4
+        hits = telemetry.counters.get("cache.hit", 0)
+        misses = telemetry.counters.get("cache.miss", 0)
+        assert hits + misses == 4
+        assert hits == 4  # the uninstrumented pass populated the cache
+
+
 class TestSimulationFanOut:
     def test_workers_do_not_change_outcomes(self):
         instance = canonical.good_gadget()

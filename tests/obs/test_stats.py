@@ -1,0 +1,173 @@
+"""Tests for telemetry aggregation and the phase-breakdown rendering."""
+
+from repro import obs
+from repro.obs.stats import (
+    KNOWN_PHASES,
+    aggregate_files,
+    aggregate_records,
+    read_records,
+    render_counters,
+    render_phase_table,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def summary_record(counters=None, gauges=None, spans=None, elapsed=1.0):
+    return {
+        "type": "summary",
+        "elapsed_s": elapsed,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "spans": spans or {},
+    }
+
+
+class TestAggregation:
+    def test_record_kind_tallies(self):
+        aggregate = aggregate_records([
+            {"type": "run"},
+            {"type": "heartbeat", "phase": "explore"},
+            {"type": "verdict", "model": "R1O"},
+            summary_record(),
+        ])
+        assert aggregate.runs == 1
+        assert aggregate.heartbeats == 1
+        assert aggregate.verdicts == 1
+        assert aggregate.summaries == 1
+
+    def test_summaries_merge(self):
+        first = summary_record(
+            counters={"cache.hit": 2},
+            gauges={"worker.count": 2},
+            spans={"explore.search": {"calls": 1, "total_s": 1.0, "max_s": 1.0}},
+            elapsed=1.5,
+        )
+        second = summary_record(
+            counters={"cache.hit": 3, "cache.miss": 1},
+            gauges={"worker.count": 4},
+            spans={"explore.search": {"calls": 2, "total_s": 0.5, "max_s": 0.4}},
+            elapsed=0.5,
+        )
+        aggregate = aggregate_records([first, second])
+        assert aggregate.counters == {"cache.hit": 5, "cache.miss": 1}
+        assert aggregate.gauges == {"worker.count": 4}  # last wins
+        cell = aggregate.spans["explore.search"]
+        assert cell["calls"] == 3
+        assert cell["total_s"] == 1.5
+        assert cell["max_s"] == 1.0
+        assert aggregate.elapsed_s == 2.0
+
+    def test_phases_group_by_first_segment(self):
+        aggregate = aggregate_records([
+            summary_record(spans={
+                "explore.search": {"calls": 1, "total_s": 2.0, "max_s": 2.0},
+                "cache.get": {"calls": 4, "total_s": 0.4, "max_s": 0.2},
+                "cache.put": {"calls": 2, "total_s": 0.6, "max_s": 0.5},
+                "custom.thing": {"calls": 1, "total_s": 0.1, "max_s": 0.1},
+            })
+        ])
+        groups = aggregate.phases()
+        for phase in KNOWN_PHASES:
+            assert phase in groups  # zero phases stay visible
+        assert groups["cache"]["calls"] == 6
+        assert groups["cache"]["total_s"] == 1.0
+        assert groups["worker"]["calls"] == 0
+        assert groups["custom"]["spans"]["custom.thing"]["calls"] == 1
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        aggregate = aggregate_records([summary_record()])
+        assert json.loads(json.dumps(aggregate.as_dict()))["summaries"] == 1
+
+
+class TestReadRecords:
+    def test_skips_blank_and_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"type": "run"}\n'
+            "\n"
+            '{"type": "verdict", "model": "R1O"}\n'
+            '{"type": "summary", "coun'  # torn tail from a killed writer
+        )
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["run", "verdict"]
+
+    def test_aggregate_files_merges_multiple_paths(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"run{index}.jsonl"
+            tel = Telemetry(path)
+            tel.count("explore.runs")
+            tel.close()
+            paths.append(path)
+        aggregate = aggregate_files(paths)
+        assert aggregate.runs == 2
+        assert aggregate.counters == {"explore.runs": 2}
+
+
+class TestRendering:
+    def test_phase_table_shape(self):
+        aggregate = aggregate_records([
+            {"type": "run"},
+            summary_record(spans={
+                "explore.search": {"calls": 2, "total_s": 3.0, "max_s": 2.0},
+                "worker.idle": {"calls": 1, "total_s": 1.0, "max_s": 1.0},
+            }),
+        ])
+        table = render_phase_table(aggregate)
+        assert "runs: 1" in table
+        assert "explore.search" in table
+        assert "worker.idle" in table
+        assert "75.0%" in table  # explore's share of 4.0s
+        for phase in KNOWN_PHASES:
+            assert phase in table
+
+    def test_phase_table_handles_empty_stream(self):
+        table = render_phase_table(aggregate_records([]))
+        assert "0.0%" in table
+
+    def test_render_counters(self):
+        aggregate = aggregate_records([
+            summary_record(
+                counters={"cache.hit": 7}, gauges={"worker.count": 2}
+            )
+        ])
+        text = render_counters(aggregate)
+        assert "cache.hit" in text and "= 7" in text
+        assert "(gauge)" in text
+
+    def test_render_counters_empty(self):
+        assert "no counters" in render_counters(aggregate_records([]))
+
+
+class TestProgressReporter:
+    def test_heartbeat_line_format(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = obs.ProgressReporter(stream)
+        reporter.on_heartbeat(
+            "explore",
+            {
+                "instance": "FIG7-EXACT",
+                "model": "RMS",
+                "states": 4096,
+                "pruned": 1200,
+                "frontier": 17,
+                "elapsed_s": 1.25,
+            },
+        )
+        line = stream.getvalue()
+        assert "[repro] explore FIG7-EXACT/RMS" in line
+        assert "states=4,096" in line
+        assert "pruned=1,200" in line
+        assert "1.2s" in line
+        assert reporter.lines == 1
+
+    def test_minimal_heartbeat(self):
+        import io
+
+        stream = io.StringIO()
+        obs.ProgressReporter(stream).on_heartbeat("worker", {})
+        assert stream.getvalue() == "[repro] worker\n"

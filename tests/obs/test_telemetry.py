@@ -1,0 +1,208 @@
+"""Tests for the telemetry core: spans, registries, events, lifecycle."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.telemetry import NULL, NullTelemetry, Telemetry
+
+
+@pytest.fixture(autouse=True)
+def _restore_active():
+    """Every test leaves the process-wide telemetry as it found it."""
+    previous = obs.active()
+    yield
+    obs.install(previous)
+
+
+def read_jsonl(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestNullTelemetry:
+    def test_disabled_by_default(self):
+        assert obs.active() is NULL
+        assert NULL.enabled is False
+
+    def test_all_operations_are_noops(self):
+        tel = NullTelemetry()
+        with tel.span("explore.search"):
+            pass
+        tel.count("x")
+        tel.gauge("y", 3)
+        tel.timing("z", 0.5)
+        tel.event("verdict", model="R1O")
+        tel.heartbeat("explore", states=10)
+        tel.add_listener(object())
+        assert tel.summary() == {}
+        tel.close()
+
+    def test_span_is_shared_singleton(self):
+        tel = NullTelemetry()
+        assert tel.span("a") is tel.span("b")
+
+
+class TestRegistries:
+    def test_counters_accumulate(self):
+        tel = Telemetry()
+        tel.count("cache.hit")
+        tel.count("cache.hit", 4)
+        assert tel.counters["cache.hit"] == 5
+
+    def test_gauges_keep_last_value(self):
+        tel = Telemetry()
+        tel.gauge("worker.count", 2)
+        tel.gauge("worker.count", 8)
+        assert tel.gauges["worker.count"] == 8
+
+    def test_timings_track_calls_total_max(self):
+        tel = Telemetry()
+        tel.timing("explore.search", 0.25)
+        tel.timing("explore.search", 1.0)
+        tel.timing("explore.search", 0.5)
+        calls, total, peak = tel.timings["explore.search"]
+        assert calls == 3
+        assert total == pytest.approx(1.75)
+        assert peak == pytest.approx(1.0)
+
+    def test_span_records_a_timing(self):
+        tel = Telemetry()
+        with tel.span("reduction.tables"):
+            pass
+        calls, total, peak = tel.timings["reduction.tables"]
+        assert calls == 1
+        assert total >= 0.0
+        assert peak == total
+
+    def test_nested_spans_accumulate_independently(self):
+        tel = Telemetry()
+        with tel.span("explore.search"):
+            with tel.span("cache.get"):
+                pass
+        assert tel.timings["explore.search"][0] == 1
+        assert tel.timings["cache.get"][0] == 1
+
+    def test_summary_shape(self):
+        tel = Telemetry()
+        tel.count("explore.states", 42)
+        tel.gauge("worker.count", 2)
+        tel.timing("explore.search", 0.5)
+        summary = tel.summary()
+        assert summary["counters"] == {"explore.states": 42}
+        assert summary["gauges"] == {"worker.count": 2}
+        assert summary["spans"]["explore.search"]["calls"] == 1
+        assert summary["elapsed_s"] >= 0.0
+
+
+class TestEventSink:
+    def test_run_summary_and_event_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(path, run={"command": "explore"})
+        tel.event("verdict", model="R1O", oscillates=True)
+        tel.count("explore.runs")
+        tel.close()
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["run", "verdict", "summary"]
+        assert records[0]["command"] == "explore"
+        assert records[0]["schema"] == obs.SCHEMA_VERSION
+        assert records[0]["pid"] == os.getpid()
+        assert records[1]["model"] == "R1O"
+        assert records[2]["counters"] == {"explore.runs": 1}
+
+    def test_memory_only_telemetry_writes_nothing(self):
+        tel = Telemetry()
+        tel.event("verdict", model="R1O")
+        tel.close()  # no file → nothing to flush, no error
+
+    def test_append_mode_delimits_sequential_runs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            Telemetry(path).close()
+        assert [r["type"] for r in read_jsonl(path)] == [
+            "run", "summary", "run", "summary",
+        ]
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(path)
+        tel.close()
+        tel.close()
+        assert sum(r["type"] == "summary" for r in read_jsonl(path)) == 1
+
+    def test_concurrent_events_do_not_tear(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(path)
+
+        def emit(worker):
+            for index in range(50):
+                tel.event("verdict", worker=worker, index=index)
+
+        threads = [threading.Thread(target=emit, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tel.close()
+        records = read_jsonl(path)
+        assert sum(r["type"] == "verdict" for r in records) == 200
+
+
+class TestHeartbeatsAndListeners:
+    def test_heartbeat_event_and_listener(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(path)
+        seen = []
+
+        class Listener:
+            def on_heartbeat(self, phase, fields):
+                seen.append((phase, fields))
+
+        tel.add_listener(Listener())
+        tel.heartbeat("explore", states=1024, frontier=9)
+        tel.close()
+        assert len(seen) == 1
+        phase, fields = seen[0]
+        assert phase == "explore"
+        assert fields["states"] == 1024
+        assert "elapsed_s" in fields  # filled in by default
+        beat = [r for r in read_jsonl(path) if r["type"] == "heartbeat"]
+        assert beat[0]["phase"] == "explore" and beat[0]["frontier"] == 9
+
+    def test_remove_listener(self):
+        tel = Telemetry()
+        calls = []
+
+        class Listener:
+            def on_heartbeat(self, phase, fields):
+                calls.append(phase)
+
+        listener = Listener()
+        tel.add_listener(listener)
+        tel.remove_listener(listener)
+        tel.remove_listener(listener)  # absent → no-op
+        tel.heartbeat("explore")
+        assert calls == []
+
+
+class TestModuleLifecycle:
+    def test_configure_install_shutdown(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = obs.configure(path, run={"command": "matrix"})
+        assert obs.active() is tel
+        obs.shutdown()
+        assert obs.active() is NULL
+        assert [r["type"] for r in read_jsonl(path)] == ["run", "summary"]
+
+    def test_install_returns_previous(self):
+        tel = Telemetry()
+        previous = obs.install(tel)
+        assert obs.install(previous) is tel
+
+    def test_shutdown_without_configure_is_safe(self):
+        obs.install(NULL)
+        obs.shutdown()
+        assert obs.active() is NULL

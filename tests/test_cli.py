@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -171,3 +173,130 @@ class TestPerfFlags:
         ]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out
+
+    def test_matrix_surfaces_per_cell_cache_and_pruning(self, capsys, tmp_path):
+        argv = ["matrix", "--figure", "3", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "oscillates" in cold and "pruned" in cold and "cache" in cold
+        assert "| miss" in cold and "| hit" not in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "| hit" in warm and "| miss" not in warm
+
+
+class TestObservability:
+    def read_jsonl(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    def test_explore_telemetry_writes_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main([
+            "explore", "--instance", "disagree", "--model", "R1O",
+            "--no-cache", "--telemetry", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "oscillates: True" in out
+        records = self.read_jsonl(path)
+        kinds = [record["type"] for record in records]
+        assert kinds[0] == "run" and kinds[-1] == "summary"
+        assert records[0]["command"] == "explore"
+        assert any(kind == "verdict" for kind in kinds)
+
+    def test_telemetry_env_fallback(self, capsys, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(path))
+        assert main([
+            "explore", "--instance", "disagree", "--model", "REA",
+            "--no-cache",
+        ]) == 0
+        capsys.readouterr()
+        assert any(
+            record["type"] == "verdict" for record in self.read_jsonl(path)
+        )
+
+    def test_telemetry_does_not_change_stdout(self, capsys, tmp_path):
+        argv = [
+            "explore", "--instance", "disagree", "--model", "REA",
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--telemetry", str(tmp_path / "t.jsonl")]) == 0
+        instrumented = capsys.readouterr().out
+        assert instrumented == plain
+
+    def test_stats_renders_phase_table(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main([
+            "explore", "--instance", "disagree", "--model", "R1O",
+            "--no-cache", "--telemetry", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["stats", str(path), "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 1" in out and "verdicts: 1" in out
+        assert "explore.search" in out
+        assert "explore.states" in out  # --counters section
+
+    def test_stats_json_merges_files(self, capsys, tmp_path):
+        paths = []
+        for index, model_name in enumerate(("R1O", "REA")):
+            path = tmp_path / f"run{index}.jsonl"
+            main([
+                "explore", "--instance", "disagree", "--model", model_name,
+                "--no-cache", "--telemetry", str(path),
+            ])
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main(["stats", *paths, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["runs"] == 2 and data["verdicts"] == 2
+        assert data["counters"]["explore.runs"] == 2
+        assert data["phases"]["explore"]["calls"] >= 2
+
+    def test_cache_stats_reports_telemetry_counters(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):  # miss+write, then hit
+            main([
+                "explore", "--instance", "disagree", "--model", "R1O",
+                "--cache-dir", str(cache_dir), "--telemetry", str(path),
+            ])
+        capsys.readouterr()
+        assert main([
+            "cache", "stats", "--cache-dir", str(cache_dir),
+            "--telemetry", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "hits: 1" in out
+        assert "misses: 1" in out
+        assert "writes: 1" in out
+        assert "evicted: 0" in out
+
+    def test_progress_reports_to_stderr_only(self, capsys, tmp_path):
+        assert main([
+            "explore", "--instance", "fig7", "--model", "RMS",
+            "--reduction", "none", "--max-states", "3000", "--no-cache",
+            "--progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "[repro] explore FIG7-EXACT/RMS" in captured.err
+        assert "states=" in captured.err
+        assert "[repro]" not in captured.out
+
+    def test_experiments_json_is_machine_readable(self, capsys, tmp_path):
+        assert main([
+            "experiments", "--json", "--cache-dir", str(tmp_path),
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["figure3"]["matches"] == 284
+        assert data["disagree"]["correct"] is True
+        certification = data["figure3"]["certification"]
+        assert len(certification) == 24
+        assert certification["R1O"]["oscillates"] is True
+        assert certification["R1O"]["cache"] in ("hit", "miss")
+        assert data["fig7"]["correct"] is True
+        assert data["fig7"]["impossible_proved"] is True
