@@ -79,7 +79,9 @@ def test_matrix_certification_speed(benchmark):
         matrix_certification,
     )
 
-    cert = benchmark(matrix_certification, 1)
+    from repro.config import RunConfig
+
+    cert = benchmark(matrix_certification, config=RunConfig(workers=1))
     safe = frozenset(
         name
         for name, result in cert.items()

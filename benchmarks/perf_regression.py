@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.analysis.experiments import matrix_certification
+from repro.config import RunConfig
 from repro.core.instances import fig6_gadget, fig7_gadget
 from repro.engine.compiled import replay_schedule
 from repro.engine.execution import Execution
@@ -115,7 +116,8 @@ def bench_steps(runs: int = 3) -> dict:
 
 def bench_matrix(runs: int = 3) -> dict:
     seconds, cert = _best_of(
-        runs, lambda: matrix_certification(workers=1, reduction="none")
+        runs,
+        lambda: matrix_certification(config=RunConfig(workers=1, reduction="none")),
     )
     oscillating = sum(1 for result in cert.values() if result.oscillates)
     assert oscillating == 14 and len(cert) == 24
@@ -129,11 +131,10 @@ def bench_matrix(runs: int = 3) -> dict:
 def _timed_certification(instance, reduction: str, cache_dir=None) -> dict:
     start = time.perf_counter()
     cert = matrix_certification(
-        workers=1,
-        queue_bound=2,
         instance=instance,
-        reduction=reduction,
-        cache_dir=cache_dir,
+        config=RunConfig(
+            workers=1, queue_bound=2, reduction=reduction, cache_dir=cache_dir
+        ),
     )
     seconds = time.perf_counter() - start
     return {
@@ -224,7 +225,8 @@ def bench_telemetry_overhead(
 
     def certify():
         return matrix_certification(
-            workers=1, queue_bound=2, instance=fig7, reduction="ample"
+            instance=fig7,
+            config=RunConfig(workers=1, queue_bound=2, reduction="ample"),
         )
 
     def certify_instrumented():

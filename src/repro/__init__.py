@@ -14,28 +14,51 @@ Public API highlights
   the paper's foundational facts, the transitivity closure that
   regenerates Figures 3 and 4, and constructive sequence transforms.
 * :mod:`repro.analysis` — experiment drivers and reporting.
+* :mod:`repro.campaign` — resumable sharded survey campaigns over
+  random instance populations.
+
+The names in ``__all__`` are the **stable public API**: entry points
+take a :class:`RunConfig` (engine, reduction, cache, workers, bounds,
+telemetry) instead of ad-hoc keyword arguments, and
+``tests/test_api_surface.py`` pins this surface so accidental drift
+fails CI.  See ``docs/api.md``.
 """
 
-from . import analysis, core, engine, models, realization
+from . import analysis, campaign, core, engine, models, realization
+from .analysis import matrix_certification, survey_convergence
+from .campaign import Campaign, CampaignSpec
+from .config import RunConfig
 from .core import SPPBuilder, SPPInstance
 from .core import instances as canonical
+from .core.generators import instance_family, random_instance
 from .engine import can_oscillate, simulate
+from .engine.parallel import run_explorations, run_simulations
 from .models import ALL_MODELS, CommunicationModel, model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_MODELS",
+    "Campaign",
+    "CampaignSpec",
     "CommunicationModel",
+    "RunConfig",
     "SPPBuilder",
     "SPPInstance",
     "analysis",
+    "campaign",
     "canonical",
     "can_oscillate",
     "core",
     "engine",
+    "instance_family",
+    "matrix_certification",
     "model",
     "models",
+    "random_instance",
     "realization",
+    "run_explorations",
+    "run_simulations",
     "simulate",
+    "survey_convergence",
 ]

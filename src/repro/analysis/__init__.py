@@ -14,8 +14,9 @@ from .experiments import (
     experiment_figure4,
     experiment_message_overhead,
     experiment_multinode,
+    matrix_certification,
 )
-from .stats import ConvergenceSurvey, ModelStats, survey_convergence
+from .stats import ConvergenceSurvey, ModelStats, survey_convergence, wilson_interval
 
 __all__ = [
     "ConvergenceSurvey",
@@ -35,8 +36,10 @@ __all__ = [
     "artifacts",
     "generate_artifacts",
     "experiments",
+    "matrix_certification",
     "reporting",
     "stats",
     "survey_convergence",
     "traces",
+    "wilson_interval",
 ]

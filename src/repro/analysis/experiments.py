@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import RunConfig, resolve_config
 from ..core import instances as canonical
 from ..core.dispute import has_dispute_wheel
 from ..core.generators import instance_family
@@ -59,6 +60,38 @@ __all__ = [
     "FIG9_REA_SCHEDULE",
     "FIG9_REA_EXPECTED",
 ]
+
+
+def _experiment_config(
+    config: "RunConfig | None",
+    caller: str,
+    workers: "int | None" = None,
+    queue_bound: "int | None" = None,
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
+    cache_dir: "str | None" = None,
+    max_steps: "int | None" = None,
+) -> RunConfig:
+    """The experiments' legacy-kwarg shim.
+
+    Folds the deprecated per-call kwargs into ``config`` (warning when
+    any were passed), and — purely to preserve the drivers' historical
+    default — pins ``workers=1`` when the caller supplied neither a
+    config nor an explicit worker count.
+    """
+    resolved = resolve_config(
+        config,
+        caller=caller,
+        workers=workers,
+        queue_bound=queue_bound,
+        engine=engine,
+        reduction=reduction,
+        cache_dir=cache_dir,
+        max_steps=max_steps,
+    )
+    if config is None and workers is None and resolved.workers is None:
+        resolved = resolved.replace(workers=1)
+    return resolved
 
 
 # ----------------------------------------------------------------------
@@ -146,12 +179,13 @@ MATRIX_CERTIFIED_SAFE = frozenset(
 
 
 def matrix_certification(
-    workers: "int | None" = 1,
-    queue_bound: int = 3,
+    workers: "int | None" = None,
+    queue_bound: "int | None" = None,
     instance=None,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> dict:
     """Explorer cross-check of the derived matrices on DISAGREE.
 
@@ -160,74 +194,85 @@ def matrix_certification(
     The expected split (:data:`MATRIX_CERTIFIED_SAFE` versus the rest)
     is exactly what the realization orderings behind Figures 3/4
     predict, so the fan-out certifies the rule-derived matrices against
-    direct search.  Verdicts are identical for every ``workers`` value.
+    direct search.  Verdicts are identical for every worker count.
 
+    ``config`` (a :class:`repro.RunConfig`) carries the worker count,
+    bounds, execution core, partial-order reducer, and shared verdict
+    cache; the individual keyword arguments are a deprecated shim.
     ``instance`` substitutes another gadget for DISAGREE (the perf
     benchmark certifies Fig. 7, whose state space actually stresses the
-    reducer); ``engine``/``reduction``/``cache_dir`` select the
-    execution core, partial-order reducer, and shared verdict cache per
-    :class:`~repro.engine.parallel.ExplorationTask`.
+    reducer).
     """
     from ..engine.parallel import ExplorationTask, run_explorations
     from ..models.taxonomy import ALL_MODELS
 
+    config = _experiment_config(
+        config,
+        "matrix_certification",
+        workers=workers,
+        queue_bound=queue_bound,
+        engine=engine,
+        reduction=reduction,
+        cache_dir=cache_dir,
+    )
     if instance is None:
         instance = canonical.disagree()
     tasks = [
-        ExplorationTask(
-            instance=instance,
-            model_name=m.name,
-            key=(m.name,),
-            queue_bound=queue_bound,
-            engine=engine,
-            reduction=reduction,
-            cache_dir=cache_dir,
-        )
+        ExplorationTask.from_config(instance, m.name, config, key=(m.name,))
         for m in ALL_MODELS
     ]
     return {
         key[0]: result
-        for key, result in run_explorations(tasks, workers=workers)
+        for key, result in run_explorations(tasks, config=config)
     }
 
 
 def experiment_figure3(
     workers: "int | None" = None,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> MatrixExperiment:
     """E1: regenerate Figure 3 (realization by reliable models).
 
-    With ``workers`` set, additionally runs :func:`matrix_certification`
-    across that many processes and attaches the verdicts.
+    With ``config`` (or the deprecated ``workers``) set, additionally
+    runs :func:`matrix_certification` across that many processes and
+    attaches the verdicts.
     """
+    certify = config is not None or workers is not None
+    config = _experiment_config(
+        config, "experiment_figure3", workers=workers, engine=engine,
+        reduction=reduction, cache_dir=cache_dir,
+    )
     matrix = derive_matrix()
     return MatrixExperiment(
         figure="Figure 3",
         comparisons=compare_with_derived(matrix, columns=FIGURE3_COLUMNS),
         matrix_text=reporting.render_figure3(matrix),
-        certification=None if workers is None else matrix_certification(
-            workers, engine=engine, reduction=reduction, cache_dir=cache_dir
-        ),
+        certification=matrix_certification(config=config) if certify else None,
     )
 
 
 def experiment_figure4(
     workers: "int | None" = None,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> MatrixExperiment:
     """E2: regenerate Figure 4 (realization by unreliable models)."""
+    certify = config is not None or workers is not None
+    config = _experiment_config(
+        config, "experiment_figure4", workers=workers, engine=engine,
+        reduction=reduction, cache_dir=cache_dir,
+    )
     matrix = derive_matrix()
     return MatrixExperiment(
         figure="Figure 4",
         comparisons=compare_with_derived(matrix, columns=FIGURE4_COLUMNS),
         matrix_text=reporting.render_figure4(matrix),
-        certification=None if workers is None else matrix_certification(
-            workers, engine=engine, reduction=reduction, cache_dir=cache_dir
-        ),
+        certification=matrix_certification(config=config) if certify else None,
     )
 
 
@@ -284,33 +329,31 @@ DISAGREE_OSCILLATING_MODELS = (
 
 
 def experiment_disagree(
-    queue_bound: int = 3,
-    workers: "int | None" = 1,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    queue_bound: "int | None" = None,
+    workers: "int | None" = None,
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> OscillationExperiment:
     """E3: DISAGREE oscillates in R1O & co. but never in the five
     models of Thm. 3.8."""
     from ..engine.parallel import ExplorationTask, run_explorations
 
+    config = _experiment_config(
+        config, "experiment_disagree", workers=workers,
+        queue_bound=queue_bound, engine=engine, reduction=reduction,
+        cache_dir=cache_dir,
+    )
     instance = canonical.disagree()
     names = DISAGREE_OSCILLATING_MODELS + DISAGREE_SAFE_MODELS
     tasks = [
-        ExplorationTask(
-            instance=instance,
-            model_name=name,
-            key=(name,),
-            queue_bound=queue_bound,
-            engine=engine,
-            reduction=reduction,
-            cache_dir=cache_dir,
-        )
+        ExplorationTask.from_config(instance, name, config, key=(name,))
         for name in names
     ]
     results = {
         key[0]: result
-        for key, result in run_explorations(tasks, workers=workers)
+        for key, result in run_explorations(tasks, config=config)
     }
     return OscillationExperiment(
         instance_name=instance.name,
@@ -396,38 +439,38 @@ def run_fig6_reo_trace(extra_rounds: int = 8) -> "tuple":
 def experiment_fig6(
     polling_models: "tuple | None" = ("REA",),
     queue_bound: int = 2,
-    workers: "int | None" = 1,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    workers: "int | None" = None,
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> Fig6Experiment:
     """E4: Fig. 6 oscillates in REO but not in the polling models.
 
     ``polling_models`` defaults to REA only (seconds); pass
     ``("R1A", "RMA", "REA")`` for the full — minutes-long — Thm. 3.9
     verification, as the benchmark does.  The polling explorations are
-    independent and fan out across ``workers`` processes.
+    independent and fan out across ``config.workers`` processes.
+    ``queue_bound`` and the 2M-state budget are experiment-defined
+    bounds (Thm. 3.9's search needs exactly these), so they override
+    whatever ``config`` carries.
     """
     from ..engine.parallel import ExplorationTask, run_explorations
 
+    config = _experiment_config(
+        config, "experiment_fig6", workers=workers, engine=engine,
+        reduction=reduction, cache_dir=cache_dir,
+    )
+    search = config.replace(queue_bound=queue_bound, step_bound=2_000_000)
     _, matched, recurrence = run_fig6_reo_trace()
     instance = canonical.fig6_gadget()
     tasks = [
-        ExplorationTask(
-            instance=instance,
-            model_name=name,
-            key=(name,),
-            queue_bound=queue_bound,
-            max_states=2_000_000,
-            engine=engine,
-            reduction=reduction,
-            cache_dir=cache_dir,
-        )
+        ExplorationTask.from_config(instance, name, search, key=(name,))
         for name in polling_models or ()
     ]
     results = {
         key[0]: result
-        for key, result in run_explorations(tasks, workers=workers)
+        for key, result in run_explorations(tasks, config=config)
     }
     return Fig6Experiment(
         trace_matches=matched,
@@ -671,7 +714,7 @@ def experiment_dispute_wheels() -> DisputeWheelExperiment:
         wheel = has_dispute_wheel(instance)
         solutions = len(list(enumerate_stable_solutions(instance)))
         oscillates = can_oscillate(
-            instance, model("RMS"), queue_bound=2
+            instance, model("RMS"), config=RunConfig(queue_bound=2)
         ).oscillates
         rows.append((instance.name, wheel, solutions, oscillates))
     return DisputeWheelExperiment(rows=rows)
@@ -684,10 +727,21 @@ def experiment_convergence_rates(
     n_instances: int = 6,
     seeds_per_instance: int = 3,
     model_names: tuple = ("R1O", "REO", "RMS", "REA", "U1O", "UMS"),
-    max_steps: int = 400,
-    workers: "int | None" = 1,
+    max_steps: "int | None" = None,
+    workers: "int | None" = None,
+    config: "RunConfig | None" = None,
 ):
-    """E10: convergence frequency per model on random policy instances."""
+    """E10: convergence frequency per model on random policy instances.
+
+    The historical 400-step budget applies unless ``max_steps`` (legacy)
+    or ``config.step_bound`` says otherwise.
+    """
+    config = _experiment_config(
+        config, "experiment_convergence_rates",
+        workers=workers, max_steps=max_steps,
+    )
+    if config.step_bound is None:
+        config = config.replace(step_bound=400)
     instances = list(
         instance_family(n_instances, base_seed=7, n_nodes=4, policy="random")
     )
@@ -695,8 +749,7 @@ def experiment_convergence_rates(
         instances,
         [model(name) for name in model_names],
         seeds_per_instance=seeds_per_instance,
-        max_steps=max_steps,
-        workers=workers,
+        config=config,
     )
 
 
@@ -783,10 +836,11 @@ def experiment_message_overhead(
 # ----------------------------------------------------------------------
 def suite_as_dict(
     full: bool = False,
-    workers: "int | None" = 1,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    workers: "int | None" = None,
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache_dir: "str | None" = None,
+    config: "RunConfig | None" = None,
 ) -> dict:
     """Run the experiment suite and return one JSON-serializable dict.
 
@@ -797,9 +851,9 @@ def suite_as_dict(
     from ..engine.multinode import can_oscillate_multinode
     from ..models.taxonomy import model as model_by_name
 
-    perf = dict(
-        workers=workers, engine=engine, reduction=reduction,
-        cache_dir=cache_dir,
+    config = _experiment_config(
+        config, "suite_as_dict", workers=workers, engine=engine,
+        reduction=reduction, cache_dir=cache_dir,
     )
     polling = ("R1A", "RMA", "REA") if full else ("REA",)
     lockstep = can_oscillate_multinode(
@@ -811,12 +865,12 @@ def suite_as_dict(
         queue_bound=2,
         require_solo_activations=True,
     )
-    survey = experiment_convergence_rates(workers=workers)
+    survey = experiment_convergence_rates(config=config.replace(step_bound=None))
     return {
-        "figure3": experiment_figure3(**perf).as_dict(),
-        "figure4": experiment_figure4(**perf).as_dict(),
-        "disagree": experiment_disagree(**perf).as_dict(),
-        "fig6": experiment_fig6(polling_models=polling, **perf).as_dict(),
+        "figure3": experiment_figure3(config=config).as_dict(),
+        "figure4": experiment_figure4(config=config).as_dict(),
+        "disagree": experiment_disagree(config=config).as_dict(),
+        "fig6": experiment_fig6(polling_models=polling, config=config).as_dict(),
         "fig7": experiment_fig7().as_dict(),
         "fig8": experiment_fig8().as_dict(),
         "fig9": experiment_fig9().as_dict(),

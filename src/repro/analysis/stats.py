@@ -16,10 +16,41 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Iterable, Sequence
 
+from ..config import RunConfig, resolve_config
 from ..core.spp import SPPInstance
 from ..models.taxonomy import CommunicationModel
 
-__all__ = ["ModelStats", "ConvergenceSurvey", "survey_convergence"]
+__all__ = [
+    "ModelStats",
+    "ConvergenceSurvey",
+    "survey_convergence",
+    "wilson_interval",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> "tuple[float, float]":
+    """Wilson score interval for a binomial proportion.
+
+    The campaign reports quote it instead of the normal approximation
+    because survey rates routinely sit at 0% or 100% (every seed of a
+    dispute-wheel-free instance converges), where the Wald interval
+    collapses to a width of zero.  ``trials == 0`` yields the vacuous
+    ``(0.0, 1.0)``.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = p + z * z / (2 * trials)
+    spread = z * math.sqrt(p * (1.0 - p) / trials + z * z / (4 * trials * trials))
+    return (
+        max(0.0, (center - spread) / denom),
+        min(1.0, (center + spread) / denom),
+    )
 
 
 @dataclass
@@ -55,6 +86,10 @@ class ModelStats:
         ordered = sorted(self.steps_to_converge)
         rank = max(1, math.ceil(fraction * len(ordered)))
         return float(ordered[rank - 1])
+
+    def rate_ci(self, z: float = 1.96) -> "tuple[float, float]":
+        """Wilson confidence interval on the convergence rate."""
+        return wilson_interval(self.converged, self.runs, z=z)
 
     def record(self, converged: bool, steps: int) -> None:
         self.runs += 1
@@ -115,39 +150,50 @@ def survey_convergence(
     instances: Sequence[SPPInstance],
     models: Iterable[CommunicationModel],
     seeds_per_instance: int = 5,
-    max_steps: int = 600,
+    max_steps: "int | None" = None,
     drop_prob: float = 0.2,
-    workers: "int | None" = 1,
+    workers: "int | None" = None,
+    config: "RunConfig | None" = None,
 ) -> ConvergenceSurvey:
     """Run the sweep: every instance × model × seed.
 
     Each (instance, model) pair becomes one :class:`SimulationTask`
     carrying its explicit seed range, so the survey is deterministic
-    for every ``workers`` value: outcomes depend only on the seeds, and
-    the fan-out merges results in task order.  ``workers=None`` uses
-    one worker per core; ``workers=1`` runs in-process.
+    for every worker count: outcomes depend only on the seeds, and the
+    fan-out merges results in task order.  ``config`` carries the
+    fan-out width (``workers=None`` = one per core) and the step budget
+    (``step_bound``, default 600); the ``max_steps``/``workers``
+    keywords are a deprecated shim.
     """
     from ..engine.parallel import SimulationTask, run_simulations
 
+    explicit_config = config is not None
+    config = resolve_config(
+        config, caller="survey_convergence",
+        max_steps=max_steps, workers=workers,
+    )
+    if not explicit_config and workers is None and config.workers is None:
+        # Preserve the historical in-process default for bare calls.
+        config = config.replace(workers=1)
     models = tuple(models)
     per_model = {m.name: ModelStats(model_name=m.name) for m in models}
     tasks = [
-        SimulationTask(
-            instance=instance,
-            model_name=model.name,
+        SimulationTask.from_config(
+            instance,
+            model.name,
+            config,
             seeds=tuple(range(seeds_per_instance)),
-            max_steps=max_steps,
             drop_prob=drop_prob,
         )
         for instance in instances
         for model in models
     ]
-    for (_, model_name), outcomes in run_simulations(tasks, workers=workers):
+    for (_, model_name), outcomes in run_simulations(tasks, config=config):
         for converged, steps in outcomes:
             per_model[model_name].record(converged, steps)
     return ConvergenceSurvey(
         per_model=per_model,
         instances=len(instances),
         seeds_per_instance=seeds_per_instance,
-        max_steps=max_steps,
+        max_steps=config.max_steps,
     )

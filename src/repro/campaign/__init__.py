@@ -1,0 +1,37 @@
+"""``repro.campaign`` — resumable, sharded random-instance survey campaigns.
+
+The paper's separation results are proved on hand-built gadgets;
+statistically meaningful coverage of the 24-model taxonomy needs
+*populations* of random instances, which means multi-hour sweeps that
+must survive crashes.  A campaign is defined entirely by a JSON
+:class:`~repro.campaign.spec.CampaignSpec` (generator parameters, seed,
+model set, bounds, shard size); :class:`~repro.campaign.runner.Campaign`
+materializes a manifest plus per-shard checkpoints under a campaign
+directory, executes shards through the retrying parallel fan-out, and
+aggregates the checkpoints into a survey report with per-model
+oscillation/convergence rates and Wilson confidence intervals.
+
+Interrupt-safety is the design center: checkpoints are atomic,
+write-once, and keyed by the spec digest, every task is a pure function
+of the spec, and the report is a pure function of the checkpoints — so
+``repro campaign resume`` after a SIGKILL reproduces the uninterrupted
+report byte for byte.  See ``docs/api.md`` for the quickstart.
+"""
+
+from .manifest import CAMPAIGN_SCHEMA, CampaignPaths, build_manifest
+from .report import aggregate_report, render_report
+from .runner import Campaign, CampaignError
+from .spec import MODES, CampaignSpec, spec_digest
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "Campaign",
+    "CampaignError",
+    "CampaignPaths",
+    "CampaignSpec",
+    "MODES",
+    "aggregate_report",
+    "build_manifest",
+    "render_report",
+    "spec_digest",
+]

@@ -1,0 +1,127 @@
+"""Campaign directory layout, manifest, and crash-safe checkpoint I/O.
+
+Layout of a campaign directory::
+
+    <dir>/
+      spec.json                  the submitted CampaignSpec
+      manifest.json              digest + shard table (written once)
+      shards/shard-0007.json     one checkpoint per *completed* shard
+      report.json                the final aggregate (all shards done)
+      cache/                     shared verdict cache (spec.cache=True)
+      telemetry.jsonl            JSONL event stream (--telemetry)
+
+Every JSON artifact is written with :func:`atomic_write_json` — a
+tempfile in the destination directory followed by ``os.replace`` — so a
+``SIGKILL`` at any instant leaves either the previous file or the new
+one, never a torn write.  A shard checkpoint only exists once the whole
+shard finished; resuming therefore re-runs exactly the shards whose
+checkpoints are missing (or unreadable, or from a different spec
+digest), and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .spec import CampaignSpec, spec_digest
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignPaths",
+    "atomic_write_json",
+    "build_manifest",
+    "read_json",
+]
+
+#: Bumped whenever the manifest/checkpoint/report payloads change shape.
+CAMPAIGN_SCHEMA = 1
+
+
+def atomic_write_json(path, payload: dict) -> None:
+    """Write ``payload`` as canonical JSON via tempfile + atomic rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path) -> "dict | None":
+    """The parsed JSON object at ``path``, or ``None`` if missing/corrupt.
+
+    Corruption is treated exactly like absence: a checkpoint torn by a
+    crashed writer (possible only on filesystems without atomic rename)
+    simply means the shard runs again.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class CampaignPaths:
+    """The file locations of one campaign directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / "spec.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.directory / "shards"
+
+    def shard_path(self, shard: int) -> Path:
+        return self.shards_dir / f"shard-{shard:04d}.json"
+
+    @property
+    def report_path(self) -> Path:
+        return self.directory / "report.json"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.directory / "cache"
+
+    @property
+    def telemetry_path(self) -> Path:
+        return self.directory / "telemetry.jsonl"
+
+
+def build_manifest(spec: CampaignSpec) -> dict:
+    """The (deterministic) shard table derived from a spec."""
+    models = list(spec.model_names())
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "digest": spec_digest(spec),
+        "name": spec.name,
+        "mode": spec.mode,
+        "models": models,
+        "n_shards": spec.n_shards,
+        "shards": [
+            {
+                "id": shard,
+                "seeds": list(spec.shard_seeds(shard)),
+                "tasks": len(spec.shard_seeds(shard)) * len(models),
+            }
+            for shard in range(spec.n_shards)
+        ],
+    }

@@ -1,0 +1,136 @@
+"""Aggregating shard checkpoints into one survey report.
+
+The report is a *pure function* of the spec and the per-task records in
+the shard checkpoints, serialized with sorted keys — this is what makes
+the acceptance property hold: a campaign interrupted at any point and
+resumed produces byte-identical ``report.json`` to an uninterrupted
+run, because the records themselves are deterministic per task and the
+aggregation folds them in manifest order.  Wall-clock, retry counts,
+and cache hits deliberately live in telemetry, never in the report.
+
+For oscillation surveys the headline number per model is the fraction
+of the instance population that *can* oscillate, with a Wilson score
+interval (see :func:`repro.analysis.stats.wilson_interval`) so that
+rates of exactly 0 or 1 — common on structured policy families — still
+carry honest uncertainty.  Simulation campaigns report convergence
+frequency over instance × seed runs instead.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import ModelStats, wilson_interval
+from .manifest import CAMPAIGN_SCHEMA
+from .spec import CampaignSpec, spec_digest
+
+__all__ = ["aggregate_report", "render_report"]
+
+
+def _explore_rollup(model_names, records) -> dict:
+    per_model = {
+        name: {
+            "instances": 0,
+            "oscillating": 0,
+            "conclusive": 0,
+            "states_explored": 0,
+            "states_pruned": 0,
+            "truncated_states": 0,
+        }
+        for name in model_names
+    }
+    for record in records:
+        row = per_model[record["model"]]
+        result = record["result"]
+        row["instances"] += 1
+        row["oscillating"] += bool(result["oscillates"])
+        row["conclusive"] += bool(result["oscillates"] or result["complete"])
+        row["states_explored"] += result["states_explored"]
+        row["states_pruned"] += result["states_pruned"]
+        row["truncated_states"] += result["truncated_states"]
+    for row in per_model.values():
+        low, high = wilson_interval(row["oscillating"], row["instances"])
+        row["oscillation_rate"] = (
+            round(row["oscillating"] / row["instances"], 6) if row["instances"] else 0.0
+        )
+        row["ci_low"] = round(low, 6)
+        row["ci_high"] = round(high, 6)
+    return per_model
+
+
+def _simulate_rollup(model_names, records) -> dict:
+    stats = {name: ModelStats(model_name=name) for name in model_names}
+    for record in records:
+        tally = stats[record["model"]]
+        for converged, steps in record["outcomes"]:
+            tally.record(converged, steps)
+    per_model = {}
+    for name, tally in stats.items():
+        low, high = tally.rate_ci()
+        per_model[name] = {
+            "runs": tally.runs,
+            "converged": tally.converged,
+            "convergence_rate": round(tally.convergence_rate, 6),
+            "ci_low": round(low, 6),
+            "ci_high": round(high, 6),
+            "mean_steps": round(tally.mean_steps, 3),
+            "p95_steps": tally.steps_percentile(0.95),
+        }
+    return per_model
+
+
+def aggregate_report(spec: CampaignSpec, records) -> dict:
+    """Fold per-task checkpoint ``records`` into the survey report.
+
+    ``records`` must be in manifest order (shard id, then the shard's
+    own task order) — the runner guarantees this — so the report bytes
+    are independent of how execution was scheduled or interrupted.
+    """
+    records = list(records)
+    model_names = spec.model_names()
+    if spec.mode == "explore":
+        per_model = _explore_rollup(model_names, records)
+    else:
+        per_model = _simulate_rollup(model_names, records)
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "digest": spec_digest(spec),
+        "name": spec.name,
+        "mode": spec.mode,
+        "instances": spec.count,
+        "models": len(model_names),
+        "tasks": len(records),
+        "per_model": per_model,
+    }
+
+
+def render_report(report: dict) -> str:
+    """The report as the table ``repro campaign report`` prints."""
+    lines = [
+        f"campaign {report['name']} ({report['mode']}): "
+        f"{report['instances']} instances x {report['models']} models, "
+        f"{report['tasks']} tasks",
+    ]
+    if report["mode"] == "explore":
+        lines.append(
+            "model | oscillation rate [95% CI]    | conclusive | states explored | pruned"
+        )
+        lines.append("-" * 78)
+        for name, row in sorted(report["per_model"].items()):
+            lines.append(
+                f"{name:<5} | {row['oscillation_rate']:7.2%} "
+                f"[{row['ci_low']:6.2%}, {row['ci_high']:6.2%}] | "
+                f"{row['conclusive']:>5}/{row['instances']:<4} | "
+                f"{row['states_explored']:>15} | {row['states_pruned']:>6}"
+            )
+    else:
+        lines.append(
+            "model | convergence rate [95% CI]    | runs | mean steps | p95 steps"
+        )
+        lines.append("-" * 72)
+        for name, row in sorted(report["per_model"].items()):
+            lines.append(
+                f"{name:<5} | {row['convergence_rate']:7.2%} "
+                f"[{row['ci_low']:6.2%}, {row['ci_high']:6.2%}] | "
+                f"{row['runs']:>4} | {row['mean_steps']:8.1f}   | "
+                f"{row['p95_steps']:7.0f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""The resumable campaign runner.
+
+:class:`Campaign` executes a :class:`~repro.campaign.spec.CampaignSpec`
+shard by shard.  Each shard is one retrying fan-out
+(:func:`repro.engine.parallel.parallel_map_retrying` — per-task retry
+with exponential backoff over worker crashes and hangs) whose records
+are checkpointed atomically on completion.  ``run`` after an
+interruption — a SIGKILL of the CLI, a crashed worker, a power cut —
+therefore picks up at the first shard without a valid checkpoint; the
+shared verdict cache under the campaign directory turns the re-run of a
+half-finished shard into mostly cache hits.
+
+Determinism: every task is a pure function of ``(spec, seed, model)``,
+checkpoints hold no wall-clock or scheduling metadata, and the report
+aggregates records in manifest order — so an interrupted-then-resumed
+campaign's ``report.json`` is byte-identical to an uninterrupted one.
+Retries and cache hits are visible in the telemetry counters
+(``parallel.task.retry``, ``cache.hit``/``cache.miss``) instead.
+"""
+
+from __future__ import annotations
+
+from ..engine.parallel import (
+    ExplorationTask,
+    SimulationTask,
+    _explore_one,
+    _simulate_batch,
+    parallel_map_retrying,
+)
+from ..obs import active as _telemetry
+from .manifest import (
+    CAMPAIGN_SCHEMA,
+    CampaignPaths,
+    atomic_write_json,
+    build_manifest,
+    read_json,
+)
+from .report import aggregate_report, render_report
+from .spec import CampaignSpec, spec_digest
+
+__all__ = ["Campaign", "CampaignError"]
+
+#: Keys of an ExplorationResult's dict form that enter a checkpoint.
+#: ``cache`` (hit/miss) is deliberately absent: it depends on execution
+#: history, and checkpoints must only hold history-independent facts.
+_RESULT_KEYS = (
+    "oscillates",
+    "complete",
+    "states_explored",
+    "truncated_states",
+    "states_pruned",
+    "witness_period",
+)
+
+
+class CampaignError(RuntimeError):
+    """A campaign directory is missing, foreign, or inconsistent."""
+
+
+class Campaign:
+    """A campaign directory plus the spec that defines it."""
+
+    def __init__(self, directory, spec: CampaignSpec) -> None:
+        self.paths = CampaignPaths(directory)
+        self.spec = spec
+        self.digest = spec_digest(spec)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, directory, spec: CampaignSpec) -> "Campaign":
+        """Materialize (or re-open) the campaign directory for ``spec``.
+
+        Idempotent: creating on top of an existing directory with the
+        same spec digest simply re-opens it (that is how ``campaign
+        run`` doubles as resume); a different digest raises
+        :class:`CampaignError` rather than mixing two campaigns'
+        results.
+        """
+        campaign = cls(directory, spec)
+        existing = read_json(campaign.paths.spec_path)
+        if existing is not None:
+            found = spec_digest(CampaignSpec.from_dict(existing))
+            if found != campaign.digest:
+                raise CampaignError(
+                    f"{campaign.paths.directory} already holds campaign "
+                    f"{found[:12]}, refusing to overwrite with {campaign.digest[:12]}"
+                )
+            return campaign
+        atomic_write_json(campaign.paths.spec_path, spec.as_dict())
+        atomic_write_json(campaign.paths.manifest_path, build_manifest(spec))
+        return campaign
+
+    @classmethod
+    def open(cls, directory) -> "Campaign":
+        """Open an existing campaign directory (for resume/status/report)."""
+        paths = CampaignPaths(directory)
+        data = read_json(paths.spec_path)
+        if data is None:
+            raise CampaignError(f"no campaign at {paths.directory} (missing spec.json)")
+        return cls(directory, CampaignSpec.from_dict(data))
+
+    # -- shard bookkeeping ----------------------------------------------
+    def _shard_records(self, shard: int) -> "list | None":
+        """The checkpointed records of ``shard``, or ``None`` if pending."""
+        payload = read_json(self.paths.shard_path(shard))
+        if (
+            payload is None
+            or payload.get("schema") != CAMPAIGN_SCHEMA
+            or payload.get("digest") != self.digest
+            or payload.get("shard") != shard
+        ):
+            return None
+        records = payload.get("records")
+        expected = len(self.spec.shard_seeds(shard)) * len(self.spec.model_names())
+        if not isinstance(records, list) or len(records) != expected:
+            return None
+        return records
+
+    def completed_shards(self) -> list:
+        return [
+            shard
+            for shard in range(self.spec.n_shards)
+            if self._shard_records(shard) is not None
+        ]
+
+    def pending_shards(self) -> list:
+        return [
+            shard
+            for shard in range(self.spec.n_shards)
+            if self._shard_records(shard) is None
+        ]
+
+    # -- execution -------------------------------------------------------
+    def _shard_tasks(self, shard: int) -> "tuple[list, list]":
+        """The shard's (tasks, per-task metadata), in checkpoint order."""
+        spec = self.spec
+        cache_dir = str(self.paths.cache_dir) if spec.cache else None
+        config = spec.run_config(cache_dir=cache_dir)
+        tasks, meta = [], []
+        for seed in spec.shard_seeds(shard):
+            instance = spec.instance_for_seed(seed)
+            for name in spec.model_names():
+                if spec.mode == "explore":
+                    tasks.append(
+                        ExplorationTask.from_config(
+                            instance,
+                            name,
+                            config,
+                            reliable_twin_first=spec.reliable_twin_first,
+                        )
+                    )
+                else:
+                    tasks.append(
+                        SimulationTask.from_config(
+                            instance,
+                            name,
+                            config,
+                            seeds=tuple(range(spec.seeds_per_instance)),
+                            drop_prob=spec.drop_prob,
+                        )
+                    )
+                meta.append((seed, instance.name, name))
+        return tasks, meta
+
+    def run_shard(self, shard: int, workers: "int | None" = None) -> list:
+        """Execute one shard and checkpoint it; returns its records."""
+        spec = self.spec
+        tasks, meta = self._shard_tasks(shard)
+        function = _explore_one if spec.mode == "explore" else _simulate_batch
+        tel = _telemetry()
+        with tel.span("campaign.shard"):
+            results = parallel_map_retrying(
+                function,
+                tasks,
+                workers=workers,
+                retries=spec.retries,
+                backoff=spec.retry_backoff,
+                task_timeout=spec.task_timeout,
+            )
+        records = []
+        for (seed, instance_name, model_name), result in zip(meta, results):
+            record = {"seed": seed, "instance": instance_name, "model": model_name}
+            if spec.mode == "explore":
+                data = result.as_dict()
+                record["result"] = {key: data[key] for key in _RESULT_KEYS}
+            else:
+                record["outcomes"] = [list(outcome) for outcome in result]
+            records.append(record)
+        atomic_write_json(
+            self.paths.shard_path(shard),
+            {
+                "schema": CAMPAIGN_SCHEMA,
+                "digest": self.digest,
+                "shard": shard,
+                "records": records,
+            },
+        )
+        tel.count("campaign.shard.completed")
+        tel.count("campaign.task.completed", len(records))
+        tel.heartbeat("campaign", shard=shard, tasks=len(records))
+        return records
+
+    def run(
+        self,
+        workers: "int | None" = None,
+        max_shards: "int | None" = None,
+    ) -> list:
+        """Execute pending shards (at most ``max_shards``); returns their ids.
+
+        Finishing the last pending shard also (re)writes ``report.json``.
+        """
+        executed = []
+        for shard in self.pending_shards():
+            if max_shards is not None and len(executed) >= max_shards:
+                break
+            self.run_shard(shard, workers=workers)
+            executed.append(shard)
+        if not self.pending_shards():
+            self.write_report()
+        return executed
+
+    # -- inspection ------------------------------------------------------
+    def status(self) -> dict:
+        completed = self.completed_shards()
+        models = len(self.spec.model_names())
+        tasks_done = sum(
+            len(self.spec.shard_seeds(shard)) * models for shard in completed
+        )
+        return {
+            "name": self.spec.name,
+            "digest": self.digest,
+            "mode": self.spec.mode,
+            "directory": str(self.paths.directory),
+            "shards_total": self.spec.n_shards,
+            "shards_completed": len(completed),
+            "shards_pending": self.spec.n_shards - len(completed),
+            "tasks_total": self.spec.count * models,
+            "tasks_completed": tasks_done,
+            "report_written": self.paths.report_path.is_file(),
+        }
+
+    def records(self) -> list:
+        """All checkpointed records in manifest order (complete campaigns)."""
+        pending = self.pending_shards()
+        if pending:
+            raise CampaignError(
+                f"campaign incomplete: shard(s) {pending} still pending "
+                "(run `repro campaign resume` first)"
+            )
+        records = []
+        for shard in range(self.spec.n_shards):
+            records.extend(self._shard_records(shard))
+        return records
+
+    def report(self) -> dict:
+        """The aggregate survey report (requires every shard done)."""
+        return aggregate_report(self.spec, self.records())
+
+    def write_report(self) -> dict:
+        report = self.report()
+        atomic_write_json(self.paths.report_path, report)
+        return report
+
+    def render_report(self) -> str:
+        return render_report(self.report())

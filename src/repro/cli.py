@@ -13,6 +13,8 @@ Subcommands
 * ``trace`` — print the scripted Appendix A executions.
 * ``experiments`` — run the full experiment suite (``--json`` for
   machine-readable results).
+* ``campaign`` — resumable sharded surveys over random instance
+  populations (``run``/``resume``/``status``/``report``).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed verdict cache shared by the search commands.
 * ``stats`` — aggregate telemetry JSONL files (``--telemetry`` on the
@@ -32,6 +34,8 @@ import sys
 from . import obs
 from .analysis import experiments, reporting
 from .analysis.traces import format_trace_table
+from .campaign import Campaign, CampaignError, CampaignSpec, render_report
+from .config import RunConfig
 from .core.instances import ALL_NAMED_INSTANCES
 from .engine.cache import DEFAULT_CACHE_DIR, VerdictCache
 from .engine.convergence import simulate
@@ -102,6 +106,17 @@ def _resolve_telemetry(args) -> "str | None":
     """The telemetry JSONL path, or ``None`` when telemetry is off."""
     explicit = getattr(args, "telemetry", None)
     return explicit or os.environ.get(obs.TELEMETRY_ENV_VAR) or None
+
+
+def _config_from_args(args, workers: "int | None" = None) -> RunConfig:
+    """The :class:`RunConfig` a search command's flags describe."""
+    return RunConfig(
+        engine=args.engine,
+        reduction=args.reduction,
+        cache_dir=_resolve_cache_dir(args),
+        workers=workers,
+        telemetry=_resolve_telemetry(args),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +214,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the aggregate as JSON instead of a table",
     )
 
+    camp = sub.add_parser(
+        "campaign",
+        help="resumable sharded surveys over random instance populations",
+    )
+    campsub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_exec_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="processes per shard fan-out (default: $REPRO_WORKERS "
+            "or one per core); results are identical for every value",
+        )
+        parser.add_argument(
+            "--max-shards",
+            type=int,
+            default=None,
+            metavar="N",
+            help="stop after completing N pending shards (campaigns are "
+            "resumable, so partial runs are always safe)",
+        )
+        parser.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="PATH",
+            help="telemetry JSONL path (default: telemetry.jsonl inside "
+            "the campaign directory)",
+        )
+        parser.add_argument(
+            "--no-telemetry",
+            action="store_true",
+            help="disable the campaign's telemetry stream",
+        )
+        parser.add_argument(
+            "--progress",
+            action="store_true",
+            help="print live shard heartbeats to stderr",
+        )
+
+    crun = campsub.add_parser(
+        "run", help="start (or continue) a campaign from a JSON spec file"
+    )
+    crun.add_argument("spec", help="campaign spec JSON file")
+    crun.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="campaign directory (default: campaigns/<spec name>)",
+    )
+    _add_campaign_exec_flags(crun)
+
+    cresume = campsub.add_parser(
+        "resume", help="continue an interrupted campaign directory"
+    )
+    cresume.add_argument("dir", help="campaign directory")
+    _add_campaign_exec_flags(cresume)
+
+    cstatus = campsub.add_parser("status", help="shard/task progress")
+    cstatus.add_argument("dir", help="campaign directory")
+    cstatus.add_argument("--json", action="store_true")
+
+    creport = campsub.add_parser(
+        "report", help="aggregate a finished campaign into a survey report"
+    )
+    creport.add_argument("dir", help="campaign directory")
+    creport.add_argument("--json", action="store_true")
+
     explain = sub.add_parser(
         "explain", help="derive one matrix cell with its proof chain"
     )
@@ -247,23 +330,18 @@ def _cmd_list() -> int:
 
 def _cmd_matrix(args) -> int:
     matrix = derive_matrix()
-    perf = dict(
-        workers=args.workers,
-        engine=args.engine,
-        reduction=args.reduction,
-        cache_dir=_resolve_cache_dir(args),
-    )
+    config = _config_from_args(args, workers=args.workers)
     if args.figure in ("3", "both"):
         print("Derived Figure 3 (rows: realized model; columns: reliable realizers)")
         print(reporting.render_figure3(matrix))
         print()
-        print(experiments.experiment_figure3(**perf).summary)
+        print(experiments.experiment_figure3(config=config).summary)
         print()
     if args.figure in ("4", "both"):
         print("Derived Figure 4 (rows: realized model; columns: unreliable realizers)")
         print(reporting.render_figure4(matrix))
         print()
-        print(experiments.experiment_figure4(**perf).summary)
+        print(experiments.experiment_figure4(config=config).summary)
     return 0
 
 
@@ -286,11 +364,9 @@ def _cmd_explore(args) -> int:
     result = can_oscillate(
         instance,
         model(args.model),
-        queue_bound=args.queue_bound,
-        max_states=args.max_states,
-        engine=args.engine,
-        reduction=args.reduction,
-        cache=_resolve_cache_dir(args),
+        config=_config_from_args(args).replace(
+            queue_bound=args.queue_bound, step_bound=args.max_states
+        ),
     )
     print(f"instance: {instance.name}   model: {args.model}")
     print(
@@ -328,25 +404,20 @@ def _cmd_trace(example: str) -> int:
 def _cmd_experiments(args) -> int:
     full = args.full
     workers = args.workers
-    perf = dict(
-        workers=workers,
-        engine=args.engine,
-        reduction=args.reduction,
-        cache_dir=_resolve_cache_dir(args),
-    )
+    config = _config_from_args(args, workers=workers)
     if args.json:
-        print(json.dumps(experiments.suite_as_dict(full=full, **perf), indent=2))
+        print(json.dumps(experiments.suite_as_dict(full=full, config=config), indent=2))
         return 0
     print("— E1/E2: Figures 3 and 4 —")
-    print(experiments.experiment_figure3(**perf).summary)
-    print(experiments.experiment_figure4(**perf).summary)
+    print(experiments.experiment_figure3(config=config).summary)
+    print(experiments.experiment_figure4(config=config).summary)
     print("\n— E3: DISAGREE (Ex. A.1) —")
-    print(experiments.experiment_disagree(**perf).summary)
+    print(experiments.experiment_disagree(config=config).summary)
     print("\n— E4: Fig. 6 separation (Ex. A.2) —")
     polling = ("R1A", "RMA", "REA") if full else ("REA",)
     print(
         experiments.experiment_fig6(
-            polling_models=polling, **perf
+            polling_models=polling, config=config
         ).summary
     )
     print("\n— E5/E6/E7: Figs. 7–9 (Ex. A.3–A.5) —")
@@ -375,7 +446,11 @@ def _cmd_experiments(args) -> int:
     print("\n— E13: message overhead —")
     print(experiments.experiment_message_overhead().summary)
     print("\n— E10: convergence-rate survey —")
-    print(experiments.experiment_convergence_rates(workers=workers).format_table())
+    print(
+        experiments.experiment_convergence_rates(
+            config=RunConfig(workers=workers)
+        ).format_table()
+    )
     return 0
 
 
@@ -480,6 +555,80 @@ def _cmd_sat(text: str) -> int:
     return 0
 
 
+def _campaign_for_args(args) -> Campaign:
+    """Create or open the campaign directory named by ``args``."""
+    if args.campaign_command == "run":
+        spec = CampaignSpec.from_file(args.spec)
+        directory = args.dir or os.path.join("campaigns", spec.name)
+        return Campaign.create(directory, spec)
+    return Campaign.open(args.dir)
+
+
+def _campaign_execute(campaign: Campaign, args) -> int:
+    """Run pending shards under the campaign's own telemetry stream."""
+    path = None
+    if not args.no_telemetry:
+        path = args.telemetry or str(campaign.paths.telemetry_path)
+    telemetry = obs.configure(
+        path,
+        run={"command": "campaign", "campaign": campaign.spec.name},
+    )
+    if args.progress:
+        telemetry.add_listener(obs.ProgressReporter())
+    try:
+        executed = campaign.run(workers=args.workers, max_shards=args.max_shards)
+    finally:
+        obs.shutdown()
+    status = campaign.status()
+    print(
+        f"campaign {status['name']}: ran {len(executed)} shard(s), "
+        f"{status['shards_completed']}/{status['shards_total']} complete"
+    )
+    if status["shards_pending"]:
+        print(
+            f"{status['shards_pending']} shard(s) pending — resume with: "
+            f"repro campaign resume {campaign.paths.directory}"
+        )
+        return 0
+    print(f"report written to {campaign.paths.report_path}")
+    print()
+    print(render_report(campaign.report()))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    try:
+        campaign = _campaign_for_args(args)
+        if args.campaign_command in ("run", "resume"):
+            return _campaign_execute(campaign, args)
+        if args.campaign_command == "status":
+            status = campaign.status()
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0
+            for key in (
+                "name",
+                "mode",
+                "directory",
+                "shards_completed",
+                "shards_pending",
+                "tasks_completed",
+                "tasks_total",
+                "report_written",
+            ):
+                print(f"{key}: {status[key]}")
+            return 0
+        report = campaign.report()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_report(report))
+        return 0
+    except (CampaignError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 #: Commands that report into the telemetry sink while they run.
 _TELEMETRY_COMMANDS = frozenset({"matrix", "explore", "experiments"})
 
@@ -521,6 +670,8 @@ def _dispatch(args) -> int:
         return _cmd_trace(args.example)
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "stats":

@@ -1,0 +1,158 @@
+"""``repro.config`` — the unified :class:`RunConfig` carried by entry points.
+
+Before this module every search entry point (``can_oscillate``,
+``run_explorations``, ``run_simulations``, the ``analysis.experiments``
+drivers, the CLI) threaded the same five or six tuning knobs as ad-hoc
+keyword arguments.  :class:`RunConfig` replaces that with one frozen,
+picklable value object:
+
+* ``engine`` — execution core (``"compiled"`` or ``"reference"``).
+* ``reduction`` — partial-order reducer (``"ample"`` or ``"none"``).
+* ``cache`` / ``cache_dir`` — the content-addressed verdict cache:
+  ``cache`` accepts anything :func:`repro.engine.cache.as_cache` does
+  (``None`` off, ``True`` default directory, a path, a
+  ``VerdictCache``) and wins over ``cache_dir``, which names a
+  directory; ``cache=False`` forces caching off.
+* ``workers`` — fan-out width; ``None`` means one per core (see
+  :func:`repro.engine.parallel.default_workers`, which also honours
+  the ``REPRO_WORKERS`` environment override).
+* ``queue_bound`` — channel budget of the bounded search.
+* ``step_bound`` — the run's budget: ``max_states`` for explorations,
+  ``max_steps`` for simulations; ``None`` uses each consumer's default.
+* ``telemetry`` — JSONL event-stream path, consumed by *drivers* (the
+  CLI and the campaign runner, which call :func:`repro.obs.configure`);
+  library entry points never install a sink themselves.
+
+The legacy keyword arguments keep working everywhere through
+:func:`resolve_config`, which folds them into a config and emits a
+:class:`DeprecationWarning` so callers migrate at their own pace.
+This module sits at the bottom of the layering: it imports nothing
+from the rest of the package, so every layer may depend on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_MAX_STATES",
+    "DEFAULT_MAX_STEPS",
+    "RunConfig",
+    "resolve_config",
+]
+
+#: Exploration state budget when ``step_bound`` is left ``None``.
+DEFAULT_MAX_STATES = 200_000
+
+#: Simulation step budget when ``step_bound`` is left ``None``.
+DEFAULT_MAX_STEPS = 600
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One immutable bundle of search/fan-out tuning knobs.
+
+    Frozen and picklable, so a single config can be validated once and
+    then shipped unchanged to worker processes, campaign shards, and
+    checkpoint files.
+    """
+
+    engine: str = "compiled"
+    reduction: str = "ample"
+    cache: object = None
+    cache_dir: "str | None" = None
+    workers: "int | None" = None
+    queue_bound: int = 3
+    step_bound: "int | None" = None
+    telemetry: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("compiled", "reference"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.reduction not in ("ample", "none"):
+            raise ValueError(f"unknown reduction {self.reduction!r}")
+        if self.queue_bound < 1:
+            raise ValueError("queue_bound must be at least 1")
+        if self.step_bound is not None and self.step_bound < 1:
+            raise ValueError("step_bound must be at least 1 (or None)")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1 (or None for auto)")
+
+    # -- derived views --------------------------------------------------
+    @property
+    def max_states(self) -> int:
+        """The exploration state budget this config implies."""
+        return DEFAULT_MAX_STATES if self.step_bound is None else self.step_bound
+
+    @property
+    def max_steps(self) -> int:
+        """The simulation step budget this config implies."""
+        return DEFAULT_MAX_STEPS if self.step_bound is None else self.step_bound
+
+    def resolved_cache(self):
+        """The ``cache`` argument to hand the explorer (or ``None``).
+
+        ``cache`` wins when set (``False`` forces caching off even if
+        ``cache_dir`` names a directory); otherwise ``cache_dir``.
+        """
+        if self.cache is False:
+            return None
+        if self.cache is not None:
+            return self.cache
+        return self.cache_dir
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with ``changes`` applied (fields re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (campaign specs, telemetry metadata)."""
+        cache = self.cache
+        if cache is not None and not isinstance(cache, (bool, str)):
+            cache = str(getattr(cache, "root", cache))
+        return {
+            "engine": self.engine,
+            "reduction": self.reduction,
+            "cache": cache,
+            "cache_dir": self.cache_dir,
+            "workers": self.workers,
+            "queue_bound": self.queue_bound,
+            "step_bound": self.step_bound,
+            "telemetry": self.telemetry,
+        }
+
+
+#: Legacy keyword names that map onto a differently-named config field.
+_LEGACY_FIELD = {"max_states": "step_bound", "max_steps": "step_bound"}
+
+
+def resolve_config(
+    config: "RunConfig | None",
+    caller: str = "",
+    **legacy,
+) -> RunConfig:
+    """Fold deprecated per-call keyword arguments into a :class:`RunConfig`.
+
+    ``legacy`` holds the old-style keyword arguments of ``caller`` with
+    ``None`` meaning "not passed".  Any that *were* passed emit one
+    :class:`DeprecationWarning` (naming the offending keywords) and
+    override the corresponding ``config`` field; with none passed the
+    given ``config`` — or a default one — is returned unchanged.
+    """
+    passed = {
+        name: value for name, value in legacy.items() if value is not None
+    }
+    base = RunConfig() if config is None else config
+    if not passed:
+        return base
+    warnings.warn(
+        f"{caller or 'this entry point'}: the keyword argument(s) "
+        f"{', '.join(sorted(passed))} are deprecated; pass "
+        "config=repro.RunConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    fields = {_LEGACY_FIELD.get(name, name): value for name, value in passed.items()}
+    return dataclasses.replace(base, **fields)

@@ -45,6 +45,7 @@ import itertools
 import time
 from dataclasses import dataclass, field, replace
 
+from ..config import RunConfig, resolve_config
 from ..core.paths import EPSILON, Node
 from ..core.spp import SPPInstance
 from ..models.dimensions import MessageCount, NeighborScope, Reliability
@@ -742,12 +743,13 @@ class Explorer:
 def can_oscillate(
     instance: SPPInstance,
     model: CommunicationModel,
-    queue_bound: int = 3,
-    max_states: int = 200_000,
+    queue_bound: "int | None" = None,
+    max_states: "int | None" = None,
     reliable_twin_first: bool = True,
-    engine: str = "compiled",
-    reduction: str = "ample",
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
     cache=None,
+    config: "RunConfig | None" = None,
 ) -> ExplorationResult:
     """Convenience wrapper: explore and report.
 
@@ -757,15 +759,32 @@ def can_oscillate(
     state space that is orders of magnitude smaller.  Safety verdicts
     still require (and get) the full lossy search.
 
-    ``reduction`` selects the partial-order reducer of
-    :mod:`repro.engine.reduction` (``"ample"``, the default) or the
-    plain exhaustive search (``"none"``).  ``cache`` — a
-    :class:`repro.engine.cache.VerdictCache`, a path for one, or
-    ``None`` — memoizes the result in the content-addressed verdict
-    store, keyed by the instance's canonical hash plus the search
-    parameters (the ``engine`` is *not* part of the key: compiled and
-    reference runs are bit-identical by construction).
+    ``config`` is the preferred way to tune the run: a
+    :class:`repro.RunConfig` carrying the engine, partial-order
+    reducer, bounds (``queue_bound``, ``step_bound`` as the state
+    budget), and verdict-cache selection.  The cache — anything
+    :func:`repro.engine.cache.as_cache` accepts — memoizes the result
+    in the content-addressed verdict store, keyed by the instance's
+    canonical hash plus the search parameters (the ``engine`` is *not*
+    part of the key: compiled and reference runs are bit-identical by
+    construction).  The individual keyword arguments are a deprecated
+    shim kept for older callers; passing any of them emits a
+    :class:`DeprecationWarning` and overrides the config field.
     """
+    config = resolve_config(
+        config,
+        caller="can_oscillate",
+        queue_bound=queue_bound,
+        max_states=max_states,
+        engine=engine,
+        reduction=reduction,
+        cache=cache,
+    )
+    queue_bound = config.queue_bound
+    max_states = config.max_states
+    engine = config.engine
+    reduction = config.reduction
+    cache = config.resolved_cache()
     validate_reduction(reduction)
     tel = _telemetry()
     key = None

@@ -28,24 +28,47 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from functools import partial
 
+from ..config import RunConfig, resolve_config
 from ..core.spp import SPPInstance
 from ..obs import active as _telemetry
 
 __all__ = [
     "ExplorationTask",
     "SimulationTask",
+    "TaskFailure",
+    "WORKERS_ENV_VAR",
     "default_workers",
     "parallel_map",
+    "parallel_map_retrying",
     "run_explorations",
     "run_simulations",
 ]
 
+#: Environment override for :func:`default_workers` — CI runners and
+#: campaign shards pin their fan-out width with it instead of patching
+#: every call site.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
 
 def default_workers() -> int:
-    """Worker count when the caller does not choose: one per core."""
+    """Worker count when the caller does not choose.
+
+    ``$REPRO_WORKERS`` (when set to a positive integer) wins; otherwise
+    one worker per core.
+    """
+    override = os.environ.get(WORKERS_ENV_VAR)
+    if override:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ValueError(
+                f"${WORKERS_ENV_VAR} must be an integer, got {override!r}"
+            ) from None
+        return max(1, workers)
     return max(1, os.cpu_count() or 1)
 
 
@@ -156,6 +179,115 @@ def _instrumented_map(tel, function, tasks, pool_size: int) -> list:
     return results
 
 
+class TaskFailure(RuntimeError):
+    """A task exhausted its retry budget in :func:`parallel_map_retrying`."""
+
+    def __init__(self, index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.index = index
+        self.attempts = attempts
+
+
+def parallel_map_retrying(
+    function,
+    tasks,
+    workers: "int | None" = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    task_timeout: "float | None" = None,
+) -> list:
+    """:func:`parallel_map` hardened against worker crashes and hangs.
+
+    Every task is retried up to ``retries`` extra times; between retry
+    rounds the caller sleeps ``backoff * 2**round`` seconds
+    (exponential backoff, capped at 30s).  A worker-process crash
+    (``BrokenProcessPool``) poisons only that round — the pool is
+    rebuilt and the unfinished tasks re-run.  With ``task_timeout`` set,
+    a task that has not produced a result that many seconds after its
+    round started is treated as hung: the pool's workers are terminated
+    and the task is retried.  Raises :class:`TaskFailure` once a task
+    exhausts its budget.
+
+    Safe for deterministic workloads: every task is a pure function of
+    its payload, so a retried task returns exactly the result its first
+    attempt would have, and results are merged in task order — the
+    output is bit-identical to :func:`parallel_map` on the same tasks.
+    Retries are visible as the ``parallel.task.retry`` telemetry
+    counter.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers()
+    results: list = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    serial = workers <= 1 or len(tasks) <= 1
+    tel = _telemetry()
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(min(backoff * (2 ** (attempt - 1)), 30.0))
+            tel.count("parallel.task.retry", len(pending))
+        if serial:
+            failures = _retry_round_serial(function, tasks, pending, results)
+        else:
+            failures = _retry_round_pooled(
+                function, tasks, pending, results, workers, task_timeout
+            )
+        if failures and attempt == retries:
+            index, cause = failures[0]
+            raise TaskFailure(index, attempt + 1, cause) from cause
+        pending = [index for index, _ in failures]
+    return results
+
+
+def _retry_round_serial(function, tasks, pending, results) -> list:
+    """One in-process attempt over ``pending``; returns the failures."""
+    failures = []
+    for index in pending:
+        try:
+            results[index] = function(tasks[index])
+        except Exception as error:
+            failures.append((index, error))
+    return failures
+
+
+def _retry_round_pooled(
+    function, tasks, pending, results, workers, task_timeout
+) -> list:
+    """One pooled attempt over ``pending``; returns the failures.
+
+    Futures are drained in submission order.  On a timeout the pool's
+    worker processes are terminated outright — a hung worker would
+    otherwise block the executor's shutdown forever — which makes the
+    pool unusable, so every task still outstanding fails over to the
+    next round alongside the hung one.
+    """
+    failures = []
+    pool_size = min(workers, len(pending))
+    pool = ProcessPoolExecutor(max_workers=pool_size)
+    killed = False
+    try:
+        futures = [
+            (index, pool.submit(function, tasks[index])) for index in pending
+        ]
+        for index, future in futures:
+            try:
+                results[index] = future.result(timeout=task_timeout)
+            except Exception as error:
+                failures.append((index, error))
+                if isinstance(error, _FuturesTimeout) and not killed:
+                    killed = True
+                    future.cancel()
+                    for process in getattr(pool, "_processes", {}).values():
+                        process.terminate()
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return failures
+
+
 # ----------------------------------------------------------------------
 # Exploration fan-out
 # ----------------------------------------------------------------------
@@ -180,6 +312,50 @@ class ExplorationTask:
     def resolved_key(self) -> tuple:
         return self.key or (self.instance.name, self.model_name)
 
+    @classmethod
+    def from_config(
+        cls,
+        instance: SPPInstance,
+        model_name: str,
+        config: RunConfig,
+        key: tuple = (),
+        reliable_twin_first: bool = True,
+    ) -> "ExplorationTask":
+        """Build a task whose bounds/engine knobs come from ``config``.
+
+        ``config.cache``/``cache_dir`` collapse to the task's
+        ``cache_dir`` (tasks cross process boundaries, so only the
+        directory path travels, never a live cache object).
+        """
+        cache = config.resolved_cache()
+        if cache is True:
+            from .cache import DEFAULT_CACHE_DIR
+
+            cache = DEFAULT_CACHE_DIR
+        elif cache is not None and not isinstance(cache, (str, os.PathLike)):
+            cache = str(cache.root)
+        return cls(
+            instance=instance,
+            model_name=model_name,
+            key=key,
+            queue_bound=config.queue_bound,
+            max_states=config.max_states,
+            reliable_twin_first=reliable_twin_first,
+            engine=config.engine,
+            reduction=config.reduction,
+            cache_dir=None if cache is None else str(cache),
+        )
+
+    def run_config(self) -> RunConfig:
+        """This task's knobs as the :class:`RunConfig` it round-trips to."""
+        return RunConfig(
+            engine=self.engine,
+            reduction=self.reduction,
+            cache_dir=self.cache_dir,
+            queue_bound=self.queue_bound,
+            step_bound=self.max_states,
+        )
+
 
 def _explore_one(task: ExplorationTask):
     from ..models.taxonomy import model
@@ -188,24 +364,27 @@ def _explore_one(task: ExplorationTask):
     return can_oscillate(
         task.instance,
         model(task.model_name),
-        queue_bound=task.queue_bound,
-        max_states=task.max_states,
         reliable_twin_first=task.reliable_twin_first,
-        engine=task.engine,
-        reduction=task.reduction,
-        cache=task.cache_dir,
+        config=task.run_config(),
     )
 
 
-def run_explorations(tasks, workers: "int | None" = None) -> list:
+def run_explorations(
+    tasks,
+    workers: "int | None" = None,
+    config: "RunConfig | None" = None,
+) -> list:
     """Run exploration tasks across workers; ordered ``(key, result)``s.
 
-    Verdicts are identical for every worker count: each exploration is
-    a deterministic function of its task, and merging follows task
-    order.
+    ``config.workers`` sets the fan-out width (``None`` = one per
+    core); the ``workers`` keyword is a deprecated alias that emits a
+    :class:`DeprecationWarning`.  Verdicts are identical for every
+    worker count: each exploration is a deterministic function of its
+    task, and merging follows task order.
     """
     tasks = list(tasks)
-    results = parallel_map(_explore_one, tasks, workers=workers)
+    config = resolve_config(config, caller="run_explorations", workers=workers)
+    results = parallel_map(_explore_one, tasks, workers=config.workers)
     return [
         (task.resolved_key(), result)
         for task, result in zip(tasks, results)
@@ -229,6 +408,26 @@ class SimulationTask:
     def resolved_key(self) -> tuple:
         return self.key or (self.instance.name, self.model_name)
 
+    @classmethod
+    def from_config(
+        cls,
+        instance: SPPInstance,
+        model_name: str,
+        config: RunConfig,
+        seeds: tuple = (0,),
+        drop_prob: float = 0.2,
+        key: tuple = (),
+    ) -> "SimulationTask":
+        """Build a batch whose step budget comes from ``config``."""
+        return cls(
+            instance=instance,
+            model_name=model_name,
+            seeds=tuple(seeds),
+            max_steps=config.max_steps,
+            drop_prob=drop_prob,
+            key=key,
+        )
+
 
 def _simulate_batch(task: SimulationTask) -> tuple:
     from ..engine.convergence import simulate
@@ -251,14 +450,21 @@ def _simulate_batch(task: SimulationTask) -> tuple:
     return tuple(outcomes)
 
 
-def run_simulations(tasks, workers: "int | None" = None) -> list:
+def run_simulations(
+    tasks,
+    workers: "int | None" = None,
+    config: "RunConfig | None" = None,
+) -> list:
     """Run simulation batches across workers; ordered ``(key, outcomes)``.
 
     Each outcome is a ``(converged, steps)`` tuple per seed, in seed
     order — deterministic because every batch owns its explicit seeds.
+    ``config.workers`` sets the fan-out width; the ``workers`` keyword
+    is a deprecated alias that emits a :class:`DeprecationWarning`.
     """
     tasks = list(tasks)
-    results = parallel_map(_simulate_batch, tasks, workers=workers)
+    config = resolve_config(config, caller="run_simulations", workers=workers)
+    results = parallel_map(_simulate_batch, tasks, workers=config.workers)
     return [
         (task.resolved_key(), outcomes)
         for task, outcomes in zip(tasks, results)

@@ -1,0 +1,123 @@
+"""Wilson intervals and checkpoint-record aggregation."""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.campaign import CampaignSpec, aggregate_report, render_report
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_interval_brackets_the_rate(self):
+        low, high = wilson_interval(7, 10)
+        assert low < 0.7 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_extreme_rates_stay_informative(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.25
+        low, high = wilson_interval(20, 20)
+        assert 0.75 < low < 1.0 and high == pytest.approx(1.0)
+
+    def test_tightens_with_more_trials(self):
+        narrow = wilson_interval(50, 100)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+def _explore_record(seed, model, oscillates, complete=True):
+    return {
+        "seed": seed,
+        "instance": f"rand-{seed}",
+        "model": model,
+        "result": {
+            "oscillates": oscillates,
+            "complete": complete,
+            "states_explored": 10,
+            "truncated_states": 0 if complete else 3,
+            "states_pruned": 2,
+            "witness_period": 2 if oscillates else None,
+        },
+    }
+
+
+class TestExploreAggregation:
+    def test_rollup_counts_and_rates(self):
+        spec = CampaignSpec(name="x", count=4, models=("RMS", "R1O"))
+        records = []
+        for seed in range(4):
+            records.append(_explore_record(seed, "RMS", oscillates=seed < 3))
+            records.append(_explore_record(seed, "R1O", oscillates=False))
+        report = aggregate_report(spec, records)
+        assert report["tasks"] == 8
+        rms = report["per_model"]["RMS"]
+        assert rms["instances"] == 4
+        assert rms["oscillating"] == 3
+        assert rms["oscillation_rate"] == 0.75
+        assert rms["ci_low"] < 0.75 < rms["ci_high"]
+        r1o = report["per_model"]["R1O"]
+        assert r1o["oscillating"] == 0
+        assert r1o["oscillation_rate"] == 0.0
+
+    def test_inconclusive_tracked_separately(self):
+        spec = CampaignSpec(name="x", count=2, models=("RMS",))
+        records = [
+            _explore_record(0, "RMS", oscillates=False, complete=False),
+            _explore_record(1, "RMS", oscillates=False, complete=True),
+        ]
+        report = aggregate_report(spec, records)
+        assert report["per_model"]["RMS"]["conclusive"] == 1
+
+    def test_report_is_json_stable(self):
+        spec = CampaignSpec(name="x", count=1, models=("RMS",))
+        records = [_explore_record(0, "RMS", oscillates=True)]
+        a = json.dumps(aggregate_report(spec, records), sort_keys=True)
+        b = json.dumps(aggregate_report(spec, list(records)), sort_keys=True)
+        assert a == b
+
+    def test_render_explore_table(self):
+        spec = CampaignSpec(name="x", count=1, models=("RMS",))
+        text = render_report(
+            aggregate_report(spec, [_explore_record(0, "RMS", True)])
+        )
+        assert "campaign x (explore)" in text
+        assert "RMS" in text and "oscillation rate" in text
+
+
+class TestSimulateAggregation:
+    def test_rollup_outcomes(self):
+        spec = CampaignSpec(
+            name="x", count=2, models=("R1O",), mode="simulate"
+        )
+        records = [
+            {
+                "seed": 0,
+                "instance": "rand-0",
+                "model": "R1O",
+                "outcomes": [[True, 10], [True, 20]],
+            },
+            {
+                "seed": 1,
+                "instance": "rand-1",
+                "model": "R1O",
+                "outcomes": [[False, 600], [True, 30]],
+            },
+        ]
+        report = aggregate_report(spec, records)
+        row = report["per_model"]["R1O"]
+        assert row["runs"] == 4
+        assert row["converged"] == 3
+        assert row["convergence_rate"] == 0.75
+        assert row["mean_steps"] == 20.0  # converged runs only
+        text = render_report(report)
+        assert "convergence rate" in text

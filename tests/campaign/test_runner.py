@@ -1,0 +1,155 @@
+"""Campaign execution: checkpoints, resume, idempotence, bit-identical reports."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignError, CampaignSpec
+
+SPEC = CampaignSpec(
+    name="unit",
+    count=4,
+    models=("R1O", "RMS"),
+    shard_size=2,
+    n_nodes=4,
+    queue_bound=2,
+    step_bound=20_000,
+)
+
+
+class TestLifecycle:
+    def test_create_writes_spec_and_manifest(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        assert campaign.paths.spec_path.is_file()
+        manifest = json.loads(campaign.paths.manifest_path.read_text())
+        assert manifest["digest"] == campaign.digest
+        assert len(manifest["shards"]) == SPEC.n_shards
+
+    def test_create_is_idempotent_for_same_spec(self, tmp_path):
+        Campaign.create(tmp_path / "c", SPEC)
+        again = Campaign.create(tmp_path / "c", SPEC)
+        assert again.digest == Campaign.open(tmp_path / "c").digest
+
+    def test_create_refuses_foreign_directory(self, tmp_path):
+        Campaign.create(tmp_path / "c", SPEC)
+        other = CampaignSpec(
+            name="unit", count=6, models=("R1O", "RMS"), shard_size=2
+        )
+        with pytest.raises(CampaignError, match="refusing"):
+            Campaign.create(tmp_path / "c", other)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign"):
+            Campaign.open(tmp_path / "nowhere")
+
+
+class TestExecution:
+    def test_full_run_and_report(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        executed = campaign.run(workers=1)
+        assert executed == [0, 1]
+        assert campaign.pending_shards() == []
+        assert campaign.paths.report_path.is_file()
+        report = campaign.report()
+        assert report["tasks"] == 4 * 2
+        assert set(report["per_model"]) == {"R1O", "RMS"}
+        status = campaign.status()
+        assert status["shards_completed"] == 2
+        assert status["tasks_completed"] == 8
+        assert status["report_written"] is True
+
+    def test_completed_run_is_a_no_op(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        campaign.run(workers=1)
+        first = campaign.paths.report_path.read_bytes()
+        assert campaign.run(workers=1) == []
+        assert campaign.paths.report_path.read_bytes() == first
+
+    def test_records_refused_while_incomplete(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        campaign.run(workers=1, max_shards=1)
+        with pytest.raises(CampaignError, match="incomplete"):
+            campaign.records()
+
+    def test_interrupted_resume_is_bit_identical(self, tmp_path):
+        straight = Campaign.create(tmp_path / "straight", SPEC)
+        straight.run(workers=1)
+
+        interrupted = Campaign.create(tmp_path / "resumed", SPEC)
+        assert interrupted.run(workers=1, max_shards=1) == [0]
+        assert interrupted.pending_shards() == [1]
+        # A fresh process resumes from the directory alone.
+        resumed = Campaign.open(tmp_path / "resumed")
+        assert resumed.run(workers=1) == [1]
+        assert (
+            resumed.paths.report_path.read_bytes()
+            == straight.paths.report_path.read_bytes()
+        )
+
+    def test_corrupt_checkpoint_is_re_executed(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        campaign.run(workers=1)
+        reference = campaign.paths.report_path.read_bytes()
+        campaign.paths.shard_path(1).write_text("{ not json")
+        assert campaign.pending_shards() == [1]
+        assert campaign.run(workers=1) == [1]
+        assert campaign.paths.report_path.read_bytes() == reference
+
+    def test_workers_do_not_change_the_report(self, tmp_path):
+        serial = Campaign.create(tmp_path / "serial", SPEC)
+        serial.run(workers=1)
+        fanned = Campaign.create(tmp_path / "fanned", SPEC)
+        fanned.run(workers=2)
+        assert (
+            serial.paths.report_path.read_bytes()
+            == fanned.paths.report_path.read_bytes()
+        )
+
+    def test_checkpoints_hold_no_cache_metadata(self, tmp_path):
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        campaign.run(workers=1)
+        for record in campaign.records():
+            assert "cache" not in record["result"]
+
+    def test_simulate_mode_end_to_end(self, tmp_path):
+        spec = CampaignSpec(
+            name="sim",
+            count=3,
+            models=("R1O",),
+            mode="simulate",
+            shard_size=2,
+            seeds_per_instance=2,
+            step_bound=200,
+        )
+        campaign = Campaign.create(tmp_path / "c", spec)
+        campaign.run(workers=1)
+        report = campaign.report()
+        row = report["per_model"]["R1O"]
+        assert row["runs"] == 3 * 2
+        assert 0.0 <= row["convergence_rate"] <= 1.0
+
+
+class TestTelemetryVisibility:
+    def test_resume_shows_cache_hits_not_report_changes(self, tmp_path):
+        from repro import obs
+
+        campaign = Campaign.create(tmp_path / "c", SPEC)
+        campaign.run(workers=1, max_shards=1)
+        # Wipe shard 0's checkpoint but keep the verdict cache: the
+        # re-run must answer from cache and still write identical bytes.
+        reference = Campaign.create(tmp_path / "ref", SPEC)
+        reference.run(workers=1)
+        campaign.paths.shard_path(0).unlink()
+        previous = obs.active()
+        telemetry = obs.configure(tmp_path / "t.jsonl")
+        try:
+            campaign.run(workers=1)
+        finally:
+            obs.install(previous)
+            telemetry.close()
+        assert telemetry.counters.get("cache.hit", 0) > 0
+        assert telemetry.counters["campaign.shard.completed"] == 2
+        assert (
+            campaign.paths.report_path.read_bytes()
+            == reference.paths.report_path.read_bytes()
+        )

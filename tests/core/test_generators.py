@@ -117,3 +117,106 @@ class TestRandomInstances:
         family = list(instance_family(4, base_seed=10, n_nodes=3))
         assert len(family) == 4
         assert len({i.name for i in family}) == 4
+
+
+class TestSeedDeterminism:
+    """Full structural equality, across the whole parameter surface."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_full_equality_per_policy(self, policy):
+        kwargs = dict(
+            n_nodes=5,
+            extra_edge_prob=0.4,
+            max_paths_per_node=3,
+            max_path_length=4,
+            policy=policy,
+        )
+        a = random_instance(99, **kwargs)
+        b = random_instance(99, **kwargs)
+        assert a.name == b.name
+        assert a.dest == b.dest
+        assert a.edges == b.edges
+        assert a.permitted == b.permitted
+        assert a.rank == b.rank
+        for node in a.nodes:
+            assert a.preference_order(node) == b.preference_order(node)
+
+    def test_generator_does_not_disturb_global_random(self):
+        random.seed(123)
+        expected = random.random()
+        random.seed(123)
+        random_instance(7, n_nodes=5)
+        assert random.random() == expected
+
+
+class TestGeneratedValidity:
+    """Every generated instance survives SPPInstance's own validation."""
+
+    def test_reconstruction_revalidates(self):
+        from repro.core.spp import SPPInstance
+
+        for seed in range(10):
+            instance = random_instance(seed, n_nodes=5, extra_edge_prob=0.5)
+            rebuilt = SPPInstance(
+                dest=instance.dest,
+                edges=instance.edges,
+                permitted=instance.permitted,
+                rank=instance.rank,
+                name=instance.name,
+            )
+            assert rebuilt.permitted == instance.permitted
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_paths_walk_real_edges_to_dest(self, policy):
+        instance = random_instance(21, n_nodes=6, policy=policy)
+        edges = {frozenset(edge) for edge in instance.edges}
+        for node in instance.nodes:
+            for path in instance.permitted_at(node):
+                assert path[0] == node
+                assert path[-1] == instance.dest
+                assert len(set(path)) == len(path)  # simple
+                for u, v in zip(path, path[1:]):
+                    assert frozenset((u, v)) in edges
+
+    def test_every_node_can_reach_dest(self):
+        for seed in range(5):
+            instance = random_instance(seed, n_nodes=5)
+            for node in instance.nodes:
+                if node != instance.dest:
+                    assert instance.permitted_at(node), (seed, node)
+
+
+class TestInstanceFamilySweeps:
+    def test_family_matches_individual_calls(self):
+        kwargs = dict(n_nodes=5, extra_edge_prob=0.2, policy="shortest")
+        family = list(instance_family(3, base_seed=40, **kwargs))
+        for offset, member in enumerate(family):
+            solo = random_instance(40 + offset, **kwargs)
+            assert member.edges == solo.edges
+            assert member.permitted == solo.permitted
+
+    def test_family_forwards_generator_kwargs(self):
+        # ``n_nodes`` counts the non-destination nodes.
+        for member in instance_family(3, base_seed=0, n_nodes=3):
+            assert len(member.nodes) == 4
+        for member in instance_family(
+            2, base_seed=0, n_nodes=4, max_paths_per_node=1
+        ):
+            for node in member.nodes:
+                if node != member.dest:
+                    assert len(member.permitted_at(node)) == 1
+
+    def test_family_parameter_sweep_stays_valid(self):
+        for n_nodes in (2, 3, 5):
+            for prob in (0.0, 0.5, 1.0):
+                family = list(
+                    instance_family(
+                        2, base_seed=11, n_nodes=n_nodes, extra_edge_prob=prob
+                    )
+                )
+                assert len(family) == 2
+                for member in family:
+                    assert len(member.nodes) == n_nodes + 1
+
+    def test_empty_family(self):
+        assert list(instance_family(0)) == []

@@ -218,3 +218,167 @@ class TestMatrixCertification:
             assert result_tuple(serial.results[name]) == result_tuple(
                 fanned.results[name]
             )
+
+
+class TestDefaultWorkersEnv:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert default_workers() == 1
+
+    def test_env_empty_falls_back_to_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert default_workers() >= 1
+
+    def test_env_non_integer_rejected(self, monkeypatch):
+        import pytest
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+
+class TestResolvedKeys:
+    def test_exploration_default_key(self):
+        instance = canonical.disagree()
+        task = ExplorationTask(instance=instance, model_name="RMS")
+        assert task.resolved_key() == (instance.name, "RMS")
+
+    def test_exploration_explicit_key_wins(self):
+        task = ExplorationTask(
+            instance=canonical.disagree(), model_name="RMS", key=("cell", 3)
+        )
+        assert task.resolved_key() == ("cell", 3)
+
+    def test_simulation_default_key(self):
+        instance = canonical.good_gadget()
+        task = SimulationTask(instance=instance, model_name="R1O")
+        assert task.resolved_key() == (instance.name, "R1O")
+
+    def test_simulation_explicit_key_wins(self):
+        task = SimulationTask(
+            instance=canonical.good_gadget(),
+            model_name="R1O",
+            key=("sweep", 0, "R1O"),
+        )
+        assert task.resolved_key() == ("sweep", 0, "R1O")
+
+
+def _succeed_after_flag(payload):
+    """Fails (in-process) until its flag file exists, then succeeds."""
+    import pathlib
+
+    flag, value = payload
+    marker = pathlib.Path(flag)
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError("transient failure")
+    return value * 10
+
+
+def _crash_until_flag(payload):
+    """Kills its worker process until its flag file exists."""
+    import os as _os
+    import pathlib
+
+    flag, value = payload
+    marker = pathlib.Path(flag)
+    if not marker.exists():
+        marker.write_text("attempted")
+        _os._exit(13)
+    return value + 1
+
+
+def _hang_until_flag(payload):
+    """Hangs far beyond any timeout until its flag file exists."""
+    import pathlib
+    import time as _time
+
+    flag, value = payload
+    marker = pathlib.Path(flag)
+    if not marker.exists():
+        marker.write_text("attempted")
+        _time.sleep(120)
+    return value - 1
+
+
+def _always_fails(payload):
+    raise RuntimeError("permanent failure")
+
+
+class TestRetryingMap:
+    def test_matches_parallel_map_when_nothing_fails(self):
+        from repro.engine.parallel import parallel_map_retrying
+
+        tasks = list(range(6))
+        assert parallel_map_retrying(_square, tasks, workers=2) == [
+            _square(t) for t in tasks
+        ]
+
+    def test_serial_retry_recovers(self, tmp_path):
+        from repro.engine.parallel import parallel_map_retrying
+
+        tasks = [(str(tmp_path / f"flag-{i}"), i) for i in range(3)]
+        results = parallel_map_retrying(
+            _succeed_after_flag, tasks, workers=1, retries=1, backoff=0.01
+        )
+        assert results == [0, 10, 20]
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path):
+        import pytest
+
+        from repro.engine.parallel import TaskFailure, parallel_map_retrying
+
+        with pytest.raises(TaskFailure, match="after 2 attempt"):
+            parallel_map_retrying(
+                _always_fails, [1, 2], workers=1, retries=1, backoff=0.01
+            )
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        """os._exit in a worker breaks the pool; the rebuilt pool succeeds."""
+        from repro.engine.parallel import parallel_map_retrying
+
+        tasks = [(str(tmp_path / f"flag-{i}"), i) for i in range(4)]
+        # Only task 2 crashes its worker on first attempt.
+        for i in (0, 1, 3):
+            (tmp_path / f"flag-{i}").write_text("pre-seeded")
+        results = parallel_map_retrying(
+            _crash_until_flag, tasks, workers=2, retries=2, backoff=0.01
+        )
+        assert results == [1, 2, 3, 4]
+
+    def test_hung_worker_is_terminated_and_retried(self, tmp_path):
+        from repro.engine.parallel import parallel_map_retrying
+
+        tasks = [(str(tmp_path / f"flag-{i}"), i) for i in range(2)]
+        (tmp_path / "flag-1").write_text("pre-seeded")
+        results = parallel_map_retrying(
+            _hang_until_flag,
+            tasks,
+            workers=2,
+            retries=1,
+            backoff=0.01,
+            task_timeout=2.0,
+        )
+        assert results == [-1, 0]
+
+    def test_retries_are_counted_in_telemetry(self, tmp_path):
+        from repro import obs
+        from repro.engine.parallel import parallel_map_retrying
+
+        tasks = [(str(tmp_path / f"flag-{i}"), i) for i in range(2)]
+        previous = obs.active()
+        telemetry = obs.configure(tmp_path / "t.jsonl")
+        try:
+            parallel_map_retrying(
+                _succeed_after_flag, tasks, workers=1, retries=1, backoff=0.01
+            )
+        finally:
+            obs.install(previous)
+            telemetry.close()
+        assert telemetry.counters["parallel.task.retry"] == 2

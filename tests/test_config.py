@@ -1,0 +1,216 @@
+"""The unified RunConfig value object and the legacy-kwarg shim."""
+
+import pickle
+
+import pytest
+
+from repro.config import (
+    DEFAULT_MAX_STATES,
+    DEFAULT_MAX_STEPS,
+    RunConfig,
+    resolve_config,
+)
+from repro.engine.cache import VerdictCache
+
+
+class TestRunConfigValidation:
+    def test_defaults_are_valid(self):
+        config = RunConfig()
+        assert config.engine == "compiled"
+        assert config.reduction == "ample"
+        assert config.workers is None
+        assert config.queue_bound == 3
+        assert config.step_bound is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            RunConfig(engine="quantum")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduction"):
+            RunConfig(reduction="sleep-sets")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="queue_bound"):
+            RunConfig(queue_bound=0)
+        with pytest.raises(ValueError, match="step_bound"):
+            RunConfig(step_bound=0)
+        with pytest.raises(ValueError, match="workers"):
+            RunConfig(workers=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RunConfig().engine = "reference"
+
+    def test_picklable(self):
+        config = RunConfig(workers=2, step_bound=500, cache_dir="/tmp/x")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestDerivedViews:
+    def test_step_bound_defaults_split_by_consumer(self):
+        config = RunConfig()
+        assert config.max_states == DEFAULT_MAX_STATES
+        assert config.max_steps == DEFAULT_MAX_STEPS
+
+    def test_step_bound_overrides_both(self):
+        config = RunConfig(step_bound=123)
+        assert config.max_states == 123
+        assert config.max_steps == 123
+
+    def test_replace_revalidates(self):
+        config = RunConfig()
+        assert config.replace(queue_bound=5).queue_bound == 5
+        with pytest.raises(ValueError, match="queue_bound"):
+            config.replace(queue_bound=0)
+
+    def test_resolved_cache_precedence(self, tmp_path):
+        assert RunConfig().resolved_cache() is None
+        assert RunConfig(cache_dir="/tmp/c").resolved_cache() == "/tmp/c"
+        assert RunConfig(cache=True, cache_dir="/tmp/c").resolved_cache() is True
+        assert RunConfig(cache=False, cache_dir="/tmp/c").resolved_cache() is None
+        live = VerdictCache(tmp_path / "cache")
+        assert RunConfig(cache=live).resolved_cache() is live
+
+    def test_as_dict_is_json_safe(self, tmp_path):
+        live = VerdictCache(tmp_path / "cache")
+        data = RunConfig(cache=live, workers=2).as_dict()
+        assert data["cache"] == str(live.root)
+        assert data["workers"] == 2
+        import json
+
+        json.dumps(data)
+
+
+class TestResolveConfig:
+    def test_no_legacy_returns_config_unchanged(self):
+        config = RunConfig(workers=4)
+        assert resolve_config(config) is config
+
+    def test_none_config_defaults(self):
+        assert resolve_config(None) == RunConfig()
+
+    def test_legacy_kwargs_warn_and_override(self):
+        with pytest.warns(DeprecationWarning, match="can_oscillate.*workers"):
+            resolved = resolve_config(
+                RunConfig(), caller="can_oscillate", workers=2
+            )
+        assert resolved.workers == 2
+
+    def test_legacy_none_means_not_passed(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_config(None, caller="x", workers=None)
+        assert resolved == RunConfig()
+
+    def test_legacy_max_states_maps_to_step_bound(self):
+        with pytest.warns(DeprecationWarning, match="max_states"):
+            resolved = resolve_config(None, caller="x", max_states=999)
+        assert resolved.step_bound == 999
+        assert resolved.max_states == 999
+
+    def test_legacy_max_steps_maps_to_step_bound(self):
+        with pytest.warns(DeprecationWarning, match="max_steps"):
+            resolved = resolve_config(None, caller="x", max_steps=50)
+        assert resolved.max_steps == 50
+
+
+class TestEntryPointsAcceptConfig:
+    """New-style config= calls equal old-style kwarg calls everywhere."""
+
+    def test_can_oscillate_config_equals_legacy(self):
+        from repro.core import instances as canonical
+        from repro.engine.explorer import can_oscillate
+        from repro.models.taxonomy import model
+
+        instance = canonical.disagree()
+        new = can_oscillate(
+            instance, model("RMS"), config=RunConfig(queue_bound=2)
+        )
+        with pytest.warns(DeprecationWarning):
+            old = can_oscillate(instance, model("RMS"), queue_bound=2)
+        assert new.oscillates == old.oscillates
+        assert new.states_explored == old.states_explored
+
+    def test_run_explorations_config_workers(self):
+        from repro.core import instances as canonical
+        from repro.engine.parallel import ExplorationTask, run_explorations
+
+        instance = canonical.disagree()
+        tasks = [
+            ExplorationTask(instance=instance, model_name=name)
+            for name in ("R1O", "RMS")
+        ]
+        new = run_explorations(tasks, config=RunConfig(workers=1))
+        with pytest.warns(DeprecationWarning):
+            old = run_explorations(tasks, workers=1)
+        assert [key for key, _ in new] == [key for key, _ in old]
+        for (_, a), (_, b) in zip(new, old):
+            assert a.oscillates == b.oscillates
+
+    def test_matrix_certification_config(self):
+        from repro.analysis.experiments import matrix_certification
+
+        new = matrix_certification(config=RunConfig(workers=1))
+        with pytest.warns(DeprecationWarning):
+            old = matrix_certification(workers=1)
+        assert set(new) == set(old)
+        for name in new:
+            assert new[name].oscillates == old[name].oscillates
+
+    def test_survey_convergence_config(self):
+        from repro.analysis.stats import survey_convergence
+        from repro.core.generators import instance_family
+        from repro.models.taxonomy import model
+
+        instances = list(instance_family(2, base_seed=5, n_nodes=4))
+        models = [model("R1O")]
+        new = survey_convergence(
+            instances,
+            models,
+            seeds_per_instance=2,
+            config=RunConfig(workers=1, step_bound=200),
+        )
+        with pytest.warns(DeprecationWarning):
+            old = survey_convergence(
+                instances, models, seeds_per_instance=2, max_steps=200, workers=1
+            )
+        assert new.format_table() == old.format_table()
+
+    def test_exploration_task_from_config_round_trips(self, tmp_path):
+        from repro.core import instances as canonical
+        from repro.engine.parallel import ExplorationTask
+
+        config = RunConfig(
+            engine="reference",
+            reduction="none",
+            queue_bound=2,
+            step_bound=1000,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        task = ExplorationTask.from_config(
+            canonical.disagree(), "RMS", config
+        )
+        assert task.queue_bound == 2
+        assert task.max_states == 1000
+        assert task.engine == "reference"
+        assert task.reduction == "none"
+        assert task.cache_dir == str(tmp_path / "cache")
+        round_tripped = task.run_config()
+        assert round_tripped.queue_bound == 2
+        assert round_tripped.max_states == 1000
+
+    def test_simulation_task_from_config(self):
+        from repro.core import instances as canonical
+        from repro.engine.parallel import SimulationTask
+
+        task = SimulationTask.from_config(
+            canonical.good_gadget(),
+            "R1O",
+            RunConfig(step_bound=77),
+            seeds=(0, 1),
+        )
+        assert task.max_steps == 77
+        assert task.seeds == (0, 1)
