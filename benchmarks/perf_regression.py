@@ -23,8 +23,11 @@ a populated cache, ≥ 20×), and the telemetry overhead (the ``repro.obs``
 instrumentation enabled vs disabled on the cold reduced certification,
 ≤ 5% — its span-level breakdown is recorded under ``"telemetry"``;
 ``--telemetry-only``/``--telemetry-out`` run just this gate for the CI
-observability job).  Verdict equality between every configuration is
-asserted before any number is reported.
+observability job), and the disarmed fault-injection layer
+(:mod:`repro.faults` sites stubbed out vs present-but-disarmed on the
+same certification, ≤ 2% under ``"faults"``; ``--faults-only`` /
+``--skip-faults`` for the CI chaos job).  Verdict equality between
+every configuration is asserted before any number is reported.
 
 The JSONs are committed alongside performance PRs so a regression
 shows up as a diff.
@@ -33,8 +36,10 @@ shows up as a diff.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
+import statistics
 import tempfile
 import time
 from pathlib import Path
@@ -53,6 +58,18 @@ MIN_EXPLORER_SPEEDUP = 3.0
 MIN_REDUCTION_SPEEDUP = 3.0
 MIN_WARM_CACHE_SPEEDUP = 20.0
 MAX_TELEMETRY_OVERHEAD_PCT = 5.0
+MAX_FAULTS_OVERHEAD_PCT = 2.0
+
+#: Modules that bind ``fault_point`` at import time; the faults gate
+#: swaps their reference for a bare passthrough to measure what the
+#: disarmed layer costs beyond an unavoidable function call.
+_FAULT_POINT_CONSUMERS = (
+    "repro.fsutil",
+    "repro.engine.cache",
+    "repro.engine.parallel",
+    "repro.campaign.runner",
+    "repro.obs.telemetry",
+)
 
 
 def _best_of(runs: int, fn):
@@ -276,6 +293,110 @@ def bench_telemetry_overhead(
     }
 
 
+def bench_faults_overhead(runs: int = 9, calibration_calls: int = 2_000_000) -> dict:
+    """The robustness gate: disarmed fault points must stay below
+    :data:`MAX_FAULTS_OVERHEAD_PCT` of the workload they sit in.
+
+    The true disarmed cost — one module-global ``None`` check per
+    crossing, a few dozen crossings per certification — is orders of
+    magnitude below what interleaved differential timing can resolve on
+    a shared machine (run-to-run scheduler noise alone is several
+    percent).  So the gate measures the two factors directly and takes
+    their product, each side of which is individually stable:
+
+    * **crossings** — every consumer's ``fault_point`` binding is
+      patched with a counting wrapper for one cold cache-enabled
+      DISAGREE certification (the workload where the sites' relative
+      share is largest: ``cache.read``/``cache.write`` per verdict,
+      fan-out entry per task, the checkpointless minimum of writes);
+    * **cost per disarmed crossing** — the real ``fault_point`` in a
+      tight loop of ``calibration_calls`` (amortizing the loop itself
+      would *under*-count, so the loop overhead is deliberately left
+      in: the reported per-call cost is an upper bound);
+    * **workload seconds** — the median certification wall time over
+      ``runs`` repetitions with the layer in place, tempdir churn kept
+      outside the timed region.
+
+    ``overhead_pct = crossings × per-call / median seconds`` is then an
+    upper bound on the disarmed layer's share of the gated workload.
+    """
+    import importlib
+
+    from repro import faults
+    from repro.faults import fault_point as real_fault_point
+
+    assert faults.active_plan() is None, "faults gate requires a disarmed run"
+
+    def timed_certify():
+        # The tempdir setup/teardown stays *outside* the timed region:
+        # filesystem variance there would swamp the signal.
+        with tempfile.TemporaryDirectory() as cache_dir:
+            config = RunConfig(
+                workers=1, queue_bound=2, reduction="ample",
+                cache_dir=cache_dir,
+            )
+            start = time.perf_counter()
+            cert = matrix_certification(config=config)
+            return time.perf_counter() - start, cert
+
+    modules = [importlib.import_module(name) for name in _FAULT_POINT_CONSUMERS]
+
+    # 1. Crossings per certification.
+    crossings = 0
+
+    def counting(site, payload=None):
+        nonlocal crossings
+        crossings += 1
+        return real_fault_point(site, payload)
+
+    timed_certify()  # warm imports, tables, and the allocator once
+    originals = [module.fault_point for module in modules]
+    for module in modules:
+        module.fault_point = counting
+    try:
+        _, counted_cert = timed_certify()
+    finally:
+        for module, original in zip(modules, originals):
+            module.fault_point = original
+    assert sum(r.oscillates for r in counted_cert.values()) == 14
+
+    # 2. Cost per disarmed crossing (upper bound: loop overhead included).
+    payload = "x" * 4096  # a representative checkpoint-sized payload
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(calibration_calls):
+            real_fault_point("cache.read", payload)
+        per_call = (time.perf_counter() - start) / calibration_calls
+
+        # 3. Workload seconds with the layer in place.
+        samples = []
+        for _ in range(runs):
+            elapsed, cert = timed_certify()
+            samples.append(elapsed)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert {name: counted_cert[name].oscillates for name in counted_cert} == {
+        name: cert[name].oscillates for name in cert
+    }
+
+    seconds = statistics.median(samples)
+    overhead_pct = round(crossings * per_call / seconds * 100.0, 4)
+    return {
+        "workload": "DISAGREE all 24 models queue_bound=2, cold reduced "
+        "+ cache; disarmed overhead = crossings x per-call cost "
+        f"/ median-of-{runs} wall time",
+        "crossings": crossings,
+        "ns_per_disarmed_call": round(per_call * 1e9, 2),
+        "seconds": round(seconds, 4),
+        "overhead_pct": overhead_pct,
+        "passes_max_faults_overhead": overhead_pct <= MAX_FAULTS_OVERHEAD_PCT,
+    }
+
+
 def run(out_path: Path) -> dict:
     compiled = bench_explorer("compiled")
     reference = bench_explorer("reference")
@@ -309,10 +430,13 @@ def run_matrix(
     out_path: Path,
     telemetry_out: "Path | None" = None,
     skip_telemetry: bool = False,
+    skip_faults: bool = False,
 ) -> dict:
     report = bench_matrix_workload()
     if not skip_telemetry:
         report["telemetry"] = bench_telemetry_overhead(telemetry_out)
+    if not skip_faults:
+        report["faults"] = bench_faults_overhead()
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -323,6 +447,17 @@ def _check_telemetry(report: dict) -> bool:
         print(
             f"FAIL: telemetry overhead {report['overhead_pct']}% "
             f"> allowed {MAX_TELEMETRY_OVERHEAD_PCT}%"
+        )
+        return True
+    return False
+
+
+def _check_faults(report: dict) -> bool:
+    """Print the disarmed-faults verdict; ``True`` when the gate fails."""
+    if not report["passes_max_faults_overhead"]:
+        print(
+            f"FAIL: disarmed fault-point overhead {report['overhead_pct']}% "
+            f"> allowed {MAX_FAULTS_OVERHEAD_PCT}%"
         )
         return True
     return False
@@ -351,6 +486,18 @@ def main() -> int:
         help="omit the telemetry overhead gate (it has its own CI job)",
     )
     parser.add_argument(
+        "--faults-only",
+        action="store_true",
+        help="run only the disarmed fault-point overhead gate "
+        "(CI chaos-smoke job)",
+    )
+    parser.add_argument(
+        "--skip-faults",
+        action="store_true",
+        help="omit the disarmed fault-point overhead gate "
+        "(it has its own CI job)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         default=None,
         metavar="PATH",
@@ -362,6 +509,10 @@ def main() -> int:
         report = bench_telemetry_overhead(telemetry_out)
         print(json.dumps(report, indent=2))
         return 1 if _check_telemetry(report) else 0
+    if args.faults_only:
+        report = bench_faults_overhead()
+        print(json.dumps(report, indent=2))
+        return 1 if _check_faults(report) else 0
     report = run(Path(args.out))
     print(json.dumps(report, indent=2))
     failed = False
@@ -373,7 +524,10 @@ def main() -> int:
         failed = True
     if not args.skip_matrix:
         matrix_report = run_matrix(
-            Path(args.matrix_out), telemetry_out, args.skip_telemetry
+            Path(args.matrix_out),
+            telemetry_out,
+            args.skip_telemetry,
+            args.skip_faults,
         )
         print(json.dumps(matrix_report, indent=2))
         if not matrix_report["passes_min_reduction_speedup"]:
@@ -392,6 +546,10 @@ def main() -> int:
             failed = True
         if "telemetry" in matrix_report and _check_telemetry(
             matrix_report["telemetry"]
+        ):
+            failed = True
+        if "faults" in matrix_report and _check_faults(
+            matrix_report["faults"]
         ):
             failed = True
     return 1 if failed else 0

@@ -16,6 +16,9 @@ Public API highlights
 * :mod:`repro.analysis` — experiment drivers and reporting.
 * :mod:`repro.campaign` — resumable sharded survey campaigns over
   random instance populations.
+* :mod:`repro.faults` — deterministic, seeded fault injection
+  (chaos testing of the storage/campaign/telemetry layers) and the
+  ``repro doctor`` integrity checks in :mod:`repro.doctor`.
 
 The names in ``__all__`` are the **stable public API**: entry points
 take a :class:`RunConfig` (engine, reduction, cache, workers, bounds,
@@ -24,10 +27,11 @@ telemetry) instead of ad-hoc keyword arguments, and
 fails CI.  See ``docs/api.md``.
 """
 
-from . import analysis, campaign, core, engine, models, realization
+from . import analysis, campaign, core, engine, faults, models, realization
 from .analysis import matrix_certification, survey_convergence
 from .campaign import Campaign, CampaignSpec
 from .config import RunConfig
+from .faults import FaultPlan
 from .core import SPPBuilder, SPPInstance
 from .core import instances as canonical
 from .core.generators import instance_family, random_instance
@@ -42,6 +46,7 @@ __all__ = [
     "Campaign",
     "CampaignSpec",
     "CommunicationModel",
+    "FaultPlan",
     "RunConfig",
     "SPPBuilder",
     "SPPInstance",
@@ -51,6 +56,7 @@ __all__ = [
     "can_oscillate",
     "core",
     "engine",
+    "faults",
     "instance_family",
     "matrix_certification",
     "model",

@@ -27,12 +27,15 @@ from ..engine.parallel import (
     _simulate_batch,
     parallel_map_retrying,
 )
+from ..faults import fault_point
+from ..fsutil import sweep_orphan_temps
 from ..obs import active as _telemetry
 from .manifest import (
     CAMPAIGN_SCHEMA,
     CampaignPaths,
     atomic_write_json,
     build_manifest,
+    checkpoint_issue,
     read_json,
 )
 from .report import aggregate_report, render_report
@@ -64,6 +67,9 @@ class Campaign:
         self.paths = CampaignPaths(directory)
         self.spec = spec
         self.digest = spec_digest(spec)
+        # Stale atomic-write tempfiles from a crashed previous run
+        # (age-gated, so a concurrently live writer is never raced).
+        sweep_orphan_temps(self.paths.directory)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -103,18 +109,10 @@ class Campaign:
     def _shard_records(self, shard: int) -> "list | None":
         """The checkpointed records of ``shard``, or ``None`` if pending."""
         payload = read_json(self.paths.shard_path(shard))
-        if (
-            payload is None
-            or payload.get("schema") != CAMPAIGN_SCHEMA
-            or payload.get("digest") != self.digest
-            or payload.get("shard") != shard
-        ):
-            return None
-        records = payload.get("records")
         expected = len(self.spec.shard_seeds(shard)) * len(self.spec.model_names())
-        if not isinstance(records, list) or len(records) != expected:
+        if checkpoint_issue(payload, self.digest, shard, expected) is not None:
             return None
-        return records
+        return payload["records"]
 
     def completed_shards(self) -> list:
         return [
@@ -164,6 +162,7 @@ class Campaign:
 
     def run_shard(self, shard: int, workers: "int | None" = None) -> list:
         """Execute one shard and checkpoint it; returns its records."""
+        fault_point("campaign.shard", shard)
         spec = self.spec
         tasks, meta = self._shard_tasks(shard)
         function = _explore_one if spec.mode == "explore" else _simulate_batch
@@ -221,7 +220,15 @@ class Campaign:
 
     # -- inspection ------------------------------------------------------
     def status(self) -> dict:
-        completed = self.completed_shards()
+        completed = []
+        discarded = 0
+        for shard in range(self.spec.n_shards):
+            if self._shard_records(shard) is not None:
+                completed.append(shard)
+            elif self.paths.shard_path(shard).is_file():
+                # A checkpoint exists but cannot be used: corrupt bytes,
+                # a foreign digest, or a truncated record list.
+                discarded += 1
         models = len(self.spec.model_names())
         tasks_done = sum(
             len(self.spec.shard_seeds(shard)) * models for shard in completed
@@ -234,6 +241,7 @@ class Campaign:
             "shards_total": self.spec.n_shards,
             "shards_completed": len(completed),
             "shards_pending": self.spec.n_shards - len(completed),
+            "checkpoints_discarded": discarded,
             "tasks_total": self.spec.count * models,
             "tasks_completed": tasks_done,
             "report_written": self.paths.report_path.is_file(),

@@ -17,6 +17,9 @@ Subcommands
   populations (``run``/``resume``/``status``/``report``).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed verdict cache shared by the search commands.
+* ``doctor`` — fsck a cache root or campaign directory: verify
+  checksums, digests, and checkpoints; ``--repair`` quarantines bad
+  artifacts and rewrites derivable ones.
 * ``stats`` — aggregate telemetry JSONL files (``--telemetry`` on the
   search commands) into a per-phase wall-time breakdown.
 * ``explain`` / ``solve`` / ``wheel`` / ``sat`` / ``artifacts`` — targeted
@@ -31,7 +34,7 @@ import json
 import os
 import sys
 
-from . import obs
+from . import faults, obs
 from .analysis import experiments, reporting
 from .analysis.traces import format_trace_table
 from .campaign import Campaign, CampaignError, CampaignSpec, render_report
@@ -88,6 +91,18 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="print live search heartbeats to stderr",
+    )
+    _add_fault_plan_flag(parser)
+
+
+def _add_fault_plan_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="arm a fault-injection plan JSON for this run (chaos "
+        f"testing; also exported as ${faults.FAULT_PLAN_ENV_VAR} so "
+        "worker subprocesses inherit it)",
     )
 
 
@@ -253,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print live shard heartbeats to stderr",
         )
+        _add_fault_plan_flag(parser)
 
     crun = campsub.add_parser(
         "run", help="start (or continue) a campaign from a JSON spec file"
@@ -307,6 +323,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     artifacts.add_argument("--out", default="artifacts")
     artifacts.add_argument("--full", action="store_true")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="verify (and repair) a cache root or campaign directory",
+    )
+    doctor.add_argument(
+        "path", help="cache root (e.g. .repro-cache) or campaign directory"
+    )
+    doctor.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine bad artifacts, rewrite derivable ones, and "
+        "remove orphan tempfiles (nothing is ever deleted outright "
+        "except tempfiles)",
+    )
+    doctor.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     return parser
 
 
@@ -612,6 +646,7 @@ def _cmd_campaign(args) -> int:
                 "directory",
                 "shards_completed",
                 "shards_pending",
+                "checkpoints_discarded",
                 "tasks_completed",
                 "tasks_total",
                 "report_written",
@@ -627,6 +662,21 @@ def _cmd_campaign(args) -> int:
     except (CampaignError, FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _cmd_doctor(args) -> int:
+    from .doctor import DoctorError, diagnose
+
+    try:
+        report = diagnose(args.path, repair=args.repair)
+    except DoctorError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok() else 1
 
 
 #: Commands that report into the telemetry sink while they run.
@@ -647,8 +697,24 @@ def _setup_telemetry(args) -> bool:
     return True
 
 
+def _setup_faults(args) -> None:
+    """Arm ``--fault-plan`` (or the environment's plan) process-wide.
+
+    The plan path is also exported so spawned worker subprocesses —
+    which call :func:`repro.faults.ensure_armed_from_env` on entry —
+    replay the same plan.
+    """
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path:
+        faults.arm(faults.FaultPlan.from_file(plan_path))
+        os.environ[faults.FAULT_PLAN_ENV_VAR] = os.path.abspath(plan_path)
+    else:
+        faults.ensure_armed_from_env()
+
+
 def main(argv: "list | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_faults(args)
     if _setup_telemetry(args):
         try:
             return _dispatch(args)
@@ -684,6 +750,8 @@ def _dispatch(args) -> int:
         return _cmd_wheel(args.instance)
     if args.command == "sat":
         return _cmd_sat(args.formula)
+    if args.command == "doctor":
+        return _cmd_doctor(args)
     if args.command == "artifacts":
         from .analysis.artifacts import generate_artifacts
 

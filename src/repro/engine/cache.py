@@ -29,8 +29,19 @@ constructor).  Entries are write-once and written atomically (tempfile
 in the destination directory + ``os.replace``), so concurrent
 ``parallel.py`` workers can share one cache directory without locks:
 racing writers of the same key produce identical bytes, and readers
-never observe a partial file.  Corrupt or version-skewed files are
-treated as misses and quarantined out of the way rather than trusted.
+never observe a partial file.
+
+**Integrity and degradation.**  Every entry embeds a sha256
+``checksum`` of its own payload; an entry that fails to parse, fails
+its checksum, or carries a stale :data:`CACHE_VERSION` is *quarantined*
+(moved to ``<root>/quarantine/``, counted as ``cache.quarantined``) and
+transparently recomputed — a corrupt cache can cost time, never
+correctness.  All cache I/O degrades gracefully: a read error is a
+miss, a write error (disk full, permissions) drops the store and keeps
+the in-process memo, so a broken cache directory can slow a campaign
+down but cannot abort it.  Orphan tempfiles left by crashed writers
+are swept on store open (see :mod:`repro.fsutil`) and by ``repro
+doctor``.
 """
 
 from __future__ import annotations
@@ -38,11 +49,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 
 from ..core.canonical import canonical_hash, canonical_labeling
 from ..core.spp import SPPInstance
+from ..faults import fault_point
+from ..fsutil import atomic_write_text, sweep_orphan_temps
 from ..obs import active as _telemetry
 from .activation import INFINITY, ActivationEntry
 from .explorer import ENGINE_REVISION, ExplorationResult, OscillationWitness
@@ -51,16 +63,32 @@ from .reduction import REDUCTION_REVISION
 __all__ = [
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
     "VerdictCache",
     "as_cache",
+    "payload_checksum",
     "verdict_key",
 ]
 
 #: Bumped whenever the on-disk payload format changes.
-CACHE_VERSION = 1
+#: 2: payload sha256 ``checksum`` field (PR 5 storage hardening).
+CACHE_VERSION = 2
 
 #: Default cache root (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory (under the cache root) bad entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON of ``payload`` sans ``checksum``."""
+    blob = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def verdict_key(
@@ -213,6 +241,11 @@ class VerdictCache:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.io_errors = 0
+        # Stale tempfiles from crashed writers (age-gated: a live
+        # writer's tempfile is never touched).
+        sweep_orphan_temps(self.verdict_dir)
 
     # -- paths ----------------------------------------------------------
     @property
@@ -243,17 +276,38 @@ class VerdictCache:
         if payload is None:
             path = self._path(key)
             try:
-                payload = json.loads(path.read_text())
+                fault_point("cache.read", path)
+                raw = path.read_text()
             except FileNotFoundError:
                 self.misses += 1
                 return None
-            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            except OSError:
+                # Unreadable store (I/O error, permissions): degrade to
+                # a recompute without touching the entry — it may be
+                # perfectly healthy once the filesystem recovers.
+                self.io_errors += 1
+                _telemetry().count("cache.io_error")
+                self.misses += 1
+                return None
+            try:
+                payload = json.loads(raw)
+                if not isinstance(payload, dict):
+                    raise ValueError("entry is not a JSON object")
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
                 # Corrupt entry (e.g. a crashed writer on a filesystem
-                # without atomic rename): drop it and treat as a miss.
-                path.unlink(missing_ok=True)
+                # without atomic rename): never trusted — quarantined
+                # and recomputed.
+                self._quarantine(path)
                 self.misses += 1
                 return None
             if payload.get("cache_version") != CACHE_VERSION:
+                # Version skew: quarantine so the write-once store can
+                # re-fill the slot with a current-format entry.
+                self._quarantine(path)
+                self.misses += 1
+                return None
+            if payload.get("checksum") != payload_checksum(payload):
+                self._quarantine(path)
                 self.misses += 1
                 return None
             self._memo[key] = payload
@@ -261,36 +315,47 @@ class VerdictCache:
             result = _result_from_jsonable(payload, instance)
         except (KeyError, IndexError, TypeError, ValueError):
             self._memo.pop(key, None)
-            self._path(key).unlink(missing_ok=True)
+            self._quarantine(self._path(key))
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry to ``<root>/quarantine/`` (best effort)."""
+        try:
+            target_dir = self.root / QUARANTINE_DIR
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        _telemetry().count("cache.quarantined")
+
     def put(self, key: str, instance: SPPInstance, result: ExplorationResult) -> None:
-        """Store ``result`` under ``key`` (no-op if already present)."""
+        """Store ``result`` under ``key`` (no-op if already present).
+
+        Write failures (disk full, read-only store) degrade to the
+        in-process memo — a broken cache directory never aborts the
+        computation that produced ``result``.
+        """
         tel = _telemetry()
         with tel.span("cache.put"):
             payload = _result_to_jsonable(result, instance)
+            payload["checksum"] = payload_checksum(payload)
             self._memo[key] = payload
             path = self._path(key)
-            if path.exists():
-                return
-            path.parent.mkdir(parents=True, exist_ok=True)
-            blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-            )
             try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                if path.exists():
+                    return
+                blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+                atomic_write_text(
+                    path, blob, fault_site="cache.write", retries=0
+                )
+            except OSError:
+                self.io_errors += 1
+                tel.count("cache.io_error")
+                return
         self.writes += 1
         tel.count("cache.write")
 
@@ -305,6 +370,12 @@ class VerdictCache:
                 total_bytes += path.stat().st_size
             except OSError:
                 pass
+        quarantine = self.root / QUARANTINE_DIR
+        in_quarantine = (
+            sum(1 for p in quarantine.iterdir() if p.is_file())
+            if quarantine.is_dir()
+            else 0
+        )
         return {
             "root": str(self.root),
             "entries": entries,
@@ -313,6 +384,9 @@ class VerdictCache:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "io_errors": self.io_errors,
+            "in_quarantine": in_quarantine,
         }
 
     def clear(self) -> int:

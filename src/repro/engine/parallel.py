@@ -34,6 +34,7 @@ from functools import partial
 
 from ..config import RunConfig, resolve_config
 from ..core.spp import SPPInstance
+from ..faults import ensure_armed_from_env, fault_point
 from ..obs import active as _telemetry
 
 __all__ = [
@@ -361,6 +362,11 @@ def _explore_one(task: ExplorationTask):
     from ..models.taxonomy import model
     from .explorer import can_oscillate
 
+    # Chaos harness: pick up $REPRO_FAULT_PLAN in spawn-mode workers
+    # (forked workers inherit the armed state directly) and expose this
+    # task to worker-level faults (crash, stall).
+    ensure_armed_from_env()
+    fault_point("worker.run", task)
     return can_oscillate(
         task.instance,
         model(task.model_name),
@@ -434,6 +440,8 @@ def _simulate_batch(task: SimulationTask) -> tuple:
     from ..engine.schedulers import RandomScheduler
     from ..models.taxonomy import model as model_by_name
 
+    ensure_armed_from_env()
+    fault_point("worker.run", task)
     model = model_by_name(task.model_name)
     outcomes = []
     for seed in task.seeds:

@@ -15,7 +15,10 @@ The observability layer the search/cache/fan-out stack reports into
 Everything here *observes only*: enabling telemetry changes no verdict,
 witness, state count, or cache key.  ``repro.obs`` sits below the
 engine in the layering — it imports nothing from the rest of the
-package, so any module may report into it.
+package except the stdlib-only fault-injection leaf
+:mod:`repro.faults`, so any module may report into it.  The JSONL sink
+degrades rather than aborts: a write failure disables the stream with
+a stderr warning and the run continues.
 """
 
 from .progress import ProgressReporter

@@ -44,6 +44,8 @@ import sys
 import threading
 import time
 
+from ..faults import fault_point
+
 __all__ = [
     "SCHEMA_VERSION",
     "TELEMETRY_ENV_VAR",
@@ -206,9 +208,35 @@ class Telemetry:
         record = {"ts": round(time.time(), 6), "type": type_}
         record.update(fields)
         line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        try:
+            line = fault_point("telemetry.emit", line)
+            with self._lock:
+                handle = self._handle
+                if handle is None:
+                    return
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError as error:
+            # Telemetry observes only: a dead sink (disk full, pipe
+            # closed) must never abort the run it is watching.  Drop
+            # the stream, keep the in-memory registries.
+            self._degrade_sink(error)
+
+    def _degrade_sink(self, error: OSError) -> None:
         with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            handle.close()
+        except OSError:
+            pass
+        self.count("telemetry.emit_error")
+        print(
+            f"repro: warning: telemetry sink disabled after write "
+            f"failure: {error}",
+            file=sys.stderr,
+        )
 
     def heartbeat(self, phase: str, **fields) -> None:
         fields.setdefault("elapsed_s", self.elapsed())

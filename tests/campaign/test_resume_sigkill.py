@@ -80,7 +80,10 @@ def test_sigkill_then_resume_is_bit_identical(tmp_path):
     while time.monotonic() < deadline:
         if first_shard.is_file() or process.poll() is not None:
             break
-        time.sleep(0.05)
+        # Poll much faster than a shard completes: the gap between the
+        # first checkpoint and campaign completion is tens of ms, so a
+        # coarse poll can miss the kill window entirely.
+        time.sleep(0.002)
     if process.poll() is None:
         process.send_signal(signal.SIGKILL)
     process.wait(timeout=30)

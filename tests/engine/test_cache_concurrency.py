@@ -1,0 +1,80 @@
+"""Concurrent verdict-cache writers racing the same key.
+
+The cache's multi-process contract: entries are write-once, writes are
+tempfile + atomic rename, and racing writers of one key produce
+identical bytes — so N processes putting the same verdict must leave
+exactly one valid entry and zero debris, with every process still able
+to read it back.
+"""
+
+import json
+import multiprocessing
+
+from repro.core.instances import ALL_NAMED_INSTANCES
+from repro.engine.cache import (
+    VerdictCache,
+    payload_checksum,
+    verdict_key,
+)
+from repro.engine.explorer import ExplorationResult
+
+N_WRITERS = 4
+
+
+def _make_key(instance):
+    return verdict_key(
+        instance, "R1O", queue_bound=2, max_states=1000,
+        reliable_twin_first=False, reduction="ample",
+    )
+
+
+def _make_result(instance):
+    return ExplorationResult(
+        model_name="R1O", instance_name=instance.name, oscillates=False,
+        complete=True, states_explored=7, truncated_states=0,
+    )
+
+
+def _racing_writer(root, barrier, results):
+    instance = ALL_NAMED_INSTANCES["disagree"]()
+    cache = VerdictCache(root)
+    barrier.wait(timeout=30)  # all writers put() as simultaneously as possible
+    cache.put(_make_key(instance), instance, _make_result(instance))
+    loaded = cache.get(_make_key(instance), instance)
+    results.put(loaded == _make_result(instance))
+
+
+def test_racing_writers_leave_exactly_one_valid_entry(tmp_path):
+    root = tmp_path / "cache"
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(N_WRITERS)
+    results = context.Queue()
+    writers = [
+        context.Process(target=_racing_writer, args=(str(root), barrier, results))
+        for _ in range(N_WRITERS)
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+
+    # Every process read its own write back.
+    for _ in range(N_WRITERS):
+        assert results.get(timeout=10) is True
+
+    instance = ALL_NAMED_INSTANCES["disagree"]()
+    key = _make_key(instance)
+    entries = list((root / "verdicts").rglob("*.json"))
+    assert len(entries) == 1
+    [entry] = entries
+    assert entry.name == f"{key}.json"
+    payload = json.loads(entry.read_text())
+    assert payload["checksum"] == payload_checksum(payload)
+
+    # No tempfile debris, no quarantine: the race was clean.
+    assert not list(root.rglob(".*.tmp"))
+    assert not (root / "quarantine").exists()
+
+    # A fresh reader (cold memo) decodes the surviving entry.
+    assert VerdictCache(root).get(key, instance) == _make_result(instance)

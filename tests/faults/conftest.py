@@ -1,0 +1,19 @@
+"""Shared guards for the fault-injection suite.
+
+Every test starts and ends disarmed — a leaked armed plan would inject
+faults into unrelated tests (including this suite's own clean
+reference runs), which is exactly the kind of spooky cross-test action
+the process-wide state makes possible.
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV_VAR, raising=False)
+    faults.disarm()
+    yield
+    faults.disarm()

@@ -1,0 +1,199 @@
+"""Unit tests of fault plans: validation, determinism, and semantics."""
+
+import errno
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultPlan, FaultRule, fault_point
+
+
+# ----------------------------------------------------------------------
+# Validation.
+# ----------------------------------------------------------------------
+
+def test_rule_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultRule(site="cache.write", kind="explode")
+
+
+def test_rule_rejects_empty_site():
+    with pytest.raises(ValueError, match="site"):
+        FaultRule(site="", kind="raise")
+
+
+@pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+def test_rule_rejects_bad_probability(probability):
+    with pytest.raises(ValueError, match="probability"):
+        FaultRule(site="x", kind="raise", probability=probability)
+
+
+def test_rule_rejects_negative_after_and_zero_times():
+    with pytest.raises(ValueError, match="after"):
+        FaultRule(site="x", kind="raise", after=-1)
+    with pytest.raises(ValueError, match="times"):
+        FaultRule(site="x", kind="raise", times=0)
+
+
+def test_plan_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault plan key"):
+        FaultPlan.from_dict({"name": "p", "surprise": 1})
+
+
+# ----------------------------------------------------------------------
+# Serialization round trips.
+# ----------------------------------------------------------------------
+
+def test_json_round_trip():
+    plan = FaultPlan(
+        name="mixed",
+        seed=7,
+        rules=(
+            {"site": "cache.*", "kind": "bitflip", "probability": 0.25},
+            {"site": "campaign.shard", "kind": "sigkill", "after": 1, "times": 1},
+        ),
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_file_round_trip(tmp_path):
+    plan = FaultPlan(name="disk", seed=3, rules=({"site": "a", "kind": "latency"},))
+    path = tmp_path / "plan.json"
+    plan.to_file(path)
+    assert FaultPlan.from_file(path) == plan
+
+
+# ----------------------------------------------------------------------
+# The disarmed fast path.
+# ----------------------------------------------------------------------
+
+def test_disarmed_fault_point_returns_payload_unchanged():
+    payload = object()
+    assert fault_point("anything.at.all", payload) is payload
+    assert fault_point("anything.at.all") is None
+
+
+def test_armed_context_manager_disarms_on_exit():
+    plan = FaultPlan(rules=({"site": "x", "kind": "raise"},))
+    with faults.armed(plan) as state:
+        assert faults.active_plan() is plan
+        with pytest.raises(FaultInjected):
+            fault_point("x")
+        assert state.log == [("x", "raise")]
+    assert faults.active_plan() is None
+    assert fault_point("x", "ok") == "ok"
+
+
+# ----------------------------------------------------------------------
+# Behaviours.
+# ----------------------------------------------------------------------
+
+def test_raise_and_enospc_carry_the_right_errno():
+    with faults.armed(FaultPlan(rules=({"site": "a", "kind": "raise"},))):
+        with pytest.raises(FaultInjected) as caught:
+            fault_point("a")
+        assert caught.value.errno == errno.EIO
+        assert isinstance(caught.value, OSError)
+    with faults.armed(FaultPlan(rules=({"site": "a", "kind": "enospc"},))):
+        with pytest.raises(FaultInjected) as caught:
+            fault_point("a")
+        assert caught.value.errno == errno.ENOSPC
+
+
+def test_after_and_times_window():
+    plan = FaultPlan(
+        rules=({"site": "s", "kind": "raise", "after": 2, "times": 1},)
+    )
+    with faults.armed(plan) as state:
+        fault_point("s")  # hit 1: skipped by after
+        fault_point("s")  # hit 2: skipped by after
+        with pytest.raises(FaultInjected):
+            fault_point("s")  # hit 3: fires
+        fault_point("s")  # hit 4: times exhausted
+        assert state.log == [("s", "raise")]
+
+
+def test_site_glob_matching():
+    plan = FaultPlan(rules=({"site": "cache.*", "kind": "raise"},))
+    with faults.armed(plan):
+        with pytest.raises(FaultInjected):
+            fault_point("cache.read")
+        with pytest.raises(FaultInjected):
+            fault_point("cache.write")
+        assert fault_point("checkpoint.write", "safe") == "safe"
+
+
+def test_truncate_halves_the_payload():
+    plan = FaultPlan(rules=({"site": "t", "kind": "truncate"},))
+    with faults.armed(plan):
+        assert fault_point("t", "abcdefgh") == "abcd"
+        assert fault_point("t", b"12345678") == b"1234"
+        # Non-buffer payloads pass through untouched.
+        assert fault_point("t", 42) == 42
+
+
+def test_bitflip_changes_exactly_one_position():
+    plan = FaultPlan(seed=11, rules=({"site": "b", "kind": "bitflip"},))
+    original = "The quick brown fox jumps over the lazy dog"
+    with faults.armed(plan):
+        flipped = fault_point("b", original)
+    assert flipped != original
+    assert len(flipped) == len(original)
+    diffs = [i for i, (a, b) in enumerate(zip(original, flipped)) if a != b]
+    assert len(diffs) == 1
+
+
+def test_probability_stream_is_deterministic_per_seed():
+    def firing_pattern(seed):
+        plan = FaultPlan(
+            seed=seed,
+            rules=({"site": "p", "kind": "latency", "probability": 0.5,
+                    "latency_s": 0.0},),
+        )
+        with faults.armed(plan) as state:
+            for _ in range(64):
+                fault_point("p")
+            return tuple(state.log), state._states[0].fired
+
+    log_a, fired_a = firing_pattern(1234)
+    log_b, fired_b = firing_pattern(1234)
+    assert (log_a, fired_a) == (log_b, fired_b)
+    # A 0.5 rule over 64 hits fires some but not all of the time.
+    assert 0 < fired_a < 64
+
+
+def test_multiple_matching_rules_all_fire():
+    plan = FaultPlan(
+        rules=(
+            {"site": "m", "kind": "truncate"},
+            {"site": "m", "kind": "truncate"},
+        )
+    )
+    with faults.armed(plan):
+        assert fault_point("m", "abcdefgh") == "ab"  # halved twice
+
+
+# ----------------------------------------------------------------------
+# Environment propagation.
+# ----------------------------------------------------------------------
+
+def test_ensure_armed_from_env_noop_without_variable():
+    assert faults.ensure_armed_from_env() is False
+    assert faults.active_plan() is None
+
+
+def test_ensure_armed_from_env_arms_the_named_plan(tmp_path, monkeypatch):
+    plan = FaultPlan(name="from-env", rules=({"site": "e", "kind": "raise"},))
+    path = tmp_path / "plan.json"
+    plan.to_file(path)
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV_VAR, str(path))
+    assert faults.ensure_armed_from_env() is True
+    assert faults.active_plan() == plan
+    # Idempotent: a second call keeps the already-armed plan.
+    assert faults.ensure_armed_from_env() is True
+
+
+def test_ensure_armed_from_env_raises_on_unreadable_plan(tmp_path, monkeypatch):
+    monkeypatch.setenv(faults.FAULT_PLAN_ENV_VAR, str(tmp_path / "missing.json"))
+    with pytest.raises(OSError):
+        faults.ensure_armed_from_env()

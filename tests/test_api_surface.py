@@ -15,6 +15,7 @@ EXPECTED_ALL = [
     "Campaign",
     "CampaignSpec",
     "CommunicationModel",
+    "FaultPlan",
     "RunConfig",
     "SPPBuilder",
     "SPPInstance",
@@ -24,6 +25,7 @@ EXPECTED_ALL = [
     "canonical",
     "core",
     "engine",
+    "faults",
     "instance_family",
     "matrix_certification",
     "model",
