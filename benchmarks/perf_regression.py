@@ -13,13 +13,17 @@ numbers plus the compiled-over-reference speedups::
 the *unreduced* search (the PR-1 workload, unchanged for continuity);
 ``speedup.explorer_states`` must stay ≥ 3×.
 
-``BENCH_matrix.json`` pins the partial-order reducer and the verdict
-cache on the matrix workload — the 24-model certification of the
-Fig. 7 gadget, whose interleaving explosion is what the reducer exists
-for (DISAGREE is recorded alongside but is too small to gate on).
-Three numbers are gated: the cold reduction speedup (reduced vs
-unreduced search, ≥ 3×), the warm cache speedup (second run against
-a populated cache, ≥ 20×), and the telemetry overhead (the ``repro.obs``
+``BENCH_matrix.json`` pins the partial-order reducer, the verdict
+cache, and the packed engine on the matrix workload — the 24-model
+certification of the Fig. 7 gadget, whose interleaving explosion is
+what the reducer exists for (DISAGREE is recorded alongside but is too
+small to gate on).  Five numbers are gated: the cold reduction speedup
+(reduced vs unreduced search, ≥ 3×), the warm cache speedup (second
+run against a populated cache, ≥ 20×), the packed-engine cold speedup
+(``engine="packed"`` vs the compiled cold reduced certification,
+≥ 10×, with every state/pruned/complete count bit-identical), the
+packed stdlib speedup (same workload with ``REPRO_NO_NUMPY=1``, ≥ 3×),
+and the telemetry overhead (the ``repro.obs``
 instrumentation enabled vs disabled on the cold reduced certification,
 ≤ 5% — its span-level breakdown is recorded under ``"telemetry"``;
 ``--telemetry-only``/``--telemetry-out`` run just this gate for the CI
@@ -40,6 +44,7 @@ import gc
 import json
 import platform
 import statistics
+import subprocess
 import tempfile
 import time
 from pathlib import Path
@@ -57,6 +62,8 @@ from repro.models.taxonomy import model
 MIN_EXPLORER_SPEEDUP = 3.0
 MIN_REDUCTION_SPEEDUP = 3.0
 MIN_WARM_CACHE_SPEEDUP = 20.0
+MIN_PACKED_SPEEDUP = 10.0
+MIN_PACKED_STDLIB_SPEEDUP = 3.0
 MAX_TELEMETRY_OVERHEAD_PCT = 5.0
 MAX_FAULTS_OVERHEAD_PCT = 2.0
 
@@ -145,12 +152,15 @@ def bench_matrix(runs: int = 3) -> dict:
     }
 
 
-def _timed_certification(instance, reduction: str, cache_dir=None) -> dict:
+def _timed_certification(
+    instance, reduction: str, cache_dir=None, engine: str = "compiled"
+) -> dict:
     start = time.perf_counter()
     cert = matrix_certification(
         instance=instance,
         config=RunConfig(
-            workers=1, queue_bound=2, reduction=reduction, cache_dir=cache_dir
+            workers=1, queue_bound=2, reduction=reduction,
+            cache_dir=cache_dir, engine=engine,
         ),
     )
     seconds = time.perf_counter() - start
@@ -186,6 +196,32 @@ def bench_matrix_workload() -> dict:
     assert warm["states"] == cold["states"]
     assert cold["complete"] >= unreduced["complete"]  # monotone coverage
 
+    # The packed engine on the same certification: cold against a fresh
+    # cache, warm against the store the cold run populated (cache keys
+    # carry no engine tag, so packed and compiled share entries), and
+    # cold again with the numpy/scipy path disabled.  Fig. 7's
+    # automorphism group is trivial, so every count must be
+    # bit-identical to the compiled cold run, not merely the verdicts.
+    import os
+
+    with tempfile.TemporaryDirectory() as packed_cache:
+        packed_cold = _timed_certification(
+            fig7, "ample", cache_dir=packed_cache, engine="packed"
+        )
+        packed_warm = _timed_certification(
+            fig7, "ample", cache_dir=packed_cache, engine="packed"
+        )
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        packed_stdlib = _timed_certification(fig7, "ample", engine="packed")
+    finally:
+        del os.environ["REPRO_NO_NUMPY"]
+    for packed_run in (packed_cold, packed_warm, packed_stdlib):
+        assert packed_run["verdicts"] == cold["verdicts"]
+        assert packed_run["states"] == cold["states"]
+        assert packed_run["pruned"] == cold["pruned"]
+        assert packed_run["complete"] == cold["complete"]
+
     # DISAGREE is recorded for context (too small for the reducer to
     # win — table builds dominate its sub-millisecond searches).
     disagree_base = _timed_certification(None, "none")
@@ -197,15 +233,27 @@ def bench_matrix_workload() -> dict:
         unreduced["_raw_seconds"] / cold["_raw_seconds"], 2
     )
     warm_cache_speedup = round(cold["_raw_seconds"] / warm["_raw_seconds"], 2)
+    packed_speedup = round(
+        cold["_raw_seconds"] / packed_cold["_raw_seconds"], 2
+    )
+    packed_stdlib_speedup = round(
+        cold["_raw_seconds"] / packed_stdlib["_raw_seconds"], 2
+    )
+    packed_warm_speedup = round(
+        packed_cold["_raw_seconds"] / packed_warm["_raw_seconds"], 2
+    )
     return {
         "workload": "fig7_gadget all 24 models queue_bound=2 "
-        "(reduced vs unreduced, cold vs warm cache); "
-        "DISAGREE recorded for context",
+        "(reduced vs unreduced, cold vs warm cache, packed vs "
+        "compiled); DISAGREE recorded for context",
         "python": platform.python_version(),
         "fig7": {
             "unreduced": _strip(unreduced),
             "cold_reduced": _strip(cold),
             "warm_cache": _strip(warm),
+            "packed_cold": _strip(packed_cold),
+            "packed_warm": _strip(packed_warm),
+            "packed_cold_stdlib": _strip(packed_stdlib),
         },
         "disagree": {
             "unreduced": _strip(disagree_base),
@@ -214,12 +262,19 @@ def bench_matrix_workload() -> dict:
         "speedup": {
             "reduction_cold": reduction_speedup,
             "cache_warm": warm_cache_speedup,
+            "packed_cold": packed_speedup,
+            "packed_cold_stdlib": packed_stdlib_speedup,
+            "packed_warm": packed_warm_speedup,
         },
         "passes_min_reduction_speedup": (
             reduction_speedup >= MIN_REDUCTION_SPEEDUP
         ),
         "passes_min_warm_cache_speedup": (
             warm_cache_speedup >= MIN_WARM_CACHE_SPEEDUP
+        ),
+        "passes_min_packed_speedup": packed_speedup >= MIN_PACKED_SPEEDUP,
+        "passes_min_packed_stdlib_speedup": (
+            packed_stdlib_speedup >= MIN_PACKED_STDLIB_SPEEDUP
         ),
     }
 
@@ -426,6 +481,50 @@ def run(out_path: Path) -> dict:
     return report
 
 
+def _git_rev(repo: Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _append_history(out_path: Path, report: dict) -> None:
+    """Carry forward and extend the perf trajectory across PRs.
+
+    Earlier revisions overwrote ``BENCH_matrix.json`` wholesale, so the
+    committed file only ever showed the latest numbers and the history
+    lived (unreadably) in git.  Each run now appends one timestamped
+    entry — git revision, python, and the headline workload seconds —
+    to a ``history`` list preserved from the previous file.
+    """
+    history = []
+    if out_path.exists():
+        try:
+            history = json.loads(out_path.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    seconds = {
+        name: entry["seconds"]
+        for name, entry in report.get("fig7", {}).items()
+    }
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_rev": _git_rev(out_path.resolve().parent),
+            "python": platform.python_version(),
+            "seconds": seconds,
+            "speedup": dict(report.get("speedup", {})),
+        }
+    )
+    report["history"] = history
+
+
 def run_matrix(
     out_path: Path,
     telemetry_out: "Path | None" = None,
@@ -437,6 +536,7 @@ def run_matrix(
         report["telemetry"] = bench_telemetry_overhead(telemetry_out)
     if not skip_faults:
         report["faults"] = bench_faults_overhead()
+    _append_history(out_path, report)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -542,6 +642,20 @@ def main() -> int:
                 "FAIL: warm cache speedup "
                 f"{matrix_report['speedup']['cache_warm']}x "
                 f"< required {MIN_WARM_CACHE_SPEEDUP}x"
+            )
+            failed = True
+        if not matrix_report["passes_min_packed_speedup"]:
+            print(
+                "FAIL: packed cold speedup "
+                f"{matrix_report['speedup']['packed_cold']}x "
+                f"< required {MIN_PACKED_SPEEDUP}x"
+            )
+            failed = True
+        if not matrix_report["passes_min_packed_stdlib_speedup"]:
+            print(
+                "FAIL: packed stdlib (numpy off) speedup "
+                f"{matrix_report['speedup']['packed_cold_stdlib']}x "
+                f"< required {MIN_PACKED_STDLIB_SPEEDUP}x"
             )
             failed = True
         if "telemetry" in matrix_report and _check_telemetry(

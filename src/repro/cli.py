@@ -55,10 +55,11 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
     """The shared engine/reduction/cache knobs of the search commands."""
     parser.add_argument(
         "--engine",
-        choices=("compiled", "reference"),
+        choices=("compiled", "packed", "reference"),
         default="compiled",
-        help="execution core: the integer-interned fast path (default) "
-        "or the didactic reference search (identical verdicts)",
+        help="execution core: the integer-interned fast path (default), "
+        "the bit-packed symmetry-quotienting engine, or the didactic "
+        "reference search (identical verdicts)",
     )
     parser.add_argument(
         "--reduction",

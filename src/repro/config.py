@@ -6,7 +6,8 @@ drivers, the CLI) threaded the same five or six tuning knobs as ad-hoc
 keyword arguments.  :class:`RunConfig` replaces that with one frozen,
 picklable value object:
 
-* ``engine`` — execution core (``"compiled"`` or ``"reference"``).
+* ``engine`` — execution core (``"compiled"``, ``"packed"``, or
+  ``"reference"``).
 * ``reduction`` — partial-order reducer (``"ample"`` or ``"none"``).
 * ``cache`` / ``cache_dir`` — the content-addressed verdict cache:
   ``cache`` accepts anything :func:`repro.engine.cache.as_cache` does
@@ -69,7 +70,7 @@ class RunConfig:
     telemetry: "str | None" = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("compiled", "reference"):
+        if self.engine not in ("compiled", "reference", "packed"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.reduction not in ("ample", "none"):
             raise ValueError(f"unknown reduction {self.reduction!r}")

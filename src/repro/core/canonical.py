@@ -46,6 +46,8 @@ from .spp import SPPInstance
 
 __all__ = [
     "CANDIDATE_CAP",
+    "AUTOMORPHISM_CAP",
+    "automorphisms",
     "canonical_labeling",
     "canonical_form",
     "canonical_hash",
@@ -54,6 +56,12 @@ __all__ = [
 #: Upper bound (8!) on the number of candidate orderings tried during
 #: minimization before falling back to the deterministic repr ordering.
 CANDIDATE_CAP = 40320
+
+#: Upper bound on candidate permutations enumerated while computing the
+#: automorphism group.  Beyond it :func:`automorphisms` falls back to
+#: the identity-only group, which is always sound — the packed engine
+#: then simply merges no orbits.
+AUTOMORPHISM_CAP = 40320
 
 
 def _normalize(colors: dict) -> dict:
@@ -167,6 +175,88 @@ def _canonical_labeling(instance: SPPInstance) -> tuple:
             best = encoding
             best_ordering = ordering
     return best_ordering
+
+
+def _is_automorphism(instance: SPPInstance, sigma: dict) -> bool:
+    """Whether the node bijection ``sigma`` preserves the full structure.
+
+    Required: the destination is fixed, edges map onto edges, and every
+    permitted path maps onto a permitted path of the image node *with
+    the same rank* (rank equality — not just order preservation — so
+    the total preference tie-break ``(λ_v, repr)`` stays compatible
+    with the engines' enumeration orders).
+    """
+    if sigma[instance.dest] != instance.dest:
+        return False
+    edges = instance.edges
+    for edge in edges:
+        if frozenset(sigma[n] for n in edge) not in edges:
+            return False
+    for node in instance.sorted_nodes:
+        if node == instance.dest:
+            continue
+        image_node = sigma[node]
+        permitted = instance.permitted_at(node)
+        image_permitted = set(instance.permitted_at(image_node))
+        if len(permitted) != len(image_permitted):
+            return False
+        for path in permitted:
+            image_path = tuple(sigma[hop] for hop in path)
+            if image_path not in image_permitted:
+                return False
+            if instance.rank_of(image_node, image_path) != instance.rank_of(
+                node, path
+            ):
+                return False
+    return True
+
+
+def automorphisms(instance: SPPInstance) -> tuple:
+    """The instance's automorphism group as node-map dicts, identity first.
+
+    An automorphism is a relabeling of the instance onto itself: it
+    fixes the destination, maps edges to edges, and maps each node's
+    permitted paths onto its image's permitted paths rank-for-rank.
+    Search-time symmetry reduction (``engine="packed"``) quotients the
+    reachable state graph by this group.
+
+    Candidates are drawn from the refined colour classes (an
+    automorphism can only permute nodes within a class — colours are
+    label-free invariants), so the enumeration is the same
+    within-class product the canonical labeling minimizes over.  When
+    the candidate count exceeds :data:`AUTOMORPHISM_CAP` the function
+    returns the identity-only group: that disables orbit merging but
+    can never produce a wrong answer.  Memoized on the instance.
+    """
+    cached = instance.__dict__.get("_automorphisms")
+    if cached is not None:
+        return cached
+    group = _automorphisms(instance)
+    object.__setattr__(instance, "_automorphisms", group)
+    return group
+
+
+def _automorphisms(instance: SPPInstance) -> tuple:
+    identity = {node: node for node in instance.sorted_nodes}
+    classes = _color_classes(instance)
+    candidates = 1
+    for cls in classes:
+        for k in range(2, len(cls) + 1):
+            candidates *= k
+        if candidates > AUTOMORPHISM_CAP:
+            return (identity,)
+    found = []
+    for perm_choice in product(*(permutations(cls) for cls in classes)):
+        sigma = {}
+        for cls, images in zip(classes, perm_choice):
+            for node, image in zip(cls, images):
+                sigma[node] = image
+        if sigma != identity and _is_automorphism(instance, sigma):
+            found.append(sigma)
+    found.sort(
+        key=lambda s: tuple(repr(s[node]) for node in instance.sorted_nodes)
+    )
+    return (identity, *found)
 
 
 def canonical_form(instance: SPPInstance) -> tuple:

@@ -166,7 +166,7 @@ class Explorer:
     ) -> None:
         if model.concurrency.name != "ONE":
             raise ValueError("the explorer supports one-node-per-step models only")
-        if engine not in ("compiled", "reference"):
+        if engine not in ("compiled", "reference", "packed"):
             raise ValueError(f"unknown explorer engine {engine!r}")
         self.instance = instance
         self.model = model
@@ -468,6 +468,16 @@ class Explorer:
             from .compiled import CompiledExplorer
 
             return CompiledExplorer(
+                self.instance,
+                self.model,
+                queue_bound=self.queue_bound,
+                max_states=self.max_states,
+                reduction=self.reduction,
+            ).explore()
+        if self.engine == "packed" and type(self) is Explorer:
+            from .packed import PackedExplorer
+
+            return PackedExplorer(
                 self.instance,
                 self.model,
                 queue_bound=self.queue_bound,

@@ -96,8 +96,14 @@ def route_universe(instance) -> tuple:
 
     Mirrors :class:`repro.engine.compiled.InstanceCodec` exactly so the
     integer tables of :func:`representative_tables` index the compiled
-    engine's route ids directly.
+    engine's route ids directly.  Memoized on the instance — every
+    explorer construction consults it (directly and via the
+    representative tables), and the interning order is a pure function
+    of the instance.
     """
+    cached = instance.__dict__.get("_route_universe")
+    if cached is not None:
+        return cached
     routes = [EPSILON]
     seen = {EPSILON}
     for node in instance.sorted_nodes:
@@ -105,7 +111,9 @@ def route_universe(instance) -> tuple:
             if path not in seen:
                 seen.add(path)
                 routes.append(path)
-    return tuple(routes)
+    routes = tuple(routes)
+    object.__setattr__(instance, "_route_universe", routes)
+    return routes
 
 
 def representative_tables(instance) -> tuple:
@@ -120,6 +128,7 @@ def representative_tables(instance) -> tuple:
     """
     cached = instance.__dict__.get("_reduction_tables")
     if cached is not None:
+        _telemetry().count("reduction.table_hits")
         return cached
     tel = _telemetry()
     with tel.span("reduction.tables"):

@@ -32,6 +32,18 @@ __all__ = [
 #: Phase groups always present in the breakdown, in display order.
 KNOWN_PHASES = ("explore", "reduction", "cache", "worker")
 
+#: Counters inlined into the phase table under their phase group (the
+#: first dotted segment), so search-shape numbers — how much the packed
+#: engine pruned, merged, and batched — read next to the wall time they
+#: explain instead of hiding in the raw ``--counters`` dump.
+PHASE_COUNTERS = (
+    "explore.frontier_batches",
+    "explore.orbits_merged",
+    "explore.states_pruned",
+    "reduction.table_builds",
+    "reduction.table_hits",
+)
+
 
 class TelemetryAggregate:
     """Merged view over any number of telemetry record streams."""
@@ -168,6 +180,16 @@ def render_phase_table(aggregate: TelemetryAggregate) -> str:
             lines.append(
                 f"  {name:<23} | {cell['calls']:>6} | {cell['total_s']:>9.3f} "
                 f"| {_mean_ms(cell):>8.2f} | {'':>6}"
+            )
+        for name in PHASE_COUNTERS:
+            if name.split(".", 1)[0] != phase:
+                continue
+            if name not in aggregate.counters:
+                continue
+            value = aggregate.counters[name]
+            lines.append(
+                f"  {name + ' (count)':<23} | {value:>6} | {'':>9} "
+                f"| {'':>8} | {'':>6}"
             )
     return "\n".join(lines)
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core import canonical as canon
 from repro.core import instances as gadgets
-from repro.core.compose import rename_nodes
+from repro.core.compose import rename_nodes, shared_destination_union
 from repro.core.generators import random_instance
 from repro.core.spp import SPPInstance
 
@@ -96,3 +96,102 @@ class TestLabeling:
         instance = gadgets.disagree()
         assert canon.canonical_form(instance) is canon.canonical_form(instance)
         assert canon.canonical_hash(instance) is canon.canonical_hash(instance)
+
+
+class TestAutomorphisms:
+    """The symmetry group driving packed-engine orbit quotienting."""
+
+    def test_identity_always_first(self):
+        for factory in CURATED:
+            instance = factory()
+            group = canon.automorphisms(instance)
+            assert group[0] == {n: n for n in instance.sorted_nodes}
+
+    def test_asymmetric_instances_have_identity_only_groups(self):
+        # fig6/fig7 break every candidate symmetry through their
+        # ranking structure even though parts of the graphs look alike.
+        for factory in (gadgets.fig6_gadget, gadgets.fig7_gadget):
+            assert len(canon.automorphisms(factory())) == 1
+
+    @settings(**SLOW)
+    @given(seeds)
+    def test_random_groups_contain_only_true_automorphisms(self, seed):
+        instance = random_instance(seed % 60, n_nodes=4)
+        for sigma in canon.automorphisms(instance):
+            assert canon._is_automorphism(instance, sigma)
+
+    def test_disagree_group_is_the_node_swap(self):
+        instance = gadgets.disagree()
+        group = canon.automorphisms(instance)
+        assert len(group) == 2
+        swap = group[1]
+        assert swap == {"d": "d", "x": "y", "y": "x"}
+
+    def test_gadget_rotations(self):
+        # BAD-GADGET and GOOD-GADGET are 3-cycles of one node template,
+        # so their groups are the cyclic rotations Z3.
+        for factory in (gadgets.bad_gadget, gadgets.good_gadget):
+            instance = factory()
+            group = canon.automorphisms(instance)
+            assert len(group) == 3
+            for sigma in group:
+                assert canon._is_automorphism(instance, sigma)
+
+    def test_disagree_grid_wreath_group(self):
+        # Two interchangeable DISAGREE copies: 2 within-copy swaps × 2
+        # copy exchanges → the order-8 wreath product Z2 ≀ S2.
+        assert len(canon.automorphisms(gadgets.disagree_grid(2))) == 8
+
+    def test_shared_destination_union_of_twins(self):
+        union = shared_destination_union([gadgets.disagree()] * 2)
+        group = canon.automorphisms(union)
+        assert len(group) == 8
+        # The copy exchange c0 ↔ c1 is itself a group element.
+        exchange = {
+            "d": "d",
+            "c0.x": "c1.x",
+            "c1.x": "c0.x",
+            "c0.y": "c1.y",
+            "c1.y": "c0.y",
+        }
+        assert exchange in group
+
+    def test_shared_destination_union_of_distinct_gadgets(self):
+        # Distinct components cannot be exchanged, so the union group is
+        # the direct product of the component groups: |Z2| × |Z3| = 6.
+        union = shared_destination_union(
+            [gadgets.disagree(), gadgets.bad_gadget()]
+        )
+        group = canon.automorphisms(union)
+        assert len(group) == 6
+        for sigma in group:
+            assert canon._is_automorphism(union, sigma)
+            # No element maps a DISAGREE node into the BAD-GADGET copy.
+            assert all(
+                image.startswith("c0.") for node, image in sigma.items()
+                if node.startswith("c0.")
+            )
+
+    @pytest.mark.parametrize(
+        "factory", CURATED + (lambda: gadgets.disagree_grid(2),),
+        ids=lambda f: f.__name__,
+    )
+    def test_group_order_is_label_invariant(self, factory):
+        instance = factory()
+        renamed = rename_nodes(instance, renamer=lambda n: f"<{n}>")
+        assert len(canon.automorphisms(instance)) == len(
+            canon.automorphisms(renamed)
+        )
+
+    @settings(**SLOW)
+    @given(seeds)
+    def test_random_group_order_is_label_invariant(self, seed):
+        instance = random_instance(seed % 60, n_nodes=4)
+        renamed = rename_nodes(instance, prefix="zz_")
+        assert len(canon.automorphisms(instance)) == len(
+            canon.automorphisms(renamed)
+        )
+
+    def test_group_is_memoized(self):
+        instance = gadgets.disagree()
+        assert canon.automorphisms(instance) is canon.automorphisms(instance)
