@@ -1,0 +1,310 @@
+"""Serving-tier regression harness — writes ``BENCH_serve.json``.
+
+Benchmarks the ``repro serve`` daemon end to end over HTTP and gates
+the four properties the serving tier exists for::
+
+    PYTHONPATH=src python benchmarks/serve_regression.py \
+        [--out BENCH_serve.json]
+
+* **Hot-hit latency** — a repeat byte-identical query is answered from
+  the serve-level response tier without parsing or recomputation; the
+  p50 round trip over a keep-alive connection must stay under
+  :data:`MAX_HOT_P50_MS` (the warm CLI path pays ~9 ms just reading
+  and checksumming disk entries, before interpreter startup).
+* **Amortization vs the CLI** — the served hot hit must beat a warm
+  ``python -c`` run of the same fig7 24-model certification (cache
+  fully populated, interpreter startup included, the honest
+  "shell out to the library" alternative) by
+  :data:`MIN_WARM_CLI_SPEEDUP`.
+* **Singleflight** — 16 concurrent identical cold queries cost exactly
+  one exploration (``explore.runs == 1``, ``computed == 1``).
+* **Micro-batching** — one cold 24-model query builds the instance's
+  reduction tables exactly once (``reduction.table_builds == 1``).
+
+Before any number is reported, the served fig7 verdicts are asserted
+bit-identical (witnesses included) to a direct, cache-free
+``matrix_certification`` of the same workload.
+
+The JSON is committed alongside serving PRs so a regression shows up
+as a diff; each run appends one timestamped entry to its ``history``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.analysis.experiments import matrix_certification
+from repro.config import RunConfig
+from repro.core.instances import disagree, fig7_gadget
+from repro.engine.cache import result_from_payload
+from repro.obs.telemetry import Telemetry
+from repro.serve import ReproServer, ServeConfig, VerdictService
+from repro.serve.client import ServeClient, build_query_body
+
+MAX_HOT_P50_MS = 1.0
+MIN_WARM_CLI_SPEEDUP = 5.0
+
+#: The packed core keeps the cold fig7 certification at ~2 s instead
+#: of ~18 s; the serving-tier properties under test are engine-blind.
+ENGINE = "packed"
+HOT_REQUESTS = 200
+
+_WARM_CLI_SNIPPET = """\
+from repro.analysis.experiments import matrix_certification
+from repro.config import RunConfig
+from repro.core.instances import fig7_gadget
+
+cert = matrix_certification(
+    instance=fig7_gadget(),
+    config=RunConfig(
+        queue_bound=2, workers=1, cache_dir={cache_dir!r}, engine={engine!r}
+    ),
+)
+assert len(cert) == 24
+"""
+
+
+def bench_served_fig7(cache_dir: str) -> dict:
+    """Cold + hot fig7 24-model certification through a live server.
+
+    Returns the cold/hot numbers plus the served results for the
+    differential assertion; leaves ``cache_dir`` fully populated for
+    the warm-CLI comparison.
+    """
+    telemetry = Telemetry(None)
+    previous = obs.install(telemetry)
+    try:
+        service = VerdictService(
+            ServeConfig(cache_dir=cache_dir, engine=ENGINE, queue_cap=8)
+        )
+        with ReproServer(service) as server:
+            with ServeClient(server.url) as client:
+                body = build_query_body(fig7_gadget(), queue_bound=2)
+                start = time.perf_counter()
+                cold = client.query_raw(body)
+                cold_seconds = time.perf_counter() - start
+                assert cold.hot is False and len(cold.data["results"]) == 24
+
+                client.query_raw(body)  # prime keep-alive + response tier
+                samples = []
+                for _ in range(HOT_REQUESTS):
+                    start = time.perf_counter()
+                    hot = client.query_raw(body)
+                    samples.append(time.perf_counter() - start)
+                    assert hot.hot is True
+    finally:
+        obs.install(previous)
+
+    samples.sort()
+    p50_ms = statistics.median(samples) * 1000.0
+    p99_ms = samples[int(len(samples) * 0.99) - 1] * 1000.0
+    return {
+        "cold": {
+            "seconds": round(cold_seconds, 4),
+            "models": len(cold.data["results"]),
+            "explore_runs": telemetry.counters.get("explore.runs", 0),
+            "table_builds": telemetry.counters.get(
+                "reduction.table_builds", 0
+            ),
+        },
+        "hot": {
+            "requests": HOT_REQUESTS,
+            "p50_ms": round(p50_ms, 3),
+            "p99_ms": round(p99_ms, 3),
+        },
+        "_results": cold.data["results"],
+        "_hot_seconds": statistics.median(samples),
+    }
+
+
+def assert_differential(results: dict) -> None:
+    """Served verdicts must be bit-identical to the direct library
+    path — witnesses included, caches out of the loop."""
+    instance = fig7_gadget()
+    direct = matrix_certification(
+        instance=instance,
+        config=RunConfig(queue_bound=2, cache=False, workers=1, engine=ENGINE),
+    )
+    assert set(results) == set(direct)
+    for name, payload in results.items():
+        served = result_from_payload(payload, instance)
+        assert dataclasses.replace(served, cache_hit=False) == (
+            dataclasses.replace(direct[name], cache_hit=False)
+        ), f"served {name} differs from direct certification"
+
+
+def bench_warm_cli(cache_dir: str) -> dict:
+    """The alternative the daemon replaces: a fresh interpreter running
+    the same certification against the already-populated cache."""
+    snippet = _WARM_CLI_SNIPPET.format(cache_dir=cache_dir, engine=ENGINE)
+    repo = Path(__file__).resolve().parent.parent
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            cwd=repo,
+            env={"PYTHONPATH": str(repo / "src")},
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        assert proc.returncode == 0, proc.stderr
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"seconds": round(best, 4), "_raw_seconds": best}
+
+
+def bench_singleflight(cache_dir: str) -> dict:
+    """16 racing identical cold queries must cost one exploration."""
+    telemetry = Telemetry(None)
+    previous = obs.install(telemetry)
+    try:
+        service = VerdictService(
+            ServeConfig(
+                cache_dir=cache_dir, queue_cap=8, response_cache_entries=0
+            )
+        )
+        body = build_query_body(disagree(), ["R1O"], queue_bound=2)
+        barrier = threading.Barrier(16)
+        outcomes = []
+
+        def fire():
+            barrier.wait()
+            outcomes.append(service.handle_query(body))
+
+        threads = [threading.Thread(target=fire) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.close()
+    finally:
+        obs.install(previous)
+    assert len(outcomes) == 16
+    return {
+        "threads": 16,
+        "explore_runs": telemetry.counters.get("explore.runs", 0),
+        "computed": service.statz()["serve"]["computed"],
+    }
+
+
+def run(out_path: Path) -> dict:
+    with tempfile.TemporaryDirectory() as served_cache:
+        served = bench_served_fig7(served_cache)
+        assert_differential(served.pop("_results"))
+        warm_cli = bench_warm_cli(served_cache)
+    with tempfile.TemporaryDirectory() as race_cache:
+        singleflight = bench_singleflight(race_cache)
+
+    hot_seconds = served.pop("_hot_seconds")
+    warm_cli_speedup = round(warm_cli.pop("_raw_seconds") / hot_seconds, 1)
+    report = {
+        "workload": "fig7_gadget all 24 models queue_bound=2 over HTTP "
+        f"(engine={ENGINE}): cold then {HOT_REQUESTS} hot hits vs a warm "
+        "python -c certification; DISAGREE R1O x16 for singleflight",
+        "python": platform.python_version(),
+        "serve": served,
+        "warm_cli": warm_cli,
+        "singleflight": singleflight,
+        "speedup": {"hot_vs_warm_cli": warm_cli_speedup},
+        "passes_max_hot_p50_ms": served["hot"]["p50_ms"] < MAX_HOT_P50_MS,
+        "passes_min_warm_cli_speedup": (
+            warm_cli_speedup >= MIN_WARM_CLI_SPEEDUP
+        ),
+        "passes_singleflight": (
+            singleflight["explore_runs"] == 1
+            and singleflight["computed"] == 1
+        ),
+        "passes_batch_table_builds": served["cold"]["table_builds"] == 1,
+    }
+    _append_history(out_path, report)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _git_rev(repo: Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _append_history(out_path: Path, report: dict) -> None:
+    """One timestamped trajectory entry per run, like BENCH_matrix."""
+    history = []
+    if out_path.exists():
+        try:
+            history = json.loads(out_path.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_rev": _git_rev(out_path.resolve().parent),
+            "python": platform.python_version(),
+            "hot_p50_ms": report["serve"]["hot"]["p50_ms"],
+            "cold_seconds": report["serve"]["cold"]["seconds"],
+            "warm_cli_seconds": report["warm_cli"]["seconds"],
+            "speedup": dict(report["speedup"]),
+        }
+    )
+    report["history"] = history
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(repo / "BENCH_serve.json"))
+    args = parser.parse_args()
+    report = run(Path(args.out))
+    print(json.dumps(report, indent=2))
+    failed = False
+    if not report["passes_max_hot_p50_ms"]:
+        print(
+            f"FAIL: hot-hit p50 {report['serve']['hot']['p50_ms']} ms "
+            f">= allowed {MAX_HOT_P50_MS} ms"
+        )
+        failed = True
+    if not report["passes_min_warm_cli_speedup"]:
+        print(
+            f"FAIL: hot-hit speedup {report['speedup']['hot_vs_warm_cli']}x "
+            f"over the warm CLI path < required {MIN_WARM_CLI_SPEEDUP}x"
+        )
+        failed = True
+    if not report["passes_singleflight"]:
+        print(
+            "FAIL: 16 racing identical cold queries cost "
+            f"{report['singleflight']['explore_runs']} explorations "
+            "(expected exactly 1)"
+        )
+        failed = True
+    if not report["passes_batch_table_builds"]:
+        print(
+            "FAIL: batched 24-model certification built reduction tables "
+            f"{report['serve']['cold']['table_builds']} times "
+            "(expected exactly 1)"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

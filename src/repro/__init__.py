@@ -27,7 +27,7 @@ telemetry) instead of ad-hoc keyword arguments, and
 fails CI.  See ``docs/api.md``.
 """
 
-from . import analysis, campaign, core, engine, faults, models, realization
+from . import analysis, campaign, core, engine, faults, models, realization, serve
 from .analysis import matrix_certification, survey_convergence
 from .campaign import Campaign, CampaignSpec
 from .config import RunConfig
@@ -65,6 +65,7 @@ __all__ = [
     "realization",
     "run_explorations",
     "run_simulations",
+    "serve",
     "simulate",
     "survey_convergence",
 ]

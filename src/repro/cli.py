@@ -15,6 +15,9 @@ Subcommands
   machine-readable results).
 * ``campaign`` — resumable sharded surveys over random instance
   populations (``run``/``resume``/``status``/``report``).
+* ``serve`` — long-running verdict daemon over the content-addressed
+  cache (singleflight, micro-batching, admission control).
+* ``query`` — client for a running ``repro serve`` daemon.
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed verdict cache shared by the search commands.
 * ``doctor`` — fsck a cache root or campaign directory: verify
@@ -193,6 +196,133 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the suite results as one JSON document instead of text",
     )
     _add_perf_flags(exp)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the verdict daemon (HTTP/JSON over the verdict cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8351,
+        help="listen port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="verdict-cache directory (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("compiled", "packed", "reference"),
+        default="compiled",
+        help="default execution core for requests that do not pick one",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="serving worker threads draining the cold-miss batch queue",
+    )
+    serve.add_argument(
+        "--compute-procs",
+        type=int,
+        default=1,
+        help="process fan-out inside one batch (1 keeps batches "
+        "in-process so per-instance tables are built once)",
+    )
+    serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=64,
+        help="admission control: maximum queued cold-miss batches "
+        "before requests are shed with 429/Retry-After",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request deadline while waiting on cold computations",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint sent with shed (429) responses",
+    )
+    serve.add_argument(
+        "--response-cache",
+        type=int,
+        default=256,
+        metavar="N",
+        help="serve-level hot tier: complete responses kept for repeat "
+        "byte-identical queries (0 disables)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL telemetry events to PATH "
+        f"(default: ${obs.TELEMETRY_ENV_VAR} when set)",
+    )
+    _add_fault_plan_flag(serve)
+
+    query = sub.add_parser(
+        "query", help="query a running repro serve daemon"
+    )
+    query.add_argument(
+        "--url",
+        default="http://127.0.0.1:8351",
+        help="server base URL (default: %(default)s)",
+    )
+    query.add_argument(
+        "--instance", default="disagree", choices=sorted(ALL_NAMED_INSTANCES)
+    )
+    query.add_argument(
+        "--instance-file",
+        default=None,
+        metavar="JSON",
+        help="query an instance from a serialization JSON file instead "
+        "of a canonical one",
+    )
+    query.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        metavar="MODEL",
+        help="model names to certify (default: all 24)",
+    )
+    query.add_argument("--queue-bound", type=int, default=3)
+    query.add_argument("--max-states", type=int, default=None)
+    query.add_argument(
+        "--engine",
+        choices=("compiled", "packed", "reference"),
+        default=None,
+        help="execution core override (default: the server's)",
+    )
+    query.add_argument(
+        "--reduction", choices=REDUCTIONS, default=None
+    )
+    query.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS"
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a shed (429/503) response this many times, sleeping "
+        "the server's Retry-After hint between attempts",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response JSON instead of a verdict table",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the content-addressed verdict cache"
@@ -489,6 +619,104 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ReproServer, ServeConfig, VerdictService
+
+    cache_dir = (
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+    try:
+        config = ServeConfig(
+            cache_dir=cache_dir,
+            host=args.host,
+            port=args.port,
+            engine=args.engine,
+            workers=args.workers,
+            compute_procs=args.compute_procs,
+            queue_cap=args.queue_cap,
+            deadline_s=args.deadline,
+            retry_after_s=args.retry_after,
+            response_cache_entries=args.response_cache,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service = VerdictService(config)
+    try:
+        server = ReproServer(service)
+    except OSError as error:
+        service.close()
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    print(f"repro serve: listening on {server.url}", flush=True)
+    print(
+        f"repro serve: cache {cache_dir}  engine {args.engine}  "
+        f"workers {args.workers}  queue-cap {args.queue_cap}",
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro serve: drained", flush=True)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import time as _time
+
+    from .core.serialization import instance_from_json
+    from .serve.client import ServeClient, ServerError, ServerShedding
+
+    if args.instance_file:
+        with open(args.instance_file) as handle:
+            instance = instance_from_json(handle.read())
+    else:
+        instance = ALL_NAMED_INSTANCES[args.instance]()
+    try:
+        with ServeClient(args.url, timeout=args.timeout) as client:
+            attempt = 0
+            while True:
+                try:
+                    response = client.query(
+                        instance,
+                        args.models,
+                        queue_bound=args.queue_bound,
+                        max_states=args.max_states,
+                        engine=args.engine,
+                        reduction=args.reduction,
+                    )
+                    break
+                except ServerShedding as shed:
+                    if attempt >= args.retries:
+                        print(f"error: {shed}", file=sys.stderr)
+                        return 3
+                    attempt += 1
+                    _time.sleep(shed.retry_after or 1.0)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response.data, indent=2, sort_keys=True))
+        return 0
+    results = response.results(instance)
+    print(
+        f"instance: {instance.name}   canonical: "
+        f"{response.canonical_hash[:12]}…   hot replay: {response.hot}"
+    )
+    for name in sorted(results):
+        result = results[name]
+        served = response.served.get(name, "?")
+        print(
+            f"  {name:<4} oscillates={str(result.oscillates):<5} "
+            f"complete={str(result.complete):<5} "
+            f"states={result.states_explored:<8} served={served}"
+        )
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = VerdictCache(
         args.cache_dir
@@ -681,7 +909,7 @@ def _cmd_doctor(args) -> int:
 
 
 #: Commands that report into the telemetry sink while they run.
-_TELEMETRY_COMMANDS = frozenset({"matrix", "explore", "experiments"})
+_TELEMETRY_COMMANDS = frozenset({"matrix", "explore", "experiments", "serve"})
 
 
 def _setup_telemetry(args) -> bool:
@@ -739,6 +967,10 @@ def _dispatch(args) -> int:
         return _cmd_experiments(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "stats":

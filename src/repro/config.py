@@ -108,6 +108,22 @@ class RunConfig:
         """A copy with ``changes`` applied (fields re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """The inverse of :meth:`as_dict` (wire/JSON form to config).
+
+        Unknown keys are rejected rather than dropped so a typo in a
+        request or spec fails loudly instead of silently running with
+        defaults.  Field values are re-validated by the constructor.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"config must be a JSON object, got {type(data).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown config field(s): {', '.join(unknown)}")
+        return cls(**data)
+
     def as_dict(self) -> dict:
         """JSON-serializable form (campaign specs, telemetry metadata)."""
         cache = self.cache

@@ -44,6 +44,18 @@ the in-process memo, so a broken cache directory can slow a campaign
 down but cannot abort it.  Orphan tempfiles left by crashed writers
 are swept on store open (see :mod:`repro.fsutil`) and by ``repro
 doctor``.
+
+**Hot tier.**  Entries that have been verified once (checksum checked
+on first disk read, or produced by this process) are kept in a bounded
+in-memory LRU memo, so a repeat read skips disk I/O, JSON parsing, and
+sha256 verification entirely.  The bound defaults to
+:data:`DEFAULT_MEMO_ENTRIES` and can be tuned per cache via the
+``memo_entries`` constructor argument or globally via the
+``REPRO_CACHE_MEMO`` environment variable (``0`` disables the tier).
+Memory hits and evictions are counted (``mem_hits`` /
+``mem_evictions``, telemetry ``cache.mem_hit`` / ``cache.mem_evicted``).
+:func:`shared_cache` returns a process-wide cache per directory so
+in-process worker pools and the serving tier share one hot tier.
 """
 
 from __future__ import annotations
@@ -51,6 +63,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from collections import OrderedDict
 from pathlib import Path
 
 from ..core.canonical import canonical_hash, canonical_labeling
@@ -65,10 +79,14 @@ from .reduction import REDUCTION_REVISION
 __all__ = [
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_MEMO_ENTRIES",
     "QUARANTINE_DIR",
     "VerdictCache",
     "as_cache",
     "payload_checksum",
+    "result_from_payload",
+    "result_to_payload",
+    "shared_cache",
     "verdict_key",
 ]
 
@@ -81,6 +99,14 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Subdirectory (under the cache root) bad entries are moved into.
 QUARANTINE_DIR = "quarantine"
+
+#: Default bound on the in-memory hot tier (verified payloads kept
+#: resident).  Verdict payloads without witnesses are a few hundred
+#: bytes, so the default costs at most a few MB.
+DEFAULT_MEMO_ENTRIES = 4096
+
+#: Environment variable overriding :data:`DEFAULT_MEMO_ENTRIES`.
+MEMO_ENV_VAR = "REPRO_CACHE_MEMO"
 
 
 def payload_checksum(payload: dict) -> str:
@@ -224,27 +250,77 @@ def _result_from_jsonable(data: dict, instance: SPPInstance) -> ExplorationResul
     )
 
 
+def result_to_payload(result: ExplorationResult, instance: SPPInstance) -> dict:
+    """The checksummed cache-entry payload for ``result``.
+
+    This is exactly the JSON object the disk store would hold for the
+    verdict — canonical-index witnesses, ``cache_version``, and a
+    ``checksum`` field — so it can travel over the wire and be decoded
+    on the other side with :func:`result_from_payload`.
+    """
+    payload = _result_to_jsonable(result, instance)
+    payload["checksum"] = payload_checksum(payload)
+    return payload
+
+
+def result_from_payload(payload: dict, instance: SPPInstance) -> ExplorationResult:
+    """Decode a checksummed cache-entry payload for ``instance``.
+
+    Raises :class:`ValueError` on a version-skewed, checksum-failing,
+    or structurally malformed payload; never returns a partially
+    decoded result.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("payload is not a JSON object")
+    if payload.get("cache_version") != CACHE_VERSION:
+        raise ValueError(
+            f"payload cache_version {payload.get('cache_version')!r} != {CACHE_VERSION}"
+        )
+    if payload.get("checksum") != payload_checksum(payload):
+        raise ValueError("payload checksum mismatch")
+    try:
+        return _result_from_jsonable(payload, instance)
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ValueError(f"malformed verdict payload: {exc}") from exc
+
+
 # ----------------------------------------------------------------------
 
 class VerdictCache:
     """A directory of memoized exploration results.
 
     Safe to share between processes: entries are write-once and all
-    writes are atomic renames.  An in-process memo layer avoids
-    re-reading (and re-decoding) hot keys during a sweep.
+    writes are atomic renames.  A bounded in-process LRU memo keeps
+    verified-once payloads resident so hot keys skip disk I/O, JSON
+    parsing, and checksum verification on repeat reads; it is guarded
+    by a lock, so one cache object can serve many threads.
     """
 
-    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+    def __init__(
+        self,
+        root: "str | os.PathLike | None" = None,
+        *,
+        memo_entries: "int | None" = None,
+    ) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        if memo_entries is None:
+            raw = os.environ.get(MEMO_ENV_VAR)
+            memo_entries = DEFAULT_MEMO_ENTRIES if not raw else int(raw)
+        if memo_entries < 0:
+            raise ValueError("memo_entries must be non-negative")
         self.root = Path(root)
-        self._memo: dict = {}
+        self.memo_entries = memo_entries
+        self._memo: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.evictions = 0
         self.quarantined = 0
         self.io_errors = 0
+        self.mem_hits = 0
+        self.mem_evictions = 0
         # Stale tempfiles from crashed writers (age-gated: a live
         # writer's tempfile is never touched).
         sweep_orphan_temps(self.verdict_dir)
@@ -264,64 +340,114 @@ class VerdictCache:
             if shard.is_dir():
                 yield from sorted(shard.glob("*.json"))
 
+    # -- hot tier -------------------------------------------------------
+    def peek_memo(self, key: str) -> "dict | None":
+        """The memoized payload for ``key``, if resident (no disk I/O)."""
+        with self._lock:
+            payload = self._memo.get(key)
+            if payload is not None:
+                self._memo.move_to_end(key)
+            return payload
+
+    def remember(self, key: str, payload: dict) -> None:
+        """Admit a *verified* payload to the bounded in-memory hot tier."""
+        if self.memo_entries == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._memo[key] = payload
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_entries:
+                self._memo.popitem(last=False)
+                evicted += 1
+            self.mem_evictions += evicted
+        if evicted:
+            _telemetry().count("cache.mem_evicted", evicted)
+
+    def _forget(self, key: str) -> None:
+        with self._lock:
+            self._memo.pop(key, None)
+
     # -- core operations ------------------------------------------------
     def get(self, key: str, instance: SPPInstance) -> "ExplorationResult | None":
         """The cached result for ``key``, re-labeled for ``instance``."""
         tel = _telemetry()
         with tel.span("cache.get"):
-            result = self._get(key, instance)
-        tel.count("cache.hit" if result is not None else "cache.miss")
+            payload, _ = self._fetch_payload(key)
+            if payload is None:
+                self.misses += 1
+                tel.count("cache.miss")
+                return None
+            try:
+                result = _result_from_jsonable(payload, instance)
+            except (KeyError, IndexError, TypeError, ValueError):
+                self._forget(key)
+                self._quarantine(self._path(key))
+                self.misses += 1
+                tel.count("cache.miss")
+                return None
+            self.hits += 1
+        tel.count("cache.hit")
         return result
 
-    def _get(self, key: str, instance: SPPInstance) -> "ExplorationResult | None":
-        payload = self._memo.get(key)
+    def get_payload(self, key: str) -> "tuple[dict | None, str]":
+        """The verified raw payload for ``key`` plus the tier that served it.
+
+        Returns ``(payload, tier)`` with ``tier`` one of ``"memory"``
+        (hot-tier hit: no disk I/O, parse, or checksum work),
+        ``"disk"`` (read, parsed, and verified from the store — now
+        memoized), or ``"miss"`` (``payload is None``).  Maintains the
+        same hit/miss accounting as :meth:`get`.
+        """
+        payload, tier = self._fetch_payload(key)
         if payload is None:
-            path = self._path(key)
-            try:
-                fault_point("cache.read", path)
-                raw = path.read_text()
-            except FileNotFoundError:
-                self.misses += 1
-                return None
-            except OSError:
-                # Unreadable store (I/O error, permissions): degrade to
-                # a recompute without touching the entry — it may be
-                # perfectly healthy once the filesystem recovers.
-                self.io_errors += 1
-                _telemetry().count("cache.io_error")
-                self.misses += 1
-                return None
-            try:
-                payload = json.loads(raw)
-                if not isinstance(payload, dict):
-                    raise ValueError("entry is not a JSON object")
-            except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
-                # Corrupt entry (e.g. a crashed writer on a filesystem
-                # without atomic rename): never trusted — quarantined
-                # and recomputed.
-                self._quarantine(path)
-                self.misses += 1
-                return None
-            if payload.get("cache_version") != CACHE_VERSION:
-                # Version skew: quarantine so the write-once store can
-                # re-fill the slot with a current-format entry.
-                self._quarantine(path)
-                self.misses += 1
-                return None
-            if payload.get("checksum") != payload_checksum(payload):
-                self._quarantine(path)
-                self.misses += 1
-                return None
-            self._memo[key] = payload
-        try:
-            result = _result_from_jsonable(payload, instance)
-        except (KeyError, IndexError, TypeError, ValueError):
-            self._memo.pop(key, None)
-            self._quarantine(self._path(key))
             self.misses += 1
-            return None
-        self.hits += 1
-        return result
+            _telemetry().count("cache.miss")
+        else:
+            self.hits += 1
+            _telemetry().count("cache.hit")
+        return payload, tier
+
+    def _fetch_payload(self, key: str) -> "tuple[dict | None, str]":
+        """Memo-then-disk payload fetch; verifies before memoizing."""
+        payload = self.peek_memo(key)
+        if payload is not None:
+            self.mem_hits += 1
+            _telemetry().count("cache.mem_hit")
+            return payload, "memory"
+        path = self._path(key)
+        try:
+            fault_point("cache.read", path)
+            raw = path.read_text()
+        except FileNotFoundError:
+            return None, "miss"
+        except OSError:
+            # Unreadable store (I/O error, permissions): degrade to
+            # a recompute without touching the entry — it may be
+            # perfectly healthy once the filesystem recovers.
+            self.io_errors += 1
+            _telemetry().count("cache.io_error")
+            return None, "miss"
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            # Corrupt entry (e.g. a crashed writer on a filesystem
+            # without atomic rename): never trusted — quarantined
+            # and recomputed.
+            self._quarantine(path)
+            return None, "miss"
+        if payload.get("cache_version") != CACHE_VERSION:
+            # Version skew: quarantine so the write-once store can
+            # re-fill the slot with a current-format entry.
+            self._quarantine(path)
+            return None, "miss"
+        if payload.get("checksum") != payload_checksum(payload):
+            self._quarantine(path)
+            return None, "miss"
+        self.remember(key, payload)
+        return payload, "disk"
 
     def _quarantine(self, path: Path) -> None:
         """Move a bad entry to ``<root>/quarantine/`` (best effort)."""
@@ -343,9 +469,8 @@ class VerdictCache:
         """
         tel = _telemetry()
         with tel.span("cache.put"):
-            payload = _result_to_jsonable(result, instance)
-            payload["checksum"] = payload_checksum(payload)
-            self._memo[key] = payload
+            payload = result_to_payload(result, instance)
+            self.remember(key, payload)
             path = self._path(key)
             try:
                 if path.exists():
@@ -378,6 +503,8 @@ class VerdictCache:
             if quarantine.is_dir()
             else 0
         )
+        with self._lock:
+            memo_resident = len(self._memo)
         return {
             "root": str(self.root),
             "entries": entries,
@@ -389,6 +516,10 @@ class VerdictCache:
             "quarantined": self.quarantined,
             "io_errors": self.io_errors,
             "in_quarantine": in_quarantine,
+            "mem_hits": self.mem_hits,
+            "mem_evictions": self.mem_evictions,
+            "memo_entries": self.memo_entries,
+            "memo_resident": memo_resident,
         }
 
     def clear(self) -> int:
@@ -397,7 +528,8 @@ class VerdictCache:
         for path in list(self._entries()):
             path.unlink(missing_ok=True)
             removed += 1
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
         return removed
 
     def evict(self, max_entries: int) -> int:
@@ -412,10 +544,42 @@ class VerdictCache:
         for path in paths[max_entries:]:
             path.unlink(missing_ok=True)
             removed += 1
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
         self.evictions += removed
         _telemetry().count("cache.evicted", removed)
         return removed
+
+
+# Process-wide registry for shared_cache(): one VerdictCache (and thus
+# one hot tier) per cache directory.  Bounded so a pathological caller
+# cycling through directories cannot pin unbounded memos.
+_SHARED_LOCK = threading.Lock()
+_SHARED_CACHES: "OrderedDict[str, VerdictCache]" = OrderedDict()
+_SHARED_CACHES_MAX = 8
+
+
+def shared_cache(root: "str | os.PathLike | None" = None) -> VerdictCache:
+    """The process-wide :class:`VerdictCache` for ``root``.
+
+    Repeated calls with the same directory return the same object, so
+    every in-process user of that directory — CLI sweeps, thread-pool
+    exploration tasks, the serving tier — shares one hot tier instead
+    of re-verifying entries into private memos.
+    """
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    key = os.path.abspath(os.fspath(root))
+    with _SHARED_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            cache = VerdictCache(key)
+            _SHARED_CACHES[key] = cache
+            while len(_SHARED_CACHES) > _SHARED_CACHES_MAX:
+                _SHARED_CACHES.popitem(last=False)
+        else:
+            _SHARED_CACHES.move_to_end(key)
+        return cache
 
 
 def as_cache(cache) -> "VerdictCache | None":

@@ -360,6 +360,7 @@ class ExplorationTask:
 
 def _explore_one(task: ExplorationTask):
     from ..models.taxonomy import model
+    from .cache import shared_cache
     from .explorer import can_oscillate
 
     # Chaos harness: pick up $REPRO_FAULT_PLAN in spawn-mode workers
@@ -367,11 +368,18 @@ def _explore_one(task: ExplorationTask):
     # task to worker-level faults (crash, stall).
     ensure_armed_from_env()
     fault_point("worker.run", task)
+    config = task.run_config()
+    if task.cache_dir is not None:
+        # One cache object (and thus one in-memory hot tier) per
+        # directory per process: in-process fan-out and thread-based
+        # callers (the serving tier) share verified payloads instead of
+        # re-reading them into private memos.
+        config = config.replace(cache=shared_cache(task.cache_dir))
     return can_oscillate(
         task.instance,
         model(task.model_name),
         reliable_twin_first=task.reliable_twin_first,
-        config=task.run_config(),
+        config=config,
     )
 
 

@@ -20,6 +20,10 @@ site                      where
 ``campaign.shard``        entry of :meth:`repro.campaign.Campaign.run_shard`
 ``worker.run``            entry of a fan-out worker task
 ``telemetry.emit``        a JSONL event line, before it is appended
+``serve.request``         admission of one verdict-server query
+``serve.compute``         entry of one cold-miss batch computation (a raise
+                          here exercises the leader-dies singleflight path)
+``serve.shed``            a query rejected by the bounded batch queue
 ========================  ====================================================
 
 **Determinism.**  Each rule owns a :class:`random.Random` seeded from

@@ -30,7 +30,7 @@ __all__ = [
 ]
 
 #: Phase groups always present in the breakdown, in display order.
-KNOWN_PHASES = ("explore", "reduction", "cache", "worker")
+KNOWN_PHASES = ("explore", "reduction", "cache", "worker", "serve")
 
 #: Counters inlined into the phase table under their phase group (the
 #: first dotted segment), so search-shape numbers — how much the packed
@@ -42,6 +42,13 @@ PHASE_COUNTERS = (
     "explore.states_pruned",
     "reduction.table_builds",
     "reduction.table_hits",
+    "cache.mem_hit",
+    "cache.mem_evicted",
+    "serve.requests",
+    "serve.hot_hits",
+    "serve.inflight_joins",
+    "serve.batches",
+    "serve.shed",
 )
 
 

@@ -1,0 +1,199 @@
+"""Client for the verdict service: ``repro query`` and the library API.
+
+:class:`ServeClient` keeps one HTTP/1.1 connection alive across
+queries (the server's hot path is sub-millisecond, so per-request TCP
+setup would dominate); :func:`query` is the one-shot convenience.
+Responses decode back into :class:`~repro.engine.explorer.ExplorationResult`
+objects via :func:`repro.engine.cache.result_from_payload`, so a
+client-side result — witnesses included — is bit-identical to a local
+``can_oscillate`` call with the same parameters.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass
+
+from ..core.serialization import instance_to_dict
+from ..core.spp import SPPInstance
+from ..engine.cache import result_from_payload
+
+__all__ = [
+    "QueryResponse",
+    "ServeClient",
+    "ServerError",
+    "ServerShedding",
+    "query",
+]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx answer from the verdict server."""
+
+    def __init__(self, status: int, message: str, retry_after: "float | None" = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServerShedding(ServerError):
+    """HTTP 429/503 — the server asked us to back off (admission control)."""
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One decoded ``/v1/query`` answer."""
+
+    #: The raw response object (per-model cache-entry payloads).
+    data: dict
+    #: True when the serve-level response hot tier answered
+    #: (``X-Repro-Hot`` header).
+    hot: bool
+
+    @property
+    def canonical_hash(self) -> str:
+        return self.data["canonical_hash"]
+
+    @property
+    def served(self) -> dict:
+        return self.data["served"]
+
+    def results(self, instance: SPPInstance) -> dict:
+        """``{model name: ExplorationResult}``, verified and re-labeled
+        into ``instance``'s node names (checksum and cache version are
+        validated per payload; raises :class:`ValueError` on tamper)."""
+        return {
+            model_name: result_from_payload(payload, instance)
+            for model_name, payload in self.data["results"].items()
+        }
+
+
+def build_query_body(
+    instance: SPPInstance,
+    models=None,
+    *,
+    queue_bound: "int | None" = None,
+    max_states: "int | None" = None,
+    reliable_twin_first: "bool | None" = None,
+    engine: "str | None" = None,
+    reduction: "str | None" = None,
+) -> bytes:
+    """Encode one ``/v1/query`` request body.
+
+    Deterministic (sorted keys, fixed separators) so identical queries
+    are byte-identical on the wire — that is what makes the server's
+    response hot tier, keyed by the raw body hash, effective.
+    """
+    body: dict = {"instance": instance_to_dict(instance)}
+    if models is not None:
+        body["models"] = list(models)
+    bounds = {}
+    if queue_bound is not None:
+        bounds["queue_bound"] = queue_bound
+    if max_states is not None:
+        bounds["max_states"] = max_states
+    if reliable_twin_first is not None:
+        bounds["reliable_twin_first"] = reliable_twin_first
+    if bounds:
+        body["bounds"] = bounds
+    config = {}
+    if engine is not None:
+        config["engine"] = engine
+    if reduction is not None:
+        config["reduction"] = reduction
+    if config:
+        body["config"] = config
+    return json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+class ServeClient:
+    """A persistent connection to one verdict server."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {url!r}")
+        host = parsed.hostname or "127.0.0.1"
+        port = parsed.port or 80
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: "bytes | None" = None):
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError):
+            # A dropped keep-alive (server restarted, idle timeout):
+            # reconnect once before giving up.
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServerError(
+                response.status, f"non-JSON response: {exc}"
+            ) from exc
+        if response.status != 200:
+            message = data.get("error", raw.decode("utf-8", "replace"))
+            retry_after = response.headers.get("Retry-After")
+            retry = float(retry_after) if retry_after else None
+            if response.status in (429, 503):
+                raise ServerShedding(response.status, message, retry)
+            raise ServerError(response.status, message, retry)
+        return data, response.headers
+
+    def healthz(self) -> dict:
+        data, _ = self._request("GET", "/healthz")
+        return data
+
+    def statz(self) -> dict:
+        data, _ = self._request("GET", "/statz")
+        return data
+
+    def query_raw(self, body: bytes) -> QueryResponse:
+        """POST a pre-encoded body (the benchmark's zero-encode path)."""
+        data, headers = self._request("POST", "/v1/query", body)
+        return QueryResponse(data=data, hot=headers.get("X-Repro-Hot") == "1")
+
+    def query(
+        self,
+        instance: SPPInstance,
+        models=None,
+        *,
+        queue_bound: "int | None" = None,
+        max_states: "int | None" = None,
+        reliable_twin_first: "bool | None" = None,
+        engine: "str | None" = None,
+        reduction: "str | None" = None,
+    ) -> QueryResponse:
+        body = build_query_body(
+            instance,
+            models,
+            queue_bound=queue_bound,
+            max_states=max_states,
+            reliable_twin_first=reliable_twin_first,
+            engine=engine,
+            reduction=reduction,
+        )
+        return self.query_raw(body)
+
+
+def query(url: str, instance: SPPInstance, models=None, **kwargs) -> QueryResponse:
+    """One-shot :meth:`ServeClient.query` against ``url``."""
+    timeout = kwargs.pop("timeout", 60.0)
+    with ServeClient(url, timeout=timeout) as client:
+        return client.query(instance, models, **kwargs)

@@ -1,0 +1,190 @@
+"""HTTP transport for :class:`~repro.serve.service.VerdictService`.
+
+A :class:`http.server.ThreadingHTTPServer` speaking HTTP/1.1 (keep-alive
+matters: the hot-hit latency target is sub-millisecond, which a
+per-request TCP handshake would dominate).  Endpoints:
+
+* ``POST /v1/query`` — the verdict query (see :mod:`repro.serve.protocol`).
+* ``GET /healthz`` — liveness: ``{"status": "ok"|"draining"}``.
+* ``GET /statz`` — live service/cache/queue counters.
+
+Error mapping: :class:`~repro.serve.protocol.ProtocolError` → 400,
+:class:`~repro.serve.service.Shed` → 429 with ``Retry-After``,
+:class:`~repro.serve.service.Draining` → 503 with ``Retry-After``,
+:class:`~repro.serve.service.DeadlineExceeded` → 504, anything else
+→ 500.  Every error body is ``{"error": ..., "status": ...}``.
+
+Shutdown: SIGTERM/SIGINT flip the service to draining (new queries get
+503), stop the accept loop, then ``server_close()`` joins the
+non-daemon handler threads — every admitted request finishes before the
+process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .protocol import ProtocolError
+from .service import Draining, ServeError, Shed, VerdictService
+
+__all__ = ["ReproServer"]
+
+#: Cap on accepted request bodies; a full 24-model query over the
+#: paper's gadgets is a few KB, so this is generous headroom, not a
+#: functional limit.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    sys_version = ""
+    # Headers and body leave in separate writes; with Nagle on, the
+    # body write stalls ~40 ms behind the peer's delayed ACK — fatal
+    # for a sub-millisecond hot path.
+    disable_nagle_algorithm = True
+
+    # The access log would dominate hot-hit latency (and stderr); the
+    # telemetry stream is the intended observability channel.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> VerdictService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send(self, status: int, body: bytes, headers=()) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        self._send(status, body.encode("utf-8"), headers)
+
+    def _send_error(self, status: int, message: str, headers=()) -> None:
+        self._send_json(status, {"error": message, "status": status}, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            status = "draining" if self.service.draining else "ok"
+            self._send_json(200, {"status": status})
+        elif self.path == "/statz":
+            self._send_json(200, self.service.statz())
+        else:
+            self._send_error(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/v1/query":
+            self._send_error(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_error(411, "Content-Length required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error(413, f"request body over {MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length)
+        try:
+            body, hot = self.service.handle_query(raw)
+        except ProtocolError as exc:
+            self._send_error(400, str(exc))
+        except Shed as exc:
+            self._send_error(
+                429, str(exc), [("Retry-After", f"{exc.retry_after:g}")]
+            )
+        except Draining as exc:
+            self._send_error(
+                503,
+                str(exc),
+                [("Retry-After", f"{self.service.config.retry_after_s:g}")],
+            )
+        except ServeError as exc:
+            self._send_error(exc.status, str(exc))
+        except Exception as exc:  # fault injection, bugs: still answer
+            self._send_error(500, f"internal error: {exc!r}")
+        else:
+            self._send(200, body, [("X-Repro-Hot", "1")] if hot else [])
+
+
+class ReproServer:
+    """A :class:`VerdictService` bound to an HTTP listener."""
+
+    def __init__(self, service: VerdictService) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer(
+            (service.config.host, service.config.port), _Handler
+        )
+        # Handler threads must be joinable so drain (server_close) can
+        # wait for admitted requests instead of abandoning them.
+        self.httpd.daemon_threads = False
+        self.httpd.service = service  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- background mode (tests, benchmarks) ----------------------------
+    def start_background(self) -> None:
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Drain and shut down: stop accepting, finish admitted work."""
+        self.service.drain()
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.httpd.server_close()  # joins handler threads
+        self.service.close()
+
+    def __enter__(self) -> "ReproServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- foreground mode (the CLI) --------------------------------------
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return.
+
+        The signal handler flips the service to draining and stops the
+        accept loop from a helper thread (``shutdown()`` must not run on
+        the ``serve_forever`` thread — it would deadlock waiting for the
+        loop it interrupted).
+        """
+        if install_signals:
+
+            def _on_signal(signum, frame):
+                self.service.drain()
+                threading.Thread(target=self.httpd.shutdown).start()
+
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        try:
+            self.httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self.httpd.server_close()
+            self.service.close()

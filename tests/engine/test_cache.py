@@ -235,3 +235,138 @@ class TestAsCache:
     def test_true_opens_the_default_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
         assert as_cache(True).root == tmp_path / "env"
+
+
+class TestHotTier:
+    def put_one(self, cache, instance, model_name="R1O"):
+        result = can_oscillate(instance, model(model_name), cache=cache)
+        return verdict_key(instance, model_name, **BOUNDS), result
+
+    def test_repeat_read_is_served_from_memory(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path)
+        key, _ = self.put_one(cache, disagree)
+        assert cache.mem_hits == 0
+        payload, tier = cache.get_payload(key)
+        assert tier == "memory" and payload is not None
+        assert cache.mem_hits == 1 and cache.hits == 1
+        # A fresh cache pays the disk read once, then stays in memory.
+        fresh = VerdictCache(tmp_path)
+        assert fresh.get_payload(key)[1] == "disk"
+        assert fresh.get_payload(key)[1] == "memory"
+        assert fresh.mem_hits == 1
+
+    def test_memory_hits_skip_disk_entirely(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path)
+        key, cold = self.put_one(cache, disagree)
+        # Destroy the disk store: a memo-resident key must still answer.
+        for path in tmp_path.rglob("*.json"):
+            path.unlink()
+        warm = can_oscillate(disagree, model("R1O"), cache=cache)
+        assert result_tuple(warm) == result_tuple(cold)
+        assert warm.cache_hit
+
+    def test_memo_is_bounded_lru(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path, memo_entries=2)
+        for name in ("R1O", "RMS", "REA"):
+            can_oscillate(disagree, model(name), cache=cache)
+        assert cache.mem_evictions == 1
+        evicted = verdict_key(disagree, "R1O", **BOUNDS)
+        resident = verdict_key(disagree, "REA", **BOUNDS)
+        assert cache.peek_memo(evicted) is None
+        assert cache.peek_memo(resident) is not None
+        # The evicted key is still on disk — one read re-admits it.
+        assert cache.get_payload(evicted)[1] == "disk"
+        assert cache.get_payload(evicted)[1] == "memory"
+
+    def test_lru_touch_order_protects_hot_keys(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path, memo_entries=2)
+        first = verdict_key(disagree, "R1O", **BOUNDS)
+        can_oscillate(disagree, model("R1O"), cache=cache)
+        can_oscillate(disagree, model("RMS"), cache=cache)
+        cache.get_payload(first)  # touch: R1O becomes most recent
+        can_oscillate(disagree, model("REA"), cache=cache)  # evicts RMS
+        assert cache.peek_memo(first) is not None
+        assert cache.peek_memo(verdict_key(disagree, "RMS", **BOUNDS)) is None
+
+    def test_memo_disabled_with_zero_entries(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path, memo_entries=0)
+        key, _ = self.put_one(cache, disagree)
+        assert cache.peek_memo(key) is None
+        assert cache.get_payload(key)[1] == "disk"
+        assert cache.get_payload(key)[1] == "disk"
+        assert cache.mem_hits == 0
+
+    def test_memo_env_override(self, tmp_path, disagree, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MEMO", "1")
+        cache = VerdictCache(tmp_path)
+        assert cache.memo_entries == 1
+        can_oscillate(disagree, model("R1O"), cache=cache)
+        can_oscillate(disagree, model("RMS"), cache=cache)
+        assert cache.mem_evictions == 1
+
+    def test_negative_memo_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            VerdictCache(tmp_path, memo_entries=-1)
+
+    def test_stats_report_the_hot_tier(self, tmp_path, disagree):
+        cache = VerdictCache(tmp_path)
+        key, _ = self.put_one(cache, disagree)
+        cache.get_payload(key)
+        stats = cache.stats()
+        assert stats["mem_hits"] == 1
+        assert stats["mem_evictions"] == 0
+        assert stats["memo_resident"] == 1
+        assert stats["memo_entries"] == cache.memo_entries
+
+    def test_payload_round_trip_is_bit_identical(self, tmp_path, disagree):
+        from dataclasses import replace
+
+        from repro.engine.cache import result_from_payload, result_to_payload
+
+        cold = can_oscillate(disagree, model("R1O"))
+        payload = result_to_payload(cold, disagree)
+        decoded = result_from_payload(payload, disagree)
+        assert replace(decoded, cache_hit=False) == replace(cold, cache_hit=False)
+        assert decoded.witness == cold.witness
+
+    def test_payload_tamper_and_version_skew_rejected(self, disagree):
+        from repro.engine.cache import result_from_payload, result_to_payload
+
+        payload = result_to_payload(can_oscillate(disagree, model("REA")), disagree)
+        with pytest.raises(ValueError):
+            result_from_payload({**payload, "oscillates": True}, disagree)
+        with pytest.raises(ValueError):
+            result_from_payload({**payload, "cache_version": CACHE_VERSION + 1}, disagree)
+        with pytest.raises(ValueError):
+            result_from_payload("not a dict", disagree)
+
+
+class TestSharedCache:
+    def test_same_directory_returns_same_object(self, tmp_path):
+        from repro.engine.cache import shared_cache
+
+        a = shared_cache(tmp_path)
+        b = shared_cache(str(tmp_path))
+        assert a is b
+        assert shared_cache(tmp_path / "other") is not a
+
+    def test_in_process_tasks_share_the_hot_tier(self, tmp_path, disagree):
+        from repro.config import RunConfig
+        from repro.engine.cache import shared_cache
+
+        config = RunConfig(workers=1)  # in-process: one shared memo
+        tasks = [
+            ExplorationTask(
+                instance=disagree,
+                model_name=name,
+                queue_bound=3,
+                cache_dir=str(tmp_path),
+            )
+            for name in ("R1O", "RMS")
+        ]
+        run_explorations(tasks, config=config)
+        shared = shared_cache(tmp_path)
+        assert shared.writes == 2
+        # A re-run hits the shared memo, not the disk.
+        run_explorations(tasks, config=config)
+        assert shared.mem_hits == 2

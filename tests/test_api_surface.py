@@ -34,6 +34,7 @@ EXPECTED_ALL = [
     "realization",
     "run_explorations",
     "run_simulations",
+    "serve",
     "simulate",
     "survey_convergence",
 ]

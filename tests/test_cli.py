@@ -300,3 +300,82 @@ class TestObservability:
         assert certification["R1O"]["cache"] in ("hit", "miss")
         assert data["fig7"]["correct"] is True
         assert data["fig7"]["impossible_proved"] is True
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve"])
+        assert serve.command == "serve"
+        assert (serve.host, serve.port) == ("127.0.0.1", 8351)
+        assert serve.workers == 2
+        assert serve.queue_cap == 64
+        assert serve.deadline == 30.0
+        assert serve.response_cache == 256
+        query = parser.parse_args(["query"])
+        assert query.command == "query"
+        assert query.url == "http://127.0.0.1:8351"
+        assert query.instance == "disagree"
+        assert query.models is None
+        assert query.retries == 0
+
+    def test_serve_rejects_bad_knobs(self, capsys, tmp_path):
+        assert main([
+            "serve", "--cache-dir", str(tmp_path), "--queue-cap", "0",
+        ]) == 2
+        assert "queue_cap" in capsys.readouterr().err
+
+    def test_query_unreachable_server(self, capsys):
+        assert main([
+            "query", "--url", "http://127.0.0.1:1", "--models", "R1O",
+            "--timeout", "2",
+        ]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        from repro.serve import ReproServer, ServeConfig, VerdictService
+
+        service = VerdictService(
+            ServeConfig(cache_dir=str(tmp_path / "cache"), queue_cap=8)
+        )
+        with ReproServer(service) as server:
+            yield server
+
+    def test_query_renders_verdict_table(self, capsys, live_server):
+        assert main([
+            "query", "--url", live_server.url,
+            "--models", "R1O", "REA", "--queue-bound", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "instance: DISAGREE" in out
+        assert "R1O  oscillates=True" in out
+        assert "REA  oscillates=False" in out
+        assert "served=computed" in out
+
+    def test_query_json_round_trip(self, capsys, live_server):
+        assert main([
+            "query", "--url", live_server.url,
+            "--models", "R1O", "--queue-bound", "2", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["results"]) == {"R1O"}
+        assert data["served"]["R1O"] in ("computed", "memory", "disk")
+
+    def test_query_instance_file(self, capsys, live_server, tmp_path, disagree):
+        from repro.core.serialization import instance_to_json
+
+        path = tmp_path / "inst.json"
+        path.write_text(instance_to_json(disagree))
+        assert main([
+            "query", "--url", live_server.url, "--instance-file", str(path),
+            "--models", "R1O", "--queue-bound", "2",
+        ]) == 0
+        assert "instance: DISAGREE" in capsys.readouterr().out
+
+    def test_query_shed_exhausts_retries(self, capsys, live_server):
+        live_server.service.drain()
+        assert main([
+            "query", "--url", live_server.url, "--models", "R1O",
+        ]) == 3
+        assert "error:" in capsys.readouterr().err
