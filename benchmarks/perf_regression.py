@@ -292,7 +292,16 @@ def bench_telemetry_overhead(
     — telemetry observes only — and the enabled runs' span breakdown
     is recorded so the committed JSON shows where certification time
     goes.
+
+    The instrumented side runs with *tracing armed*: the certification
+    executes inside a root trace span, so every per-exploration
+    ``worker.run`` span record and histogram observation is part of
+    the measured cost.  The gate therefore bounds the full
+    observability stack — registries, JSONL events, trace spans, and
+    histogram feeds together.
     """
+    from repro.obs import tracing
+
     fig7 = fig7_gadget()
 
     def certify():
@@ -307,7 +316,8 @@ def bench_telemetry_overhead(
         )
         previous = obs.install(telemetry)
         try:
-            return certify(), telemetry.summary
+            with tracing.trace_span("bench.certify", timing=True):
+                return certify(), telemetry.summary
         finally:
             obs.install(previous)
             telemetry.close()

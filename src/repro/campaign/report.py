@@ -72,7 +72,9 @@ def _simulate_rollup(model_names, records) -> dict:
             "ci_low": round(low, 6),
             "ci_high": round(high, 6),
             "mean_steps": round(tally.mean_steps, 3),
+            "p50_steps": tally.steps_percentile(0.50),
             "p95_steps": tally.steps_percentile(0.95),
+            "p99_steps": tally.steps_percentile(0.99),
         }
     return per_model
 
@@ -123,14 +125,19 @@ def render_report(report: dict) -> str:
             )
     else:
         lines.append(
-            "model | convergence rate [95% CI]    | runs | mean steps | p95 steps"
+            "model | convergence rate [95% CI]    | runs | mean steps | "
+            "p50 | p95 | p99 steps"
         )
-        lines.append("-" * 72)
+        lines.append("-" * 84)
         for name, row in sorted(report["per_model"].items()):
+            # p50/p99 arrived after p95 (older report.json files may
+            # predate them) — render what the report carries.
+            p50 = row.get("p50_steps", row["p95_steps"])
+            p99 = row.get("p99_steps", row["p95_steps"])
             lines.append(
                 f"{name:<5} | {row['convergence_rate']:7.2%} "
                 f"[{row['ci_low']:6.2%}, {row['ci_high']:6.2%}] | "
                 f"{row['runs']:>4} | {row['mean_steps']:8.1f}   | "
-                f"{row['p95_steps']:7.0f}"
+                f"{p50:3.0f} | {row['p95_steps']:3.0f} | {p99:3.0f}"
             )
     return "\n".join(lines)

@@ -174,8 +174,40 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--max-states", type=int, default=500_000)
     _add_perf_flags(explore)
 
-    trace = sub.add_parser("trace", help="print a scripted Appendix A execution")
+    trace = sub.add_parser(
+        "trace",
+        help="print a scripted Appendix A execution, or reconstruct a "
+        "distributed request trace from telemetry streams",
+    )
+    trace.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "list"),
+        default=None,
+        help="'show TRACE_ID' renders one request's cross-process span "
+        "tree; 'list' enumerates trace IDs — both read --telemetry "
+        "JSONL file(s); omit for the Appendix A execution printer",
+    )
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace ID (or unique prefix) for 'show'",
+    )
     trace.add_argument("--example", choices=("fig6", "fig7", "fig8", "fig9"), default="fig6")
+    trace.add_argument(
+        "--telemetry",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="telemetry JSONL stream(s) to reconstruct from — pass the "
+        "client's and the server's to see both sides of a query",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the matched span records as JSON (CI artifact form)",
+    )
 
     exp = sub.add_parser("experiments", help="run the experiment suite")
     exp.add_argument(
@@ -322,6 +354,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the raw response JSON instead of a verdict table",
+    )
+    query.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record the client side of the query's distributed trace "
+        f"to PATH (default: ${obs.TELEMETRY_ENV_VAR} when set)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live operations dashboard: throughput, hit tiers, queue "
+        "depth, shed rate, latency quantiles",
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        help="poll this daemon's /metrics (default: "
+        "http://127.0.0.1:8351 when no --telemetry is given)",
+    )
+    top.add_argument(
+        "--telemetry",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="tail telemetry JSONL file(s) instead of polling /metrics",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default: %(default)s)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --iterations 1)",
     )
 
     cache = sub.add_parser(
@@ -547,6 +624,49 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_trace_show(args) -> int:
+    """``repro trace show <id> --telemetry FILE...`` / ``trace list``."""
+    from .obs import tracing
+
+    if not args.telemetry:
+        print(
+            "error: trace show/list needs --telemetry FILE [FILE ...]",
+            file=sys.stderr,
+        )
+        return 2
+    records: list = []
+    try:
+        for path in args.telemetry:
+            records.extend(obs.read_records(path))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.action == "list":
+        traces = tracing.list_traces(records)
+        if not traces:
+            print("(no trace spans recorded)")
+            return 0
+        for trace_id, count in sorted(traces.items()):
+            print(f"{trace_id}  {count} span(s)")
+        return 0
+    if not args.trace_id:
+        print("error: trace show needs a trace ID (or prefix)", file=sys.stderr)
+        return 2
+    try:
+        spans = tracing.collect_trace(records, args.trace_id)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"(no spans for trace {args.trace_id!r})")
+        return 1
+    if args.json:
+        print(tracing.dump_trace_json(spans))
+    else:
+        print(tracing.render_trace_tree(spans))
+    return 0
+
+
 def _cmd_trace(example: str) -> int:
     from .core import instances as canonical
 
@@ -706,6 +826,8 @@ def _cmd_query(args) -> int:
         f"instance: {instance.name}   canonical: "
         f"{response.canonical_hash[:12]}…   hot replay: {response.hot}"
     )
+    if response.trace_id:
+        print(f"trace: {response.trace_id}")
     for name in sorted(results):
         result = results[name]
         served = response.served.get(name, "?")
@@ -753,6 +875,32 @@ def _cmd_stats(args) -> int:
         print()
         print(obs.render_counters(aggregate))
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs import dashboard
+
+    url = args.url
+    telemetry = tuple(args.telemetry or ())
+    if url and telemetry:
+        print(
+            "error: --url and --telemetry are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if not url and not telemetry:
+        url = "http://127.0.0.1:8351"
+    iterations = 1 if args.once else args.iterations
+    try:
+        return dashboard.run_dashboard(
+            url=url,
+            telemetry_paths=telemetry,
+            interval_s=args.interval,
+            iterations=iterations,
+        )
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_explain(realized_name: str, realizer_name: str) -> int:
@@ -881,6 +1029,16 @@ def _cmd_campaign(args) -> int:
                 "report_written",
             ):
                 print(f"{key}: {status[key]}")
+            if status.get("report_written") and status.get("mode") == "simulate":
+                report = campaign.report()
+                print("steps per model (p50/p95/p99):")
+                for name, row in sorted(report["per_model"].items()):
+                    p50 = row.get("p50_steps", row["p95_steps"])
+                    p99 = row.get("p99_steps", row["p95_steps"])
+                    print(
+                        f"  {name:<5} {p50:3.0f} / "
+                        f"{row['p95_steps']:3.0f} / {p99:3.0f}"
+                    )
             return 0
         report = campaign.report()
         if args.json:
@@ -909,7 +1067,9 @@ def _cmd_doctor(args) -> int:
 
 
 #: Commands that report into the telemetry sink while they run.
-_TELEMETRY_COMMANDS = frozenset({"matrix", "explore", "experiments", "serve"})
+_TELEMETRY_COMMANDS = frozenset(
+    {"matrix", "explore", "experiments", "serve", "query"}
+)
 
 
 def _setup_telemetry(args) -> bool:
@@ -919,6 +1079,12 @@ def _setup_telemetry(args) -> bool:
     path = _resolve_telemetry(args)
     progress = getattr(args, "progress", False)
     if path is None and not progress:
+        if args.command == "serve":
+            # The daemon always keeps in-memory telemetry so that
+            # ``GET /metrics`` has live histograms even when nobody
+            # asked for a JSONL sink.
+            obs.configure(None, run={"command": "serve"})
+            return True
         return False
     telemetry = obs.configure(path, run={"command": args.command})
     if progress:
@@ -962,6 +1128,8 @@ def _dispatch(args) -> int:
     if args.command == "explore":
         return _cmd_explore(args)
     if args.command == "trace":
+        if args.action:
+            return _cmd_trace_show(args)
         return _cmd_trace(args.example)
     if args.command == "experiments":
         return _cmd_experiments(args)
@@ -975,6 +1143,8 @@ def _dispatch(args) -> int:
         return _cmd_cache(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "explain":
         return _cmd_explain(args.realized, args.realizer)
     if args.command == "solve":

@@ -399,13 +399,15 @@ class VerdictCache:
         memoized), or ``"miss"`` (``payload is None``).  Maintains the
         same hit/miss accounting as :meth:`get`.
         """
-        payload, tier = self._fetch_payload(key)
-        if payload is None:
-            self.misses += 1
-            _telemetry().count("cache.miss")
-        else:
-            self.hits += 1
-            _telemetry().count("cache.hit")
+        tel = _telemetry()
+        with tel.span("cache.get"):
+            payload, tier = self._fetch_payload(key)
+            if payload is None:
+                self.misses += 1
+                tel.count("cache.miss")
+            else:
+                self.hits += 1
+                tel.count("cache.hit")
         return payload, tier
 
     def _fetch_payload(self, key: str) -> "tuple[dict | None, str]":

@@ -36,6 +36,7 @@ from ..config import RunConfig, resolve_config
 from ..core.spp import SPPInstance
 from ..faults import ensure_armed_from_env, fault_point
 from ..obs import active as _telemetry
+from ..obs import tracing as _tracing
 
 __all__ = [
     "ExplorationTask",
@@ -113,6 +114,35 @@ def _timed_call(function, task) -> tuple:
     return result, (os.getpid(), started, elapsed, deltas)
 
 
+from contextlib import contextmanager
+
+
+@contextmanager
+def _exported_trace_environment():
+    """Export the current trace context to ``$REPRO_TRACEPARENT`` while
+    a pool is being populated, so *spawn*-mode workers (which inherit
+    no memory, only the environment) can still parent their
+    ``worker.run`` spans.  Fork-mode workers inherit the thread-local
+    directly and tasks from the serving tier carry their own
+    traceparent; this is the fallback for everything else.  Restores
+    the previous value on exit.
+    """
+    context = _tracing.current()
+    if context is None:
+        yield
+        return
+    variable = _tracing.TRACEPARENT_ENV_VAR
+    previous = os.environ.get(variable)
+    os.environ[variable] = context.to_traceparent()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(variable, None)
+        else:
+            os.environ[variable] = previous
+
+
 def parallel_map(function, tasks, workers: "int | None" = None) -> list:
     """Apply a picklable ``function`` to ``tasks`` across processes.
 
@@ -134,8 +164,9 @@ def parallel_map(function, tasks, workers: "int | None" = None) -> list:
     tel = _telemetry()
     pool_size = min(workers, len(tasks))
     if not tel.enabled:
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            return list(pool.map(function, tasks))
+        with _exported_trace_environment():
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                return list(pool.map(function, tasks))
     return _instrumented_map(tel, function, tasks, pool_size)
 
 
@@ -143,7 +174,9 @@ def _instrumented_map(tel, function, tasks, pool_size: int) -> list:
     """The telemetry-recording twin of the executor branch."""
     timed = partial(_timed_call, function)
     pool_start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+    with _exported_trace_environment(), ProcessPoolExecutor(
+        max_workers=pool_size
+    ) as pool:
         submitted = []
         for task in tasks:
             submitted.append((pool.submit(timed, task), time.time()))
@@ -309,6 +342,12 @@ class ExplorationTask:
     #: write-once and written via atomic renames, so racing processes
     #: only ever duplicate work, never corrupt the store.
     cache_dir: "str | None" = None
+    #: W3C traceparent linking this task's ``worker.run`` span to the
+    #: submitting request's trace (``None`` = untraced).  Purely
+    #: observational — no verdict depends on it, and it is excluded
+    #: from the task's identity-bearing fields by never entering
+    #: :meth:`resolved_key` or the cache key.
+    traceparent: "str | None" = None
 
     def resolved_key(self) -> tuple:
         return self.key or (self.instance.name, self.model_name)
@@ -368,19 +407,30 @@ def _explore_one(task: ExplorationTask):
     # task to worker-level faults (crash, stall).
     ensure_armed_from_env()
     fault_point("worker.run", task)
-    config = task.run_config()
-    if task.cache_dir is not None:
-        # One cache object (and thus one in-memory hot tier) per
-        # directory per process: in-process fan-out and thread-based
-        # callers (the serving tier) share verified payloads instead of
-        # re-reading them into private memos.
-        config = config.replace(cache=shared_cache(task.cache_dir))
-    return can_oscillate(
-        task.instance,
-        model(task.model_name),
-        reliable_twin_first=task.reliable_twin_first,
-        config=config,
+    # Parent resolution order: the task payload (the serving tier
+    # stamps its serve.compute span on every task), then the calling
+    # thread (serial in-process fan-out), then the spawn environment
+    # (workers started with $REPRO_TRACEPARENT exported).
+    parent = (
+        _tracing.TraceContext.from_traceparent(task.traceparent)
+        or _tracing.current()
+        or _tracing.from_environment()
     )
+    with _tracing.trace_span("worker.run", parent=parent, timing=True) as span:
+        span.note(instance=task.instance.name, model=task.model_name)
+        config = task.run_config()
+        if task.cache_dir is not None:
+            # One cache object (and thus one in-memory hot tier) per
+            # directory per process: in-process fan-out and thread-based
+            # callers (the serving tier) share verified payloads instead
+            # of re-reading them into private memos.
+            config = config.replace(cache=shared_cache(task.cache_dir))
+        return can_oscillate(
+            task.instance,
+            model(task.model_name),
+            reliable_twin_first=task.reliable_twin_first,
+            config=config,
+        )
 
 
 def run_explorations(

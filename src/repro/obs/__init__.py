@@ -1,16 +1,25 @@
 """``repro.obs`` — runtime telemetry: spans, counters, JSONL events.
 
 The observability layer the search/cache/fan-out stack reports into
-(see ``docs/observability.md``).  Three pieces:
+(see ``docs/observability.md``).  Six pieces:
 
 * :mod:`~repro.obs.telemetry` — the process-wide active sink: nested
   wall-time spans, a counter/gauge registry, and a structured JSONL
   event stream (run metadata, exploration heartbeats, per-verdict
   records, a final summary).  Disabled by default at negligible cost.
+* :mod:`~repro.obs.tracing` — distributed request tracing: W3C-style
+  trace/span IDs propagated across threads, HTTP hops, and worker
+  processes; ``span`` JSONL records reconstructed by
+  ``repro trace show``.
+* :mod:`~repro.obs.metrics` — log-bucketed sliding-window histograms
+  (p50/p95/p99) fed by span timings, exported as Prometheus text on
+  the daemon's ``GET /metrics``.
 * :mod:`~repro.obs.stats` — aggregates one or more JSONL files into a
   per-phase wall-time breakdown (``repro stats``).
 * :mod:`~repro.obs.progress` — a live stderr heartbeat printer
   (``--progress`` on the search commands).
+* :mod:`~repro.obs.dashboard` — ``repro top``, the live terminal
+  dashboard polling ``/metrics`` or tailing a telemetry JSONL.
 
 Everything here *observes only*: enabling telemetry changes no verdict,
 witness, state count, or cache key.  ``repro.obs`` sits below the
@@ -21,6 +30,13 @@ degrades rather than aborts: a write failure disables the stream with
 a stderr warning and the run continues.
 """
 
+from .metrics import (
+    LogHistogram,
+    MetricsRegistry,
+    parse_prometheus,
+    registry,
+    render_prometheus,
+)
 from .progress import ProgressReporter
 from .stats import (
     KNOWN_PHASES,
@@ -42,23 +58,40 @@ from .telemetry import (
     install,
     shutdown,
 )
+from .tracing import (
+    TRACEPARENT_ENV_VAR,
+    TraceContext,
+    collect_trace,
+    render_trace_tree,
+    trace_span,
+)
 
 __all__ = [
     "KNOWN_PHASES",
     "NULL",
     "SCHEMA_VERSION",
     "TELEMETRY_ENV_VAR",
+    "TRACEPARENT_ENV_VAR",
+    "LogHistogram",
+    "MetricsRegistry",
     "NullTelemetry",
     "ProgressReporter",
     "Telemetry",
     "TelemetryAggregate",
+    "TraceContext",
     "active",
     "aggregate_files",
     "aggregate_records",
+    "collect_trace",
     "configure",
     "install",
+    "parse_prometheus",
     "read_records",
+    "registry",
     "render_counters",
     "render_phase_table",
+    "render_prometheus",
+    "render_trace_tree",
     "shutdown",
+    "trace_span",
 ]

@@ -1,0 +1,275 @@
+"""``repro top`` — a live terminal dashboard over the serving tier.
+
+Two sources, one frame format:
+
+* **Poll mode** (``repro top --url http://host:port``) scrapes the
+  daemon's ``GET /metrics`` every interval.  Counters become rates by
+  differencing consecutive scrapes; latency quantiles come from the
+  exporter's sliding-window gauges, falling back to bucket-delta
+  quantiles when the window series is absent.
+* **Tail mode** (``repro top --telemetry run.jsonl``) follows a
+  telemetry JSONL stream and derives the same frame from the ``span``
+  records inside the window — useful for a daemon whose ``/metrics``
+  port is unreachable, or to replay an incident from its stream.
+
+Everything below the I/O edge is pure (``build_poll_frame`` /
+``build_tail_frame`` / ``render_frame``), so the dashboard is testable
+without a server or a TTY.  On a TTY the screen is redrawn in place;
+piped output degrades to sequential frames (safe for logs).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from .metrics import parse_prometheus, quantile_from_buckets
+from .stats import read_records
+
+__all__ = [
+    "build_poll_frame",
+    "build_tail_frame",
+    "render_frame",
+    "run_dashboard",
+]
+
+#: Hit tiers shown in the breakdown bar, in display order.
+_TIERS = ("hot_hits", "mem_hits", "disk_hits", "computed", "joined")
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _sample(samples: dict, metric: str, labels: tuple = ()) -> "float | None":
+    return samples.get((metric, labels))
+
+
+def _counter(samples: dict, name: str) -> float:
+    return _sample(samples, f"repro_serve_{name}_total") or 0.0
+
+
+def _histogram_buckets(samples: dict, metric: str) -> dict:
+    buckets: dict = {}
+    for (name, labels), value in samples.items():
+        if name != f"{metric}_bucket":
+            continue
+        for key, raw in labels:
+            if key == "le":
+                bound = math.inf if raw == "+Inf" else float(raw)
+                buckets[bound] = value
+    return buckets
+
+
+def build_poll_frame(
+    samples: dict, previous: "dict | None", elapsed_s: float
+) -> dict:
+    """One dashboard frame from a parsed ``/metrics`` scrape.
+
+    ``previous`` is the prior scrape (or ``None`` on the first frame —
+    rates show as 0 until there are two points).  Counter deltas are
+    clamped at zero so a daemon restart between scrapes reads as a
+    quiet frame, not a negative rate.
+    """
+    def rate(name: str) -> float:
+        if not previous or elapsed_s <= 0:
+            return 0.0
+        delta = _counter(samples, name) - _counter(previous, name)
+        return max(0.0, delta) / elapsed_s
+
+    tiers = {tier: int(_counter(samples, tier)) for tier in _TIERS}
+    metric = "repro_serve_request_seconds"
+    quantiles: dict = {}
+    for q in _QUANTILES:
+        value = _sample(samples, f"{metric}_window", (("quantile", f"{q:g}"),))
+        quantiles[f"p{int(q * 100)}"] = value
+    if all(value is None for value in quantiles.values()) and previous:
+        # No window gauges (e.g. a foreign exporter): difference the
+        # cumulative buckets between scrapes instead.
+        now_buckets = _histogram_buckets(samples, metric)
+        before = _histogram_buckets(previous, metric)
+        deltas = {
+            bound: max(0.0, value - before.get(bound, 0.0))
+            for bound, value in now_buckets.items()
+        }
+        for q in _QUANTILES:
+            quantiles[f"p{int(q * 100)}"] = quantile_from_buckets(deltas, q)
+    return {
+        "source": "poll",
+        "requests": int(_counter(samples, "requests")),
+        "rps": rate("requests"),
+        "shed_rate": rate("shed"),
+        "errors": int(_counter(samples, "errors")),
+        "shed": int(_counter(samples, "shed")),
+        "tiers": tiers,
+        "queue_depth": int(_sample(samples, "repro_serve_queue_depth") or 0),
+        "queue_cap": int(_sample(samples, "repro_serve_queue_cap") or 0),
+        "inflight": int(_sample(samples, "repro_serve_inflight") or 0),
+        "draining": bool(_sample(samples, "repro_serve_draining") or 0),
+        "quantiles": quantiles,
+    }
+
+
+def build_tail_frame(records: list, window_s: float = 60.0) -> dict:
+    """One dashboard frame from telemetry records (tail mode).
+
+    Uses the ``span`` records' own wall-clock stamps, windowed against
+    the newest stamp in the stream — replaying an old file shows the
+    load shape it recorded, not an empty "now".
+    """
+    spans = [
+        r
+        for r in records
+        if r.get("type") == "span" and r.get("name") == "serve.request"
+    ]
+    newest = max((r.get("start_ts", 0.0) for r in spans), default=0.0)
+    horizon = newest - window_s
+    windowed = [r for r in spans if r.get("start_ts", 0.0) >= horizon]
+    durations = sorted(r.get("dur_s", 0.0) for r in windowed)
+
+    def quantile(q: float) -> "float | None":
+        if not durations:
+            return None
+        rank = max(1, math.ceil(q * len(durations)))
+        return durations[rank - 1]
+
+    waits = sum(
+        1
+        for r in records
+        if r.get("type") == "span"
+        and r.get("name") == "serve.wait"
+        and r.get("start_ts", 0.0) >= horizon
+    )
+    if windowed:
+        oldest = min(r.get("start_ts", newest) for r in windowed)
+        # Observed stretch, floored at 1s so a burst of simultaneous
+        # requests reads as a burst, not a division blow-up.
+        span_window = max(1.0, min(window_s, newest - oldest))
+        rps = len(windowed) / span_window
+    else:
+        rps = 0.0
+    return {
+        "source": "tail",
+        "requests": len(spans),
+        "rps": rps,
+        "shed_rate": 0.0,
+        "errors": sum(1 for r in windowed if r.get("error")),
+        "shed": 0,
+        "tiers": {
+            "hot_hits": sum(1 for r in windowed if r.get("hot")),
+            "mem_hits": 0,
+            "disk_hits": 0,
+            "computed": waits,
+            "joined": 0,
+        },
+        "queue_depth": 0,
+        "queue_cap": 0,
+        "inflight": 0,
+        "draining": False,
+        "quantiles": {
+            f"p{int(q * 100)}": quantile(q) for q in _QUANTILES
+        },
+    }
+
+
+def _format_seconds(value: "float | None") -> str:
+    if value is None:
+        return "    —"
+    if value < 1e-3:
+        return f"{value * 1e6:4.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:4.1f}ms"
+    return f"{value:4.2f}s"
+
+
+def render_frame(frame: dict, width: int = 72) -> str:
+    """Render one frame as a fixed-shape text block."""
+    lines = []
+    state = "DRAINING" if frame.get("draining") else "serving"
+    lines.append(
+        f"repro top — {state}   requests: {frame['requests']:,}   "
+        f"{frame['rps']:.1f} req/s"
+    )
+    quantiles = frame.get("quantiles", {})
+    lines.append(
+        "latency  p50 " + _format_seconds(quantiles.get("p50"))
+        + "   p95 " + _format_seconds(quantiles.get("p95"))
+        + "   p99 " + _format_seconds(quantiles.get("p99"))
+    )
+    tiers = frame.get("tiers", {})
+    total = sum(tiers.values()) or 1
+    bar_parts = []
+    for tier in _TIERS:
+        count = tiers.get(tier, 0)
+        bar_parts.append(f"{tier.replace('_hits', '')}:{count}")
+    lines.append("tiers    " + "  ".join(bar_parts))
+    # A proportional bar over the answered tiers.
+    bar_width = max(10, width - 10)
+    bar = ""
+    glyphs = ("#", "=", "-", "*", "+")
+    for glyph, tier in zip(glyphs, _TIERS):
+        cells = round(tiers.get(tier, 0) / total * bar_width)
+        bar += glyph * cells
+    lines.append("         [" + bar[:bar_width].ljust(bar_width) + "]")
+    lines.append(
+        f"queue    depth {frame['queue_depth']}/{frame['queue_cap'] or '∞'}   "
+        f"inflight {frame['inflight']}   shed {frame['shed']} "
+        f"({frame['shed_rate']:.2f}/s)   errors {frame['errors']}"
+    )
+    return "\n".join(lines)
+
+
+def run_dashboard(
+    *,
+    url: "str | None" = None,
+    telemetry_paths=(),
+    interval_s: float = 2.0,
+    iterations: "int | None" = None,
+    stream=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``iterations`` bounds the frame count (tests and ``--once``);
+    ``None`` runs until interrupted.  Exactly one of ``url`` /
+    ``telemetry_paths`` must be given.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    if bool(url) == bool(telemetry_paths):
+        raise ValueError("need exactly one of url or telemetry paths")
+    previous: "dict | None" = None
+    previous_at = clock()
+    clear = getattr(out, "isatty", lambda: False)()
+    count = 0
+    while iterations is None or count < iterations:
+        if count:
+            sleep(interval_s)
+        if url:
+            from ..serve.client import ServeClient
+
+            try:
+                with ServeClient(url, timeout=max(5.0, interval_s)) as client:
+                    text = client.metrics_text()
+            except OSError as error:
+                print(f"repro top: {url} unreachable: {error}", file=out)
+                count += 1
+                continue
+            now = clock()
+            samples = parse_prometheus(text)
+            frame = build_poll_frame(samples, previous, now - previous_at)
+            previous, previous_at = samples, now
+        else:
+            records: list = []
+            for path in telemetry_paths:
+                try:
+                    records.extend(read_records(path))
+                except OSError as error:
+                    print(f"repro top: cannot read {path}: {error}", file=out)
+                    return 1
+            frame = build_tail_frame(records)
+        if clear:
+            print("\x1b[H\x1b[2J", end="", file=out)
+        print(render_frame(frame), file=out, flush=True)
+        count += 1
+    return 0

@@ -60,19 +60,31 @@ class TelemetryAggregate:
         self.heartbeats = 0
         self.verdicts = 0
         self.summaries = 0
+        self.trace_spans = 0
         self.elapsed_s = 0.0
         self.counters: dict = {}
         self.gauges: dict = {}
         self.spans: dict = {}  # name → {"calls", "total_s", "max_s"}
+        # (host, pid) pairs seen on run records.  Multi-host campaign
+        # streams (or one stream appended from several machines) merge
+        # into one aggregate; this keeps the origins distinguishable so
+        # the merge is visibly a merge, not a collision.
+        self.sources: set = set()
+        self.traces: set = set()
 
     def add_record(self, record: dict) -> None:
         kind = record.get("type")
         if kind == "run":
             self.runs += 1
+            self.sources.add((record.get("host"), record.get("pid")))
         elif kind == "heartbeat":
             self.heartbeats += 1
         elif kind == "verdict":
             self.verdicts += 1
+        elif kind == "span":
+            self.trace_spans += 1
+            if record.get("trace"):
+                self.traces.add(record["trace"])
         elif kind == "summary":
             self.summaries += 1
             self.elapsed_s += record.get("elapsed_s", 0.0)
@@ -108,12 +120,28 @@ class TelemetryAggregate:
             group["spans"][name] = cell
         return groups
 
+    def hosts(self) -> dict:
+        """``{host: run count}`` over the merged streams."""
+        counts: dict = {}
+        for host, _pid in self.sources:
+            key = host or "(unknown)"
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def events_dropped(self) -> int:
+        """Events lost to failed sinks, per the degraded writers' counts."""
+        return self.counters.get("telemetry.events_dropped", 0)
+
     def as_dict(self) -> dict:
         return {
             "runs": self.runs,
             "heartbeats": self.heartbeats,
             "verdicts": self.verdicts,
             "summaries": self.summaries,
+            "trace_spans": self.trace_spans,
+            "traces": len(self.traces),
+            "hosts": self.hosts(),
+            "events_dropped": self.events_dropped(),
             "elapsed_s": round(self.elapsed_s, 6),
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
@@ -165,10 +193,35 @@ def render_phase_table(aggregate: TelemetryAggregate) -> str:
     """The per-phase wall-time breakdown table."""
     groups = aggregate.phases()
     grand_total = sum(group["total_s"] for group in groups.values())
-    lines = [
+    header = (
         f"runs: {aggregate.runs}   heartbeats: {aggregate.heartbeats}   "
         f"verdicts: {aggregate.verdicts}   "
-        f"wall clock: {aggregate.elapsed_s:.3f}s",
+        f"wall clock: {aggregate.elapsed_s:.3f}s"
+    )
+    hosts = aggregate.hosts()
+    if len(hosts) > 1:
+        header += "   hosts: " + ", ".join(
+            f"{host}×{count}" for host, count in hosts.items()
+        )
+    if aggregate.trace_spans:
+        header += (
+            f"   trace spans: {aggregate.trace_spans}"
+            f" ({len(aggregate.traces)} trace(s))"
+        )
+    lines = [header]
+    dropped = aggregate.events_dropped()
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} event(s) dropped by degraded telemetry "
+            f"sink(s) — the stream is incomplete"
+        )
+    if aggregate.runs > aggregate.summaries:
+        lines.append(
+            f"note: {aggregate.runs - aggregate.summaries} of "
+            f"{aggregate.runs} run(s) have no summary record (stream "
+            f"truncated or writer still live)"
+        )
+    lines += [
         "",
         "phase / span              |  calls |   total s |  mean ms |  share",
         "-" * 68,

@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import sys
 import threading
 import time
 
 from ..faults import fault_point
+from . import metrics as _metrics_module
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -58,8 +60,10 @@ __all__ = [
     "shutdown",
 ]
 
-#: Bumped whenever the JSONL record shapes change.
-SCHEMA_VERSION = 1
+#: Bumped whenever the JSONL record shapes change.  v2 added the
+#: ``host`` field on ``run`` records and the ``span`` record type
+#: (distributed tracing, :mod:`repro.obs.tracing`).
+SCHEMA_VERSION = 2
 
 #: Environment fallback for the CLI's ``--telemetry PATH``.
 TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
@@ -160,21 +164,25 @@ class Telemetry:
         self,
         path: "str | os.PathLike | None" = None,
         run: "dict | None" = None,
+        metrics: "_metrics_module.MetricsRegistry | None" = None,
     ) -> None:
         self.path = None if path is None else os.fspath(path)
         self.counters: dict = {}
         self.gauges: dict = {}
         self.timings: dict = {}  # name → [calls, total_s, max_s]
+        self.metrics = _metrics_module.registry() if metrics is None else metrics
         self._listeners: list = []
         self._lock = threading.Lock()
         self._started = time.perf_counter()
         self._closed = False
         self._handle = None
+        self._sink_failed = False
         if self.path is not None:
             self._handle = open(self.path, "a", encoding="utf-8")
         meta = {
             "schema": SCHEMA_VERSION,
             "pid": os.getpid(),
+            "host": socket.gethostname(),
             "python": sys.version.split()[0],
         }
         if run:
@@ -200,10 +208,17 @@ class Telemetry:
             cell[1] += seconds
             if seconds > cell[2]:
                 cell[2] = seconds
+        self.metrics.observe(name, seconds)
 
     # -- events ---------------------------------------------------------
     def event(self, type_: str, **fields) -> None:
         if self._handle is None:
+            # Memory-only mode never "drops" anything — there is no sink
+            # to miss.  A *failed* sink is different: every event that
+            # would have been written is accounted for, so operators can
+            # see exactly how much of a stream is missing.
+            if self._sink_failed:
+                self.count("telemetry.events_dropped")
             return
         record = {"ts": round(time.time(), 6), "type": type_}
         record.update(fields)
@@ -225,6 +240,7 @@ class Telemetry:
     def _degrade_sink(self, error: OSError) -> None:
         with self._lock:
             handle, self._handle = self._handle, None
+            self._sink_failed = True
         if handle is None:
             return
         try:
@@ -232,6 +248,8 @@ class Telemetry:
         except OSError:
             pass
         self.count("telemetry.emit_error")
+        # The event that hit the failure never reached the file either.
+        self.count("telemetry.events_dropped")
         print(
             f"repro: warning: telemetry sink disabled after write "
             f"failure: {error}",

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from ..core.serialization import instance_to_dict
 from ..core.spp import SPPInstance
 from ..engine.cache import result_from_payload
+from ..obs import tracing
+from .protocol import TRACE_RESPONSE_HEADER, TRACEPARENT_HEADER
 
 __all__ = [
     "QueryResponse",
@@ -51,6 +53,9 @@ class QueryResponse:
     #: True when the serve-level response hot tier answered
     #: (``X-Repro-Hot`` header).
     hot: bool
+    #: The request's trace ID (``repro trace show`` takes it); ``None``
+    #: when the query was sent untraced.
+    trace_id: "str | None" = None
 
     @property
     def canonical_hash(self) -> str:
@@ -128,8 +133,16 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, body: "bytes | None" = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        extra_headers: "dict | None" = None,
+    ):
         headers = {"Content-Type": "application/json"} if body else {}
+        if extra_headers:
+            headers.update(extra_headers)
         try:
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
@@ -164,10 +177,44 @@ class ServeClient:
         data, _ = self._request("GET", "/statz")
         return data
 
-    def query_raw(self, body: bytes) -> QueryResponse:
-        """POST a pre-encoded body (the benchmark's zero-encode path)."""
-        data, headers = self._request("POST", "/v1/query", body)
-        return QueryResponse(data=data, hot=headers.get("X-Repro-Hot") == "1")
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text (``repro top``)."""
+        self._conn.request("GET", "/metrics")
+        response = self._conn.getresponse()
+        raw = response.read()
+        if response.status != 200:
+            raise ServerError(response.status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def query_raw(self, body: bytes, *, trace: bool = True) -> QueryResponse:
+        """POST a pre-encoded body (the benchmark's zero-encode path).
+
+        By default the request carries a freshly minted traceparent —
+        the root of the query's distributed trace.  The root span is
+        recorded only when this process has telemetry configured; the
+        server records its side regardless, so the returned
+        ``trace_id`` is always worth printing.
+        """
+        if not trace:
+            data, headers = self._request("POST", "/v1/query", body)
+            return QueryResponse(
+                data=data, hot=headers.get("X-Repro-Hot") == "1"
+            )
+        root = tracing.TraceContext.root()
+        request_headers = {TRACEPARENT_HEADER: root.to_traceparent()}
+        with tracing.trace_span(
+            "client.query", context=root, timing=True
+        ) as span:
+            data, headers = self._request(
+                "POST", "/v1/query", body, extra_headers=request_headers
+            )
+            hot = headers.get("X-Repro-Hot") == "1"
+            span.note(hot=hot)
+        return QueryResponse(
+            data=data,
+            hot=hot,
+            trace_id=headers.get(TRACE_RESPONSE_HEADER, root.trace_id),
+        )
 
     def query(
         self,

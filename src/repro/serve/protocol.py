@@ -54,6 +54,8 @@ from ..core.spp import SPPInstance
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "TRACEPARENT_HEADER",
+    "TRACE_RESPONSE_HEADER",
     "ProtocolError",
     "QueryRequest",
     "parse_query",
@@ -61,6 +63,15 @@ __all__ = [
 
 #: Bumped whenever the request/response JSON shape changes.
 PROTOCOL_VERSION = 1
+
+#: Request header carrying the client's trace context (W3C form,
+#: ``00-<trace>-<span>-01``).  Optional; a missing or malformed header
+#: costs the trace, never the request.
+TRACEPARENT_HEADER = "traceparent"
+
+#: Response header echoing the trace ID back to a tracing client, so
+#: ``repro query`` can print the ID that ``repro trace show`` takes.
+TRACE_RESPONSE_HEADER = "X-Repro-Trace"
 
 #: Request ``config`` fields a client may set.
 _CLIENT_CONFIG_FIELDS = frozenset({"engine", "reduction"})

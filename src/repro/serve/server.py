@@ -5,8 +5,13 @@ matters: the hot-hit latency target is sub-millisecond, which a
 per-request TCP handshake would dominate).  Endpoints:
 
 * ``POST /v1/query`` — the verdict query (see :mod:`repro.serve.protocol`).
+  A ``traceparent`` request header joins the request to the client's
+  trace (spans land in the server's telemetry stream); the trace ID is
+  echoed back in ``X-Repro-Trace``.
 * ``GET /healthz`` — liveness: ``{"status": "ok"|"draining"}``.
 * ``GET /statz`` — live service/cache/queue counters.
+* ``GET /metrics`` — Prometheus text: counters, queue gauges, and the
+  latency histograms (``repro top`` and any scraper consume this).
 
 Error mapping: :class:`~repro.serve.protocol.ProtocolError` → 400,
 :class:`~repro.serve.service.Shed` → 429 with ``Retry-After``,
@@ -27,7 +32,12 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .protocol import ProtocolError
+from ..obs import tracing
+from .protocol import (
+    TRACE_RESPONSE_HEADER,
+    TRACEPARENT_HEADER,
+    ProtocolError,
+)
 from .service import Draining, ServeError, Shed, VerdictService
 
 __all__ = ["ReproServer"]
@@ -56,9 +66,15 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> VerdictService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send(self, status: int, body: bytes, headers=()) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        headers=(),
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers:
             self.send_header(name, value)
@@ -78,6 +94,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": status})
         elif self.path == "/statz":
             self._send_json(200, self.service.statz())
+        elif self.path == "/metrics":
+            self._send(
+                200,
+                self.service.metrics_text().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_error(404, f"no such endpoint: {self.path}")
 
@@ -94,8 +116,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(413, f"request body over {MAX_BODY_BYTES} bytes")
             return
         raw = self.rfile.read(length)
+        # A client-sent traceparent becomes this handler thread's
+        # current context, so the service's serve.* spans chain under
+        # the client's span; a malformed or absent header leaves the
+        # request untraced (context None) at no cost to the query.
+        context = tracing.TraceContext.from_traceparent(
+            self.headers.get(TRACEPARENT_HEADER)
+        )
+        trace_headers = (
+            [(TRACE_RESPONSE_HEADER, context.trace_id)] if context else []
+        )
         try:
-            body, hot = self.service.handle_query(raw)
+            with tracing.use(context):
+                body, hot = self.service.handle_query(raw)
         except ProtocolError as exc:
             self._send_error(400, str(exc))
         except Shed as exc:
@@ -113,7 +146,8 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # fault injection, bugs: still answer
             self._send_error(500, f"internal error: {exc!r}")
         else:
-            self._send(200, body, [("X-Repro-Hot", "1")] if hot else [])
+            headers = ([("X-Repro-Hot", "1")] if hot else []) + trace_headers
+            self._send(200, body, headers)
 
 
 class ReproServer:

@@ -49,6 +49,8 @@ from ..engine.cache import result_to_payload, shared_cache, verdict_key
 from ..engine.parallel import ExplorationTask, run_explorations
 from ..faults import fault_point
 from ..obs import active as _telemetry
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .protocol import PROTOCOL_VERSION, QueryRequest, parse_query
 
 __all__ = [
@@ -152,14 +154,21 @@ class ServeConfig:
 
 
 class _InFlight:
-    """One in-progress verdict computation; waiters block on ``event``."""
+    """One in-progress verdict computation; waiters block on ``event``.
 
-    __slots__ = ("event", "payload", "error")
+    ``leader_span`` is the owning request's span ID at registration
+    time (``None`` when the owner was untraced): a joiner's
+    ``serve.wait`` span records it, which is how ``repro trace show``
+    names the singleflight leader a request waited on.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "payload", "error", "leader_span")
+
+    def __init__(self, leader_span: "str | None" = None) -> None:
         self.event = threading.Event()
         self.payload = None
         self.error: "BaseException | None" = None
+        self.leader_span = leader_span
 
 
 @dataclass
@@ -176,6 +185,9 @@ class _Batch:
     request: QueryRequest
     jobs: "OrderedDict[str, str]" = field(default_factory=OrderedDict)
     started: bool = False
+    #: The creating request's trace context — the worker thread parents
+    #: its ``serve.compute`` span on it, crossing the queue boundary.
+    trace: "_tracing.TraceContext | None" = None
 
 
 _COUNTERS = (
@@ -271,6 +283,32 @@ class VerdictService:
             "cache": self.cache.stats(),
         }
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition).
+
+        Counters merge the live telemetry registry (cache, explore, and
+        worker counters) with the service's own — the service values
+        win for ``serve.*`` since they are authoritative even when
+        telemetry is disabled.  Latency histograms come from the
+        process-wide metrics registry that span timings feed.
+        """
+        tel = _telemetry()
+        counters = dict(getattr(tel, "counters", None) or {})
+        gauges = dict(getattr(tel, "gauges", None) or {})
+        with self._lock:
+            for name, value in self.counters.items():
+                counters[f"serve.{name}"] = value
+            gauges["serve.inflight"] = len(self._inflight)
+            gauges["serve.pending_batches"] = len(self._pending)
+            gauges["serve.response_cache"] = len(self._responses)
+            gauges["serve.draining"] = self._draining
+        gauges["serve.queue_depth"] = self._queue.qsize()
+        gauges["serve.queue_cap"] = self.config.queue_cap
+        registry = getattr(tel, "metrics", None) or _metrics.registry()
+        return _metrics.render_prometheus(
+            metrics=registry, counters=counters, gauges=gauges
+        )
+
     # -- request path ---------------------------------------------------
     def handle_query(self, raw: bytes) -> "tuple[bytes, bool]":
         """Answer one raw ``/v1/query`` body.
@@ -280,7 +318,12 @@ class VerdictService:
         :class:`ServeError` subclass on rejection.
         """
         tel = _telemetry()
-        with tel.span("serve.request"):
+        # trace_span(timing=True) keeps the serve.request wall-time
+        # accounting the flat span gave us, and additionally emits the
+        # request's span record under the caller's trace (the HTTP
+        # layer installs the client's traceparent as the current
+        # context before calling in).
+        with _tracing.trace_span("serve.request", timing=True) as req_span:
             self._count("requests")
             fault_point("serve.request", None)
             if self._draining:
@@ -293,8 +336,10 @@ class VerdictService:
                     self.counters["hot_hits"] += 1
             if cached is not None:
                 tel.count("serve.hot_hits")
+                req_span.note(hot=True)
                 return cached, True
             request = parse_query(raw, default_engine=self.config.engine)
+            req_span.note(instance=request.instance.name, models=len(request.models))
             response = self._resolve(request, tel)
             body = json.dumps(response, separators=(",", ":"), sort_keys=True)
             encoded = body.encode("utf-8")
@@ -323,7 +368,7 @@ class VerdictService:
         results: dict = {}
         served: dict = {}
         missing: dict = {}
-        with tel.span("serve.lookup"):
+        with _tracing.trace_span("serve.lookup", timing=True) as lookup_span:
             for model_name, key in keys.items():
                 payload, tier = self.cache.get_payload(key)
                 if payload is not None:
@@ -331,6 +376,7 @@ class VerdictService:
                     served[model_name] = tier
                 else:
                     missing[model_name] = key
+            lookup_span.note(hits=len(served), misses=len(missing))
         if served:
             mem = sum(1 for tier in served.values() if tier == "memory")
             if mem:
@@ -340,7 +386,17 @@ class VerdictService:
                 self._count("disk_hits", disk)
         if missing:
             owned, joined = self._register(request, canonical, missing, results, served)
-            with tel.span("serve.wait"):
+            with _tracing.trace_span("serve.wait", timing=True) as wait_span:
+                leaders = sorted(
+                    {e.leader_span for e in joined.values() if e.leader_span}
+                )
+                if leaders:
+                    # Which singleflight leader(s) this request's
+                    # joined keys are waiting on — the cross-request
+                    # edge the span tree cannot express as a parent
+                    # link (the leader belongs to another trace).
+                    wait_span.note(waited_on=",".join(leaders))
+                wait_span.note(owned=len(owned), joined=len(joined))
                 self._await(owned, joined, results, served, deadline)
         return {
             "protocol": PROTOCOL_VERSION,
@@ -365,6 +421,8 @@ class VerdictService:
         joined: dict = {}
         new_batch = None
         group = request.group_key(canonical)
+        trace_context = _tracing.current()
+        leader_span = trace_context.span_id if trace_context else None
         with self._lock:
             for model_name, key in missing.items():
                 entry = self._inflight.get(key)
@@ -380,7 +438,7 @@ class VerdictService:
                     results[model_name] = payload
                     served[model_name] = "memory"
                     continue
-                entry = _InFlight()
+                entry = _InFlight(leader_span=leader_span)
                 self._inflight[key] = entry
                 owned[model_name] = entry
                 batch = self._pending.get(group)
@@ -389,7 +447,9 @@ class VerdictService:
                     self.counters["batch_joins"] += 1
                     continue
                 if new_batch is None:
-                    new_batch = _Batch(group=group, request=request)
+                    new_batch = _Batch(
+                        group=group, request=request, trace=trace_context
+                    )
                     self._pending[group] = new_batch
                 new_batch.jobs[key] = model_name
         if joined:
@@ -459,7 +519,6 @@ class VerdictService:
         reduction tables, codec) are built once for the whole batch.
         """
         request = batch.request
-        tel = _telemetry()
         run_config = RunConfig(
             engine=request.engine,
             reduction=request.reduction,
@@ -468,21 +527,32 @@ class VerdictService:
             queue_bound=request.queue_bound,
             step_bound=request.max_states,
         )
-        tasks = [
-            ExplorationTask(
-                instance=request.instance,
-                model_name=model_name,
-                key=(model_name,),
-                queue_bound=request.queue_bound,
-                max_states=request.max_states,
-                reliable_twin_first=request.reliable_twin_first,
-                engine=request.engine,
-                reduction=request.reduction,
-                cache_dir=self.config.cache_dir,
+        # The worker thread has no ambient trace context — the batch
+        # carries its creator's, crossing the queue boundary explicitly.
+        with _tracing.trace_span(
+            "serve.compute", parent=batch.trace, timing=True
+        ) as compute_span:
+            compute_span.note(batch_size=len(batch.jobs))
+            traceparent = (
+                compute_span.context.to_traceparent()
+                if compute_span.context is not None
+                else None
             )
-            for model_name in batch.jobs.values()
-        ]
-        with tel.span("serve.compute"):
+            tasks = [
+                ExplorationTask(
+                    instance=request.instance,
+                    model_name=model_name,
+                    key=(model_name,),
+                    queue_bound=request.queue_bound,
+                    max_states=request.max_states,
+                    reliable_twin_first=request.reliable_twin_first,
+                    engine=request.engine,
+                    reduction=request.reduction,
+                    cache_dir=self.config.cache_dir,
+                    traceparent=traceparent,
+                )
+                for model_name in batch.jobs.values()
+            ]
             outcomes = run_explorations(tasks, config=run_config)
         for (key, (_, result)) in zip(batch.jobs, outcomes):
             # can_oscillate already stored the verdict through the

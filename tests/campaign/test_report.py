@@ -119,5 +119,32 @@ class TestSimulateAggregation:
         assert row["converged"] == 3
         assert row["convergence_rate"] == 0.75
         assert row["mean_steps"] == 20.0  # converged runs only
+        # Full quantile spread over converged step counts (nearest-rank
+        # over [10, 20, 30]): the tails bracket the median.
+        assert row["p50_steps"] == 20.0
+        assert row["p95_steps"] == 30.0
+        assert row["p99_steps"] == 30.0
+        assert row["p50_steps"] <= row["p95_steps"] <= row["p99_steps"]
         text = render_report(report)
         assert "convergence rate" in text
+        assert "p50 | p95 | p99 steps" in text
+        assert " 20 |  30 |  30" in text
+
+    def test_render_tolerates_reports_predating_p50_p99(self):
+        spec = CampaignSpec(
+            name="x", count=1, models=("R1O",), mode="simulate"
+        )
+        records = [
+            {
+                "seed": 0,
+                "instance": "rand-0",
+                "model": "R1O",
+                "outcomes": [[True, 10]],
+            }
+        ]
+        report = aggregate_report(spec, records)
+        for row in report["per_model"].values():
+            del row["p50_steps"]
+            del row["p99_steps"]
+        text = render_report(report)  # old report.json: p95 stands in
+        assert " 10 |  10 |  10" in text

@@ -116,6 +116,80 @@ class TestFanOutTelemetry:
         assert telemetry.timings["worker.pool"][0] == 1
         assert telemetry.timings["worker.idle"][0] == 1
 
+    def test_worker_spans_cross_process_boundaries(self, tmp_path):
+        """Fan-out workers emit ``worker.run`` spans parented on the
+        task's traceparent — the cross-process half of a trace tree."""
+        import json
+        import os
+
+        from repro import obs
+        from repro.obs.tracing import TraceContext
+
+        instance = canonical.disagree()
+        parent = TraceContext.root()
+        tasks = [
+            ExplorationTask(
+                instance=instance,
+                model_name=name,
+                queue_bound=2,
+                traceparent=parent.to_traceparent(),
+            )
+            for name in ("R1O", "REA", "UMS", "RMS")
+        ]
+        path = tmp_path / "t.jsonl"
+        previous = obs.active()
+        telemetry = obs.configure(path, run={"command": "test"})
+        try:
+            run_explorations(tasks, workers=2)
+        finally:
+            obs.install(previous)
+            telemetry.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        spans = [
+            r
+            for r in records
+            if r.get("type") == "span" and r.get("name") == "worker.run"
+        ]
+        assert len(spans) == 4
+        for span in spans:
+            assert span["trace"] == parent.trace_id
+            assert span["parent"] == parent.span_id
+            assert span["instance"] == instance.name
+        # The spans really came from forked worker processes.
+        pids = {span["pid"] for span in spans}
+        assert os.getpid() not in pids
+
+    def test_traceparent_does_not_perturb_identity_or_verdicts(
+        self, tmp_path
+    ):
+        """Tracing is observational: the task key, cache key, and the
+        verdicts are identical with and without a traceparent."""
+        from repro.obs.tracing import TraceContext
+
+        instance = canonical.disagree()
+
+        def tasks(traceparent):
+            return [
+                ExplorationTask(
+                    instance=instance,
+                    model_name=name,
+                    queue_bound=2,
+                    traceparent=traceparent,
+                )
+                for name in ("R1O", "REA")
+            ]
+
+        header = TraceContext.root().to_traceparent()
+        assert [t.resolved_key() for t in tasks(header)] == [
+            t.resolved_key() for t in tasks(None)
+        ]
+        plain = run_explorations(tasks(None), workers=2)
+        traced = run_explorations(tasks(header), workers=2)
+        for (key_a, a), (key_b, b) in zip(plain, traced):
+            assert key_a == key_b
+            assert result_tuple(a) == result_tuple(b)
+
     def test_exploration_counters_survive_workers(self, tmp_path):
         """Worker-side counter deltas (cache hits, states) merge back
         into the parent registry, and verdicts are unchanged."""

@@ -201,12 +201,25 @@ def test_telemetry_sink_degrades_on_write_failure(tmp_path, capsys):
         assert sink._handle is None
         assert sink.counters["telemetry.emit_error"] == 1
         assert "telemetry sink disabled" in capsys.readouterr().err
-        # Later events are silent no-ops, and counters keep working.
+        # The event that hit the failure was dropped — and counted.
+        assert sink.counters["telemetry.events_dropped"] == 1
+        # Later events are dropped *audibly* (the counter keeps score),
+        # and the other registries keep working.
         sink.event("after", detail=2)
         sink.count("still.counting")
+        assert sink.counters["telemetry.events_dropped"] == 2
         assert sink.counters["still.counting"] == 1
     finally:
         sink.close()
+
+
+def test_memory_only_telemetry_counts_no_drops(tmp_path):
+    # No sink was requested (path=None): events go nowhere by design,
+    # which is not a drop — the counter stays clean.
+    sink = Telemetry(None)
+    sink.event("fine", detail=1)
+    sink.close()
+    assert "telemetry.events_dropped" not in sink.counters
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,195 @@
+"""``repro top`` frames: poll deltas, tail windows, rendering, the loop."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import dashboard
+from repro.obs.metrics import parse_prometheus
+
+
+def scrape(requests, shed=0, hot=0, depth=0, draining=False, p50=None):
+    """A minimal parsed /metrics sample set."""
+    samples = {
+        ("repro_serve_requests_total", ()): float(requests),
+        ("repro_serve_shed_total", ()): float(shed),
+        ("repro_serve_hot_hits_total", ()): float(hot),
+        ("repro_serve_queue_depth", ()): float(depth),
+        ("repro_serve_queue_cap", ()): 64.0,
+        ("repro_serve_inflight", ()): 0.0,
+        ("repro_serve_draining", ()): 1.0 if draining else 0.0,
+    }
+    if p50 is not None:
+        for q in ("0.5", "0.95", "0.99"):
+            samples[
+                ("repro_serve_request_seconds_window", (("quantile", q),))
+            ] = p50
+    return samples
+
+
+class TestPollFrames:
+    def test_first_frame_has_totals_but_no_rates(self):
+        frame = dashboard.build_poll_frame(scrape(10, hot=4), None, 0.0)
+        assert frame["requests"] == 10
+        assert frame["rps"] == 0.0
+        assert frame["tiers"]["hot_hits"] == 4
+
+    def test_rates_are_deltas_over_elapsed(self):
+        before = scrape(10, shed=1)
+        after = scrape(30, shed=5)
+        frame = dashboard.build_poll_frame(after, before, 10.0)
+        assert frame["rps"] == pytest.approx(2.0)
+        assert frame["shed_rate"] == pytest.approx(0.4)
+
+    def test_counter_reset_clamps_to_zero_rate(self):
+        frame = dashboard.build_poll_frame(
+            scrape(3), scrape(1000), 5.0
+        )
+        assert frame["rps"] == 0.0
+
+    def test_window_gauges_win_over_bucket_deltas(self):
+        frame = dashboard.build_poll_frame(
+            scrape(5, p50=0.25), scrape(1), 2.0
+        )
+        assert frame["quantiles"]["p50"] == pytest.approx(0.25)
+
+    def test_bucket_delta_fallback_without_window_gauges(self):
+        def with_buckets(n):
+            samples = scrape(n)
+            metric = "repro_serve_request_seconds_bucket"
+            samples[(metric, (("le", "0.01"),))] = float(n)
+            samples[(metric, (("le", "+Inf"),))] = float(n)
+            return samples
+
+        frame = dashboard.build_poll_frame(with_buckets(9), with_buckets(4), 1.0)
+        assert frame["quantiles"]["p50"] == pytest.approx(0.01)
+
+    def test_gauges_pass_through(self):
+        frame = dashboard.build_poll_frame(
+            scrape(1, depth=7, draining=True), None, 0.0
+        )
+        assert frame["queue_depth"] == 7
+        assert frame["queue_cap"] == 64
+        assert frame["draining"] is True
+
+
+def span(name, start_ts, dur_s, **fields):
+    record = {
+        "type": "span", "trace": "a" * 32, "span": "1" * 16,
+        "parent": None, "name": name, "pid": 1,
+        "start_ts": start_ts, "dur_s": dur_s,
+    }
+    record.update(fields)
+    return record
+
+
+class TestTailFrames:
+    def test_windows_against_the_newest_span(self):
+        records = [
+            span("serve.request", 100.0, 0.01),
+            span("serve.request", 1000.0, 0.02, hot=True),
+            span("serve.request", 1030.0, 0.04),
+        ]
+        frame = dashboard.build_tail_frame(records, window_s=60.0)
+        assert frame["requests"] == 3  # lifetime total
+        assert frame["tiers"]["hot_hits"] == 1  # windowed
+        assert frame["quantiles"]["p50"] == pytest.approx(0.02)
+        assert frame["quantiles"]["p99"] == pytest.approx(0.04)
+        assert frame["rps"] == pytest.approx(2 / 30.0)
+
+    def test_simultaneous_burst_does_not_blow_up_rps(self):
+        records = [span("serve.request", 50.0, 0.01) for _ in range(10)]
+        frame = dashboard.build_tail_frame(records, window_s=60.0)
+        assert frame["rps"] == pytest.approx(10.0)  # floored at a 1 s stretch
+
+    def test_empty_stream(self):
+        frame = dashboard.build_tail_frame([])
+        assert frame["requests"] == 0
+        assert frame["rps"] == 0.0
+        assert frame["quantiles"]["p50"] is None
+
+    def test_errors_and_waits_counted_in_window(self):
+        records = [
+            span("serve.request", 10.0, 0.01, error="RuntimeError"),
+            span("serve.wait", 10.0, 0.01),
+        ]
+        frame = dashboard.build_tail_frame(records)
+        assert frame["errors"] == 1
+        assert frame["tiers"]["computed"] == 1
+
+
+class TestRendering:
+    def test_frame_renders_all_lines(self):
+        frame = dashboard.build_poll_frame(
+            scrape(120, hot=50, depth=3, p50=0.002), None, 0.0
+        )
+        text = dashboard.render_frame(frame)
+        assert "requests: 120" in text
+        assert "p50  2.0ms" in text
+        assert "hot:50" in text
+        assert "depth 3/64" in text
+
+    def test_draining_banner_and_missing_quantiles(self):
+        frame = dashboard.build_poll_frame(
+            scrape(1, draining=True), None, 0.0
+        )
+        text = dashboard.render_frame(frame)
+        assert "DRAINING" in text
+        assert "—" in text  # empty-window quantile placeholder
+
+    def test_seconds_formatting_spans_units(self):
+        assert dashboard._format_seconds(5e-5).strip() == "50µs"
+        assert dashboard._format_seconds(0.0123).strip() == "12.3ms"
+        assert dashboard._format_seconds(2.5).strip() == "2.50s"
+        assert dashboard._format_seconds(None).strip() == "—"
+
+
+class TestRunLoop:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            dashboard.run_dashboard()
+        with pytest.raises(ValueError):
+            dashboard.run_dashboard(url="http://x", telemetry_paths=("f",))
+
+    def test_tail_mode_renders_bounded_frames(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(span("serve.request", 10.0, 0.02)) + "\n")
+        out = io.StringIO()
+        slept = []
+        code = dashboard.run_dashboard(
+            telemetry_paths=(str(path),),
+            interval_s=0.5,
+            iterations=2,
+            stream=out,
+            clock=lambda: 0.0,
+            sleep=slept.append,
+        )
+        assert code == 0
+        assert slept == [0.5]  # no sleep before the first frame
+        assert out.getvalue().count("repro top") == 2
+
+    def test_tail_mode_missing_file_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        code = dashboard.run_dashboard(
+            telemetry_paths=(str(tmp_path / "absent.jsonl"),),
+            iterations=1,
+            stream=out,
+            sleep=lambda _: None,
+        )
+        assert code == 1
+        assert "cannot read" in out.getvalue()
+
+    def test_poll_mode_unreachable_server_keeps_looping(self):
+        out = io.StringIO()
+        code = dashboard.run_dashboard(
+            url="http://127.0.0.1:1",  # nothing listens on port 1
+            iterations=2,
+            interval_s=0.0,
+            stream=out,
+            sleep=lambda _: None,
+        )
+        assert code == 0
+        assert out.getvalue().count("unreachable") == 2

@@ -1,0 +1,57 @@
+"""Heartbeat rendering: one stderr line per beat, stdout untouched."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import Telemetry
+
+
+class TestHeartbeatRendering:
+    def _line(self, **fields):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        reporter.on_heartbeat("explore", fields)
+        return stream.getvalue()
+
+    def test_full_heartbeat_line(self):
+        line = self._line(
+            instance="BAD-GADGET",
+            model="R1O",
+            states=12_345,
+            pruned=678,
+            frontier=9,
+            elapsed_s=4.25,
+        )
+        assert line == (
+            "[repro] explore BAD-GADGET/R1O states=12,345 "
+            "pruned=678 frontier=9 4.2s\n"
+        )
+
+    def test_minimal_heartbeat_is_just_the_phase(self):
+        assert self._line() == "[repro] explore\n"
+
+    def test_partial_location_renders_placeholder(self):
+        assert self._line(model="REA").startswith("[repro] explore ?/REA")
+
+    def test_zero_pruned_is_omitted_zero_frontier_is_not(self):
+        line = self._line(states=10, pruned=0, frontier=0)
+        assert "pruned" not in line
+        assert "frontier=0" in line
+
+    def test_line_counter_increments(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        for index in range(3):
+            reporter.on_heartbeat("explore", {"states": index})
+        assert reporter.lines == 3
+        assert len(stream.getvalue().splitlines()) == 3
+
+    def test_listener_wired_through_telemetry_heartbeat(self):
+        stream = io.StringIO()
+        tel = Telemetry()
+        tel.add_listener(ProgressReporter(stream=stream))
+        tel.heartbeat("explore", instance="FIG6", states=2048)
+        tel.close()
+        line = stream.getvalue()
+        assert line.startswith("[repro] explore FIG6/? states=2,048")
+        assert line.rstrip().endswith("s")  # elapsed_s filled in by default

@@ -80,6 +80,32 @@ class TestAggregation:
         aggregate = aggregate_records([summary_record()])
         assert json.loads(json.dumps(aggregate.as_dict()))["summaries"] == 1
 
+    def test_run_sources_and_hosts(self):
+        aggregate = aggregate_records([
+            {"type": "run", "host": "alpha", "pid": 1},
+            {"type": "run", "host": "alpha", "pid": 2},
+            {"type": "run", "host": "beta", "pid": 1},
+            {"type": "run"},  # schema-1 stream: no host stamped
+        ])
+        assert aggregate.hosts() == {"alpha": 2, "beta": 1, "(unknown)": 1}
+        assert aggregate.as_dict()["hosts"]["beta"] == 1
+
+    def test_span_records_and_traces_counted(self):
+        aggregate = aggregate_records([
+            {"type": "span", "trace": "a" * 32, "span": "1" * 16},
+            {"type": "span", "trace": "a" * 32, "span": "2" * 16},
+            {"type": "span", "trace": "b" * 32, "span": "3" * 16},
+        ])
+        assert aggregate.trace_spans == 3
+        assert aggregate.as_dict()["traces"] == 2
+
+    def test_events_dropped_comes_from_the_counter(self):
+        aggregate = aggregate_records([
+            summary_record(counters={"telemetry.events_dropped": 4})
+        ])
+        assert aggregate.events_dropped() == 4
+        assert aggregate.as_dict()["events_dropped"] == 4
+
 
 class TestReadRecords:
     def test_skips_blank_and_torn_lines(self, tmp_path):
@@ -126,6 +152,29 @@ class TestRendering:
     def test_phase_table_handles_empty_stream(self):
         table = render_phase_table(aggregate_records([]))
         assert "0.0%" in table
+
+    def test_phase_table_surfaces_hosts_spans_and_drops(self):
+        aggregate = aggregate_records([
+            {"type": "run", "host": "alpha", "pid": 1},
+            {"type": "run", "host": "beta", "pid": 2},
+            {"type": "span", "trace": "a" * 32, "span": "1" * 16},
+            summary_record(counters={"telemetry.events_dropped": 3}),
+        ])
+        table = render_phase_table(aggregate)
+        assert "hosts: alpha×1, beta×1" in table
+        assert "trace spans: 1 (1 trace(s))" in table
+        assert "WARNING: 3 event(s) dropped" in table
+        # Two runs, one summary → one stream is truncated or live.
+        assert "1 of 2 run(s) have no summary record" in table
+
+    def test_single_host_stream_stays_quiet(self):
+        aggregate = aggregate_records([
+            {"type": "run", "host": "alpha", "pid": 1},
+            summary_record(),
+        ])
+        table = render_phase_table(aggregate)
+        assert "hosts:" not in table
+        assert "WARNING" not in table
 
     def test_render_counters(self):
         aggregate = aggregate_records([

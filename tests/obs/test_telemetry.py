@@ -110,6 +110,9 @@ class TestEventSink:
         assert records[0]["command"] == "explore"
         assert records[0]["schema"] == obs.SCHEMA_VERSION
         assert records[0]["pid"] == os.getpid()
+        import socket
+
+        assert records[0]["host"] == socket.gethostname()
         assert records[1]["model"] == "R1O"
         assert records[2]["counters"] == {"explore.runs": 1}
 

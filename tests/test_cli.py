@@ -14,7 +14,10 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("list", "matrix", "simulate", "explore", "trace", "experiments"):
+        for command in (
+            "list", "matrix", "simulate", "explore", "trace",
+            "experiments", "top",
+        ):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -379,3 +382,104 @@ class TestServeCli:
             "query", "--url", live_server.url, "--models", "R1O",
         ]) == 3
         assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCli:
+    def _telemetry_file(self, tmp_path):
+        trace = "a" * 32
+        records = [
+            {
+                "type": "span", "trace": trace, "span": "1" * 16,
+                "parent": None, "name": "client.query", "pid": 1,
+                "start_ts": 10.0, "dur_s": 0.5,
+            },
+            {
+                "type": "span", "trace": trace, "span": "2" * 16,
+                "parent": "1" * 16, "name": "serve.request", "pid": 2,
+                "start_ts": 10.1, "dur_s": 0.4,
+            },
+        ]
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "".join(json.dumps(record) + "\n" for record in records)
+        )
+        return path, trace
+
+    def test_trace_show_renders_tree(self, capsys, tmp_path):
+        path, trace = self._telemetry_file(tmp_path)
+        assert main([
+            "trace", "show", trace[:8], "--telemetry", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace}" in out
+        assert "client.query" in out and "serve.request" in out
+
+    def test_trace_show_json_artifact_form(self, capsys, tmp_path):
+        path, trace = self._telemetry_file(tmp_path)
+        assert main([
+            "trace", "show", trace, "--telemetry", str(path), "--json",
+        ]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert [span["name"] for span in spans] == [
+            "client.query", "serve.request",
+        ]
+
+    def test_trace_list(self, capsys, tmp_path):
+        path, trace = self._telemetry_file(tmp_path)
+        assert main(["trace", "list", "--telemetry", str(path)]) == 0
+        assert f"{trace}  2 span(s)" in capsys.readouterr().out
+
+    def test_trace_show_usage_errors(self, capsys, tmp_path):
+        path, _ = self._telemetry_file(tmp_path)
+        assert main(["trace", "show", "abc"]) == 2  # no --telemetry
+        assert main(["trace", "show", "--telemetry", str(path)]) == 2
+        assert main([
+            "trace", "show", "feed", "--telemetry", str(path),
+        ]) == 1  # unknown trace
+        capsys.readouterr()
+
+    def test_trace_example_path_still_works(self, capsys):
+        assert main(["trace", "--example", "fig6"]) == 0
+        assert capsys.readouterr().out  # the Appendix-A printer
+
+    def test_stats_surfaces_dropped_events(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"type": "run", "host": "h", "pid": 1}) + "\n"
+            + json.dumps({
+                "type": "summary", "elapsed_s": 1.0,
+                "counters": {"telemetry.events_dropped": 5},
+                "gauges": {}, "spans": {},
+            }) + "\n"
+        )
+        assert main(["stats", str(path)]) == 0
+        assert "WARNING: 5 event(s) dropped" in capsys.readouterr().out
+
+
+class TestTopCli:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["top"])
+        assert args.command == "top"
+        assert args.url is None and args.telemetry is None
+        assert args.interval == 2.0
+        assert args.iterations is None and args.once is False
+
+    def test_mutually_exclusive_sources(self, capsys, tmp_path):
+        assert main([
+            "top", "--url", "http://x", "--telemetry", str(tmp_path), "--once",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_tail_mode_renders_one_frame(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({
+            "type": "span", "trace": "a" * 32, "span": "1" * 16,
+            "parent": None, "name": "serve.request", "pid": 1,
+            "start_ts": 10.0, "dur_s": 0.02, "hot": True,
+        }) + "\n")
+        assert main(["top", "--telemetry", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "requests: 1" in out
+        assert "hot:1" in out
