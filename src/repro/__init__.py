@@ -29,7 +29,7 @@ fails CI.  See ``docs/api.md``.
 
 from . import analysis, campaign, core, engine, faults, models, realization, serve
 from .analysis import matrix_certification, survey_convergence
-from .campaign import Campaign, CampaignSpec
+from .campaign import Campaign, CampaignHandle, CampaignSpec
 from .config import RunConfig
 from .faults import FaultPlan
 from .core import SPPBuilder, SPPInstance
@@ -44,6 +44,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ALL_MODELS",
     "Campaign",
+    "CampaignHandle",
     "CampaignSpec",
     "CommunicationModel",
     "FaultPlan",

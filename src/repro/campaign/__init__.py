@@ -14,24 +14,52 @@ oscillation/convergence rates and Wilson confidence intervals.
 Interrupt-safety is the design center: checkpoints are atomic,
 write-once, and keyed by the spec digest, every task is a pure function
 of the spec, and the report is a pure function of the checkpoints — so
-``repro campaign resume`` after a SIGKILL reproduces the uninterrupted
-report byte for byte.  See ``docs/api.md`` for the quickstart.
+``repro campaign run`` after a SIGKILL reproduces the uninterrupted
+report byte for byte.
+
+Campaigns also scale *across hosts*: shards become leasable rows in a
+durable :mod:`~repro.campaign.queue` (SQLite or file-lease backend),
+brokered either directly (shared filesystem) or over HTTP by a
+:mod:`~repro.campaign.coordinator` daemon (``repro campaign serve``)
+that any number of ``repro campaign join`` workers pull from — dead
+workers' leases are reclaimed after a heartbeat timeout, and the
+write-once determinism above makes the multi-host report byte-identical
+to a single-host run.
+
+Library users should go through :mod:`repro.campaign.api`
+(:class:`~repro.campaign.api.CampaignHandle` plus ``create / attach /
+run / serve / join / status / report``) rather than the lower-level
+modules.  See ``docs/api.md`` and ``docs/distributed.md``.
 """
 
+from .api import CampaignHandle, attach, create
+from .coordinator import CampaignCoordinator
 from .manifest import CAMPAIGN_SCHEMA, CampaignPaths, build_manifest
+from .queue import Lease, QueueError, WorkQueue, open_queue
 from .report import aggregate_report, render_report
-from .runner import Campaign, CampaignError
+from .runner import Campaign, CampaignError, compute_shard_records
 from .spec import MODES, CampaignSpec, spec_digest
+from .worker import join
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
     "Campaign",
+    "CampaignCoordinator",
     "CampaignError",
+    "CampaignHandle",
     "CampaignPaths",
     "CampaignSpec",
+    "Lease",
     "MODES",
+    "QueueError",
+    "WorkQueue",
     "aggregate_report",
+    "attach",
     "build_manifest",
+    "compute_shard_records",
+    "create",
+    "join",
+    "open_queue",
     "render_report",
     "spec_digest",
 ]

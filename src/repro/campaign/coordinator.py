@@ -1,0 +1,373 @@
+"""The campaign coordinator daemon: lease brokering over HTTP.
+
+``repro campaign serve <dir>`` turns a campaign directory into a
+network service so worker hosts without shared storage can cooperate.
+The coordinator owns the authoritative on-disk :class:`WorkQueue`
+*inside the campaign directory* — workers joining by path and workers
+joining by URL therefore drain one queue, and killing the coordinator
+loses nothing (the queue and every checkpoint are durable; restart and
+the campaign continues).
+
+Transport reuses the ``serve/`` plumbing: the same
+:class:`~http.server.ThreadingHTTPServer` shape as
+:class:`repro.serve.server.ReproServer` (HTTP/1.1 keep-alive, Nagle
+off, drain-on-SIGTERM), the same v2 protocol envelopes, and the same
+``/metrics`` Prometheus exposition the dashboard scrapes.  Endpoints:
+
+* ``GET  /healthz`` — liveness + completion flag.
+* ``GET  /v2/campaign`` — bootstrap: the spec, its digest, and this
+  coordinator's trace ID (one trace spans the whole campaign).
+* ``POST /v2/campaign/claim`` — ``{"v": 2, "worker": id}`` → a leased
+  shard (with a child ``traceparent`` so the worker's spans attach to
+  the campaign trace), or ``shard: null`` when nothing is claimable.
+* ``POST /v2/campaign/heartbeat`` — lease renewal.
+* ``POST /v2/campaign/complete`` — the worker's records; the
+  coordinator validates and writes the shard checkpoint through the
+  write-once store, and writes ``report.json`` when the last shard
+  lands.
+* ``GET  /statz`` — campaign status + live queue snapshot.
+* ``GET  /metrics`` — lease/queue counters and gauges.
+
+Campaign endpoints are v2-only (:func:`repro.serve.protocol.check_version`
+with ``minimum=2``): they postdate the envelope, so a version-less body
+here is a confused client, not a legacy one.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import active as _telemetry
+from ..obs import metrics as _metrics
+from ..obs import tracing
+from ..serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_version,
+    envelope,
+)
+from .queue import DEFAULT_LEASE_TTL, Lease, WorkQueue, open_queue
+from .runner import Campaign, CampaignError
+
+__all__ = ["CampaignCoordinator", "DEFAULT_PORT", "open_coordinator"]
+
+#: Default coordinator port (verdict serving defaults to 8642 next door).
+DEFAULT_PORT = 8643
+
+MAX_BODY_BYTES = 64 * 1024 * 1024  # a completed shard's records
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-campaign"
+    sys_version = ""
+    disable_nagle_algorithm = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def coordinator(self) -> "CampaignCoordinator":
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _send_error(self, status: int, message: str, code: "str | None" = None) -> None:
+        payload = {"error": message, "status": status}
+        if code is not None:
+            payload["code"] = code
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        coord = self.coordinator
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {"status": "ok", "v": PROTOCOL_VERSION, "complete": coord.complete},
+            )
+        elif self.path == "/v2/campaign":
+            self._send_json(200, envelope(coord.describe()))
+        elif self.path == "/statz":
+            self._send_json(200, envelope(coord.statz()))
+        elif self.path == "/metrics":
+            raw = coord.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+        else:
+            self._send_error(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        routes = {
+            "/v2/campaign/claim": self.coordinator.handle_claim,
+            "/v2/campaign/heartbeat": self.coordinator.handle_heartbeat,
+            "/v2/campaign/complete": self.coordinator.handle_complete,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_error(411, "Content-Length required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error(413, f"request body over {MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+            if not isinstance(body, dict):
+                raise ProtocolError("request body must be a JSON object")
+            check_version(body, minimum=2)
+            response = handler(body)
+        except ProtocolError as exc:
+            self._send_error(400, str(exc), code=exc.code)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error(400, f"request body is not valid JSON: {exc}")
+        except CampaignError as exc:
+            self._send_error(409, str(exc))
+        except Exception as exc:  # fault injection, bugs: still answer
+            self._send_error(500, f"internal error: {exc!r}")
+        else:
+            self._send_json(200, envelope(response))
+
+
+class CampaignCoordinator:
+    """One campaign directory served as a lease-brokering daemon."""
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        backend: str = "sqlite",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        self.campaign = campaign
+        self.backend = backend
+        self.queue: WorkQueue = open_queue(
+            campaign.paths.directory,
+            campaign.digest,
+            backend=backend,
+            lease_ttl=lease_ttl,
+        )
+        done = campaign.completed_shards()
+        self.queue.enroll(range(campaign.spec.n_shards), done=done)
+        # One trace for the whole campaign: worker shard spans become
+        # children of this root, so `repro trace show` reconstructs the
+        # cross-host shard tree from any participant's telemetry.
+        self.trace = tracing.current() or tracing.TraceContext.root()
+        self._lock = threading.Lock()
+        self._report_written = campaign.paths.report_path.is_file()
+        self.httpd = ThreadingHTTPServer((host, port), _CoordinatorHandler)
+        self.httpd.daemon_threads = False
+        self.httpd.coordinator = self  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+        self._complete_event = threading.Event()
+        if not campaign.pending_shards():
+            self._complete_event.set()
+
+    # -- addressing ------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def complete(self) -> bool:
+        return self._complete_event.is_set()
+
+    # -- endpoint bodies -------------------------------------------------
+    def describe(self) -> dict:
+        """The ``GET /v2/campaign`` bootstrap payload."""
+        return {
+            "spec": self.campaign.spec.as_dict(),
+            "digest": self.campaign.digest,
+            "backend": self.queue.backend,
+            "lease_ttl": self.queue.lease_ttl,
+            "trace": self.trace.trace_id,
+            "complete": self.complete,
+        }
+
+    def handle_claim(self, body: dict) -> dict:
+        worker = body.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ProtocolError("'worker' must be a non-empty string")
+        lease = self.queue.claim(worker)
+        if lease is None:
+            return {"shard": None, "complete": self.complete}
+        # Already-checkpointed shards (e.g. enrolled before a restart
+        # with a stale queue) complete instantly without recompute.
+        if self.campaign._shard_records(lease.shard) is not None:
+            self.queue.complete(lease)
+            self._maybe_finish()
+            return {"shard": None, "complete": self.complete}
+        return {
+            "shard": lease.shard,
+            "token": lease.token,
+            "expires_s": round(lease.remaining(), 3),
+            "traceparent": self.trace.child().to_traceparent(),
+            "complete": False,
+        }
+
+    def handle_heartbeat(self, body: dict) -> dict:
+        lease = self._lease_from(body)
+        renewed = self.queue.heartbeat(lease)
+        if renewed is None:
+            return {"ok": False}
+        return {"ok": True, "expires_s": round(renewed.remaining(), 3)}
+
+    def handle_complete(self, body: dict) -> dict:
+        lease = self._lease_from(body)
+        records = body.get("records")
+        if not isinstance(records, list):
+            raise ProtocolError("'records' must be a list")
+        # Validate + write through the write-once store first; only a
+        # durable checkpoint marks the queue row done.
+        with self._lock:
+            if self.campaign._shard_records(lease.shard) is None:
+                self.campaign.write_shard_checkpoint(lease.shard, records)
+        owned = self.queue.complete(lease)
+        self._maybe_finish()
+        return {"ok": True, "owned": owned, "complete": self.complete}
+
+    def _lease_from(self, body: dict) -> Lease:
+        shard = body.get("shard")
+        token = body.get("token")
+        if not isinstance(shard, int) or isinstance(shard, bool):
+            raise ProtocolError("'shard' must be an integer")
+        if not isinstance(token, str) or not token:
+            raise ProtocolError("'token' must be a non-empty string")
+        return Lease(
+            shard=shard, worker=str(body.get("worker", "?")), token=token, expires=0.0
+        )
+
+    def _maybe_finish(self) -> None:
+        with self._lock:
+            if self._report_written:
+                self._complete_event.set()
+                return
+            if self.campaign.pending_shards():
+                return
+            self.campaign.write_report()
+            self._report_written = True
+            self._complete_event.set()
+            _telemetry().count("campaign.report.written")
+
+    def statz(self) -> dict:
+        return {
+            "campaign": self.campaign.status(),
+            "queue": self.queue.snapshot(),
+            "trace": self.trace.trace_id,
+            "complete": self.complete,
+        }
+
+    def metrics_text(self) -> str:
+        """Lease counters + queue gauges in Prometheus text form."""
+        tel = _telemetry()
+        counters = dict(getattr(tel, "counters", None) or {})
+        gauges = dict(getattr(tel, "gauges", None) or {})
+        snapshot = self.queue.snapshot()  # refreshes campaign.queue.* gauges
+        gauges["campaign.queue.depth"] = snapshot["open"]
+        gauges["campaign.queue.leased"] = snapshot["leased"]
+        gauges["campaign.queue.done"] = snapshot["done"]
+        gauges["campaign.complete"] = int(self.complete)
+        registry = getattr(tel, "metrics", None) or _metrics.registry()
+        return _metrics.render_prometheus(
+            metrics=registry, counters=counters, gauges=gauges
+        )
+
+    # -- lifecycle (mirrors ReproServer) ---------------------------------
+    def start_background(self) -> None:
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.httpd.server_close()
+        self.queue.close()
+
+    def __enter__(self) -> "CampaignCoordinator":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def wait_complete(self, timeout: "float | None" = None) -> bool:
+        return self._complete_event.wait(timeout)
+
+    def serve_forever(
+        self, install_signals: bool = True, until_complete: bool = False
+    ) -> None:
+        """Run until SIGTERM/SIGINT — or, with ``until_complete``, until
+        the campaign report lands (the CI smoke mode)."""
+        stop = threading.Thread(target=self.httpd.shutdown)
+
+        def _on_signal(signum, frame):
+            threading.Thread(target=self.httpd.shutdown).start()
+
+        if install_signals:
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        watcher = None
+        if until_complete:
+
+            def _watch():
+                self._complete_event.wait()
+                stop.start()
+
+            watcher = threading.Thread(target=_watch, daemon=True)
+            watcher.start()
+        try:
+            self.httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self.httpd.server_close()
+            self.queue.close()
+
+
+def open_coordinator(
+    directory,
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    backend: str = "sqlite",
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> CampaignCoordinator:
+    """A coordinator over the existing campaign at ``directory``."""
+    return CampaignCoordinator(
+        Campaign.open(directory),
+        host=host,
+        port=port,
+        backend=backend,
+        lease_ttl=lease_ttl,
+    )

@@ -9,6 +9,8 @@ Layout of a campaign directory::
       report.json                the final aggregate (all shards done)
       cache/                     shared verdict cache (spec.cache=True)
       telemetry.jsonl            JSONL event stream (--telemetry)
+      queue.sqlite               shard work queue (multi-host, sqlite)
+      queue/                     shard work queue (multi-host, file leases)
 
 Every JSON artifact is written with :func:`atomic_write_json` — a
 tempfile in the destination directory followed by ``os.replace``
@@ -146,6 +148,16 @@ class CampaignPaths:
     @property
     def telemetry_path(self) -> Path:
         return self.directory / "telemetry.jsonl"
+
+    @property
+    def queue_db_path(self) -> Path:
+        """SQLite work-queue database (multi-host coordination)."""
+        return self.directory / "queue.sqlite"
+
+    @property
+    def queue_dir(self) -> Path:
+        """File-lease work-queue directory (shared-filesystem fallback)."""
+        return self.directory / "queue"
 
 
 def build_manifest(spec: CampaignSpec) -> dict:

@@ -20,6 +20,8 @@ Retries and cache hits are visible in the telemetry counters
 
 from __future__ import annotations
 
+import warnings
+
 from ..engine.parallel import (
     ExplorationTask,
     SimulationTask,
@@ -41,7 +43,7 @@ from .manifest import (
 from .report import aggregate_report, render_report
 from .spec import CampaignSpec, spec_digest
 
-__all__ = ["Campaign", "CampaignError"]
+__all__ = ["Campaign", "CampaignError", "compute_shard_records", "shard_tasks"]
 
 #: Keys of an ExplorationResult's dict form that enter a checkpoint.
 #: ``cache`` (hit/miss) is deliberately absent: it depends on execution
@@ -58,6 +60,81 @@ _RESULT_KEYS = (
 
 class CampaignError(RuntimeError):
     """A campaign directory is missing, foreign, or inconsistent."""
+
+
+def shard_tasks(
+    spec: CampaignSpec, shard: int, cache_dir: "str | None"
+) -> "tuple[list, list]":
+    """One shard's (tasks, per-task metadata), in checkpoint order.
+
+    A pure function of the spec — usable without a campaign directory,
+    which is what lets a ``campaign join`` worker on another host
+    compute shards it received over the wire.
+    """
+    config = spec.run_config(cache_dir=cache_dir if spec.cache else None)
+    tasks, meta = [], []
+    for seed in spec.shard_seeds(shard):
+        instance = spec.instance_for_seed(seed)
+        for name in spec.model_names():
+            if spec.mode == "explore":
+                tasks.append(
+                    ExplorationTask.from_config(
+                        instance,
+                        name,
+                        config,
+                        reliable_twin_first=spec.reliable_twin_first,
+                    )
+                )
+            else:
+                tasks.append(
+                    SimulationTask.from_config(
+                        instance,
+                        name,
+                        config,
+                        seeds=tuple(range(spec.seeds_per_instance)),
+                        drop_prob=spec.drop_prob,
+                    )
+                )
+            meta.append((seed, instance.name, name))
+    return tasks, meta
+
+
+def compute_shard_records(
+    spec: CampaignSpec,
+    shard: int,
+    *,
+    workers: "int | None" = None,
+    cache_dir: "str | None" = None,
+) -> list:
+    """Execute one shard of ``spec`` and return its checkpoint records.
+
+    The records are a pure function of ``(spec, shard)`` — worker
+    width, cache location, retries, and which host ran them leave no
+    trace in the output, which is what makes multi-host reports
+    byte-identical to single-host ones.
+    """
+    fault_point("campaign.shard", shard)
+    tasks, meta = shard_tasks(spec, shard, cache_dir)
+    function = _explore_one if spec.mode == "explore" else _simulate_batch
+    with _telemetry().span("campaign.shard"):
+        results = parallel_map_retrying(
+            function,
+            tasks,
+            workers=workers,
+            retries=spec.retries,
+            backoff=spec.retry_backoff,
+            task_timeout=spec.task_timeout,
+        )
+    records = []
+    for (seed, instance_name, model_name), result in zip(meta, results):
+        record = {"seed": seed, "instance": instance_name, "model": model_name}
+        if spec.mode == "explore":
+            data = result.as_dict()
+            record["result"] = {key: data[key] for key in _RESULT_KEYS}
+        else:
+            record["outcomes"] = [list(outcome) for outcome in result]
+        records.append(record)
+    return records
 
 
 class Campaign:
@@ -131,60 +208,23 @@ class Campaign:
     # -- execution -------------------------------------------------------
     def _shard_tasks(self, shard: int) -> "tuple[list, list]":
         """The shard's (tasks, per-task metadata), in checkpoint order."""
-        spec = self.spec
-        cache_dir = str(self.paths.cache_dir) if spec.cache else None
-        config = spec.run_config(cache_dir=cache_dir)
-        tasks, meta = [], []
-        for seed in spec.shard_seeds(shard):
-            instance = spec.instance_for_seed(seed)
-            for name in spec.model_names():
-                if spec.mode == "explore":
-                    tasks.append(
-                        ExplorationTask.from_config(
-                            instance,
-                            name,
-                            config,
-                            reliable_twin_first=spec.reliable_twin_first,
-                        )
-                    )
-                else:
-                    tasks.append(
-                        SimulationTask.from_config(
-                            instance,
-                            name,
-                            config,
-                            seeds=tuple(range(spec.seeds_per_instance)),
-                            drop_prob=spec.drop_prob,
-                        )
-                    )
-                meta.append((seed, instance.name, name))
-        return tasks, meta
+        cache_dir = str(self.paths.cache_dir) if self.spec.cache else None
+        return shard_tasks(self.spec, shard, cache_dir)
 
-    def run_shard(self, shard: int, workers: "int | None" = None) -> list:
-        """Execute one shard and checkpoint it; returns its records."""
-        fault_point("campaign.shard", shard)
-        spec = self.spec
-        tasks, meta = self._shard_tasks(shard)
-        function = _explore_one if spec.mode == "explore" else _simulate_batch
-        tel = _telemetry()
-        with tel.span("campaign.shard"):
-            results = parallel_map_retrying(
-                function,
-                tasks,
-                workers=workers,
-                retries=spec.retries,
-                backoff=spec.retry_backoff,
-                task_timeout=spec.task_timeout,
+    def write_shard_checkpoint(self, shard: int, records: list) -> None:
+        """Atomically checkpoint ``records`` as the result of ``shard``.
+
+        Records are validated against the spec (count) before the write,
+        so a truncated or foreign record list never lands on disk —
+        this is the write-back path for both local execution and
+        records received from remote ``join`` workers.
+        """
+        expected = len(self.spec.shard_seeds(shard)) * len(self.spec.model_names())
+        if not isinstance(records, list) or len(records) != expected:
+            raise CampaignError(
+                f"shard {shard} expects {expected} records, "
+                f"got {len(records) if isinstance(records, list) else type(records).__name__}"
             )
-        records = []
-        for (seed, instance_name, model_name), result in zip(meta, results):
-            record = {"seed": seed, "instance": instance_name, "model": model_name}
-            if spec.mode == "explore":
-                data = result.as_dict()
-                record["result"] = {key: data[key] for key in _RESULT_KEYS}
-            else:
-                record["outcomes"] = [list(outcome) for outcome in result]
-            records.append(record)
         atomic_write_json(
             self.paths.shard_path(shard),
             {
@@ -194,9 +234,18 @@ class Campaign:
                 "records": records,
             },
         )
+        tel = _telemetry()
         tel.count("campaign.shard.completed")
         tel.count("campaign.task.completed", len(records))
         tel.heartbeat("campaign", shard=shard, tasks=len(records))
+
+    def run_shard(self, shard: int, workers: "int | None" = None) -> list:
+        """Execute one shard and checkpoint it; returns its records."""
+        cache_dir = str(self.paths.cache_dir) if self.spec.cache else None
+        records = compute_shard_records(
+            self.spec, shard, workers=workers, cache_dir=cache_dir
+        )
+        self.write_shard_checkpoint(shard, records)
         return records
 
     def run(
@@ -207,7 +256,16 @@ class Campaign:
         """Execute pending shards (at most ``max_shards``); returns their ids.
 
         Finishing the last pending shard also (re)writes ``report.json``.
+        Idempotent: on a complete campaign it executes nothing and
+        refreshes the report, which is why ``run`` doubles as resume.
         """
+        # Resolve the worker width exactly once: $REPRO_WORKERS changing
+        # mid-campaign must not reshape later shards' fan-outs.
+        workers = (
+            self.spec.run_config(cache_dir=None)
+            .replace(workers=workers)
+            .resolved_workers()
+        )
         executed = []
         for shard in self.pending_shards():
             if max_shards is not None and len(executed) >= max_shards:
@@ -217,6 +275,20 @@ class Campaign:
         if not self.pending_shards():
             self.write_report()
         return executed
+
+    def resume(
+        self,
+        workers: "int | None" = None,
+        max_shards: "int | None" = None,
+    ) -> list:
+        """Deprecated alias for :meth:`run` (resume is automatic)."""
+        warnings.warn(
+            "Campaign.resume is deprecated; call Campaign.run — it resumes "
+            "from checkpoints automatically",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(workers=workers, max_shards=max_shards)
 
     # -- inspection ------------------------------------------------------
     def status(self) -> dict:

@@ -1,0 +1,368 @@
+"""The ``repro campaign join`` worker loop: pull, compute, write back.
+
+A joiner is deliberately dumb: loop { claim a shard lease, renew it
+from a heartbeat thread while computing, push the records back,
+repeat } until the campaign is complete.  All scheduling intelligence
+lives in the queue (stale-lease reclamation) and the determinism of
+the workload (records are pure functions of ``(spec, shard)``), which
+is why any number of joiners — starting late, dying mid-shard,
+racing — converge on the same byte-identical ``report.json``.
+
+Two transports behind one :func:`join` entry point:
+
+* **path** — the campaign directory is reachable (same host or shared
+  filesystem).  The worker opens the on-disk :class:`WorkQueue`
+  directly and writes checkpoints itself.
+* **url** — an ``http(s)://`` coordinator (``repro campaign serve``).
+  :class:`CoordinatorClient` speaks the v2 envelopes: claims carry a
+  ``traceparent`` minted from the coordinator's campaign trace (so this
+  worker's shard spans attach to the cross-host trace tree), and
+  completed records POST back for the coordinator to checkpoint.
+
+Worker identity is ``host:pid`` — it is stamped into every lease, into
+the telemetry run header (:mod:`repro.obs` already records host and
+pid), and visible in ``repro campaign status``/``/statz`` while a
+lease is live.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+from ..config import RunConfig
+from ..obs import active as _telemetry
+from ..obs import tracing
+from ..serve.protocol import PROTOCOL_VERSION, envelope
+from .queue import DEFAULT_LEASE_TTL, Lease, WorkQueue, default_worker_id, open_queue
+from .runner import Campaign, compute_shard_records
+from .spec import CampaignSpec
+
+__all__ = ["CoordinatorClient", "JoinError", "join"]
+
+#: Idle poll interval while other workers hold all remaining leases.
+DEFAULT_POLL_S = 0.5
+
+
+class JoinError(RuntimeError):
+    """The join target is unreachable, foreign, or spoke a bad protocol."""
+
+
+class _HeartbeatThread:
+    """Renews one lease at ``ttl/3`` until stopped (or the lease is lost).
+
+    Losing the lease — the coordinator reclaimed it because we stalled —
+    sets :attr:`lost`; the worker finishes its shard anyway (the compute
+    is already sunk and the checkpoint is write-once deterministic, so a
+    duplicate completion is harmless) but logs the loss.
+    """
+
+    def __init__(self, renew, lease: Lease, interval: float) -> None:
+        self._renew = renew
+        self.lease = lease
+        self.lost = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, args=(interval,), daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            renewed = self._renew(self.lease)
+            if renewed is None:
+                self.lost.set()
+                return
+            self.lease = renewed
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class _PathTransport:
+    """Direct campaign-directory access (same host / shared filesystem)."""
+
+    def __init__(self, directory, backend: str, lease_ttl: float) -> None:
+        self.campaign = Campaign.open(directory)
+        self.queue: WorkQueue = open_queue(
+            self.campaign.paths.directory,
+            self.campaign.digest,
+            backend=backend,
+            lease_ttl=lease_ttl,
+        )
+        self.queue.enroll(
+            range(self.campaign.spec.n_shards),
+            done=self.campaign.completed_shards(),
+        )
+        self.spec = self.campaign.spec
+        self.cache_dir = (
+            str(self.campaign.paths.cache_dir) if self.spec.cache else None
+        )
+
+    def claim(self, worker: str):
+        lease = self.queue.claim(worker)
+        if lease is None:
+            return None, self.complete()
+        if self.campaign._shard_records(lease.shard) is not None:
+            self.queue.complete(lease)
+            return None, self.complete()
+        return lease, False
+
+    def heartbeat(self, lease: Lease):
+        return self.queue.heartbeat(lease)
+
+    def complete_shard(self, lease: Lease, records: list) -> None:
+        if self.campaign._shard_records(lease.shard) is None:
+            self.campaign.write_shard_checkpoint(lease.shard, records)
+        self.queue.complete(lease)
+        if not self.campaign.pending_shards():
+            # Idempotent: whichever joiner lands the last shard writes
+            # the (deterministic, hence identical) report.
+            self.campaign.write_report()
+            _telemetry().count("campaign.report.written")
+
+    def traceparent(self, lease: Lease) -> "str | None":
+        context = tracing.current() or tracing.from_environment()
+        return context.child().to_traceparent() if context else None
+
+    def complete(self) -> bool:
+        return not self.campaign.pending_shards()
+
+    def close(self) -> None:
+        self.queue.close()
+
+
+class CoordinatorClient:
+    """v2-envelope HTTP client for a ``repro campaign serve`` daemon."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "http":
+            raise JoinError(f"unsupported scheme in {url!r} (http only)")
+        self._conn = http.client.HTTPConnection(
+            parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=timeout
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(
+                envelope(payload), separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError):
+            self._conn.close()
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise JoinError(
+                f"coordinator sent non-JSON ({response.status}): {exc}"
+            ) from exc
+        if response.status != 200:
+            raise JoinError(
+                f"coordinator HTTP {response.status}: {data.get('error', raw[:200])}"
+            )
+        version = data.get("v")
+        if version != PROTOCOL_VERSION:
+            raise JoinError(
+                f"coordinator speaks protocol {version!r}, "
+                f"this client needs {PROTOCOL_VERSION}"
+            )
+        return data
+
+    def describe(self) -> dict:
+        return self._request("GET", "/v2/campaign")
+
+    def claim(self, worker: str) -> dict:
+        return self._request("POST", "/v2/campaign/claim", {"worker": worker})
+
+    def heartbeat(self, lease: Lease) -> "dict":
+        return self._request(
+            "POST",
+            "/v2/campaign/heartbeat",
+            {"shard": lease.shard, "token": lease.token, "worker": lease.worker},
+        )
+
+    def complete(self, lease: Lease, records: list) -> dict:
+        return self._request(
+            "POST",
+            "/v2/campaign/complete",
+            {
+                "shard": lease.shard,
+                "token": lease.token,
+                "worker": lease.worker,
+                "records": records,
+            },
+        )
+
+
+class _UrlTransport:
+    """Worker side of the coordinator protocol (no shared filesystem)."""
+
+    def __init__(self, url: str, cache_dir: "str | None") -> None:
+        self.client = CoordinatorClient(url)
+        info = self.client.describe()
+        try:
+            self.spec = CampaignSpec.from_dict(info["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JoinError(f"coordinator sent a bad spec: {exc}") from exc
+        self.digest = info.get("digest")
+        self.lease_ttl = float(info.get("lease_ttl") or DEFAULT_LEASE_TTL)
+        self._complete = bool(info.get("complete"))
+        self._traceparents: dict = {}
+        # A remote joiner has no campaign directory; verdict caching
+        # (if the spec wants it) goes to a local per-campaign directory.
+        # Cache location never affects record bytes.
+        self.cache_dir = cache_dir
+
+    def claim(self, worker: str):
+        answer = self.client.claim(worker)
+        self._complete = bool(answer.get("complete"))
+        shard = answer.get("shard")
+        if shard is None:
+            return None, self._complete
+        lease = Lease(
+            shard=int(shard),
+            worker=worker,
+            token=str(answer.get("token")),
+            expires=time.time() + float(answer.get("expires_s") or self.lease_ttl),
+        )
+        self._traceparents[lease.token] = answer.get("traceparent")
+        return lease, False
+
+    def heartbeat(self, lease: Lease):
+        answer = self.client.heartbeat(lease)
+        if not answer.get("ok"):
+            return None
+        return Lease(
+            lease.shard,
+            lease.worker,
+            lease.token,
+            time.time() + float(answer.get("expires_s") or self.lease_ttl),
+        )
+
+    def complete_shard(self, lease: Lease, records: list) -> None:
+        answer = self.client.complete(lease, records)
+        self._complete = bool(answer.get("complete"))
+
+    def traceparent(self, lease: Lease) -> "str | None":
+        return self._traceparents.pop(lease.token, None)
+
+    def complete(self) -> bool:
+        return self._complete
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def _open_transport(
+    target, *, backend: str, lease_ttl: float, cache_dir: "str | None"
+):
+    if isinstance(target, str) and target.startswith(("http://", "https://")):
+        return _UrlTransport(target, cache_dir)
+    return _PathTransport(target, backend, lease_ttl)
+
+
+def join(
+    target,
+    *,
+    workers: "int | None" = None,
+    backend: str = "sqlite",
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_shards: "int | None" = None,
+    poll_s: float = DEFAULT_POLL_S,
+    cache_dir: "str | None" = None,
+    worker_id: "str | None" = None,
+) -> dict:
+    """Work a campaign from ``target`` (a directory or coordinator URL)
+    until it completes (or ``max_shards`` shards have been executed).
+
+    Returns a summary ``{"worker", "shards", "lost_leases", "complete"}``.
+    """
+    worker = worker_id or default_worker_id()
+    transport = _open_transport(
+        target, backend=backend, lease_ttl=lease_ttl, cache_dir=cache_dir
+    )
+    # One resolution of the fan-out width for the whole join (satellite
+    # of the same fix in Campaign.run): $REPRO_WORKERS drifting while a
+    # campaign runs must not reshape later shards.
+    width = RunConfig(workers=workers).resolved_workers()
+    tel = _telemetry()
+    executed = []
+    lost = 0
+    try:
+        while True:
+            if max_shards is not None and len(executed) >= max_shards:
+                break
+            lease, complete = transport.claim(worker)
+            if lease is None:
+                if complete:
+                    break
+                time.sleep(poll_s)
+                continue
+            renew_every = max(transport_ttl(transport) / 3.0, 0.05)
+            beat = _HeartbeatThread(transport.heartbeat, lease, renew_every)
+            context = tracing.TraceContext.from_traceparent(
+                transport.traceparent(lease)
+            )
+            try:
+                with tracing.use(context):
+                    with tracing.trace_span(
+                        "campaign.join.shard",
+                        timing=True,
+                        shard=lease.shard,
+                        worker=worker,
+                    ):
+                        records = compute_shard_records(
+                            transport.spec,
+                            lease.shard,
+                            workers=width,
+                            cache_dir=transport.cache_dir,
+                        )
+            except BaseException:
+                beat.stop()
+                try:
+                    transport.queue.release(beat.lease)  # path transport only
+                except AttributeError:
+                    pass
+                raise
+            beat.stop()
+            if beat.lost.is_set():
+                # Our lease was reclaimed mid-compute (we stalled past
+                # the TTL).  The records are still valid — write-once
+                # checkpoints make duplicate completion harmless.
+                lost += 1
+            transport.complete_shard(beat.lease, records)
+            executed.append(lease.shard)
+            tel.heartbeat("campaign.join", worker=worker, shard=lease.shard)
+    finally:
+        transport.close()
+    return {
+        "worker": worker,
+        "shards": executed,
+        "lost_leases": lost,
+        "complete": transport.complete(),
+    }
+
+
+def transport_ttl(transport) -> float:
+    """The lease TTL governing ``transport`` (queue- or wire-advertised)."""
+    queue = getattr(transport, "queue", None)
+    if queue is not None:
+        return queue.lease_ttl
+    return getattr(transport, "lease_ttl", DEFAULT_LEASE_TTL)

@@ -40,7 +40,7 @@ import sys
 from . import faults, obs
 from .analysis import experiments, reporting
 from .analysis.traces import format_trace_table
-from .campaign import Campaign, CampaignError, CampaignSpec, render_report
+from .campaign import Campaign, CampaignError, CampaignSpec, QueueError, render_report
 from .config import RunConfig
 from .core.instances import ALL_NAMED_INSTANCES
 from .engine.cache import DEFAULT_CACHE_DIR, VerdictCache
@@ -505,6 +505,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     creport.add_argument("dir", help="campaign directory")
     creport.add_argument("--json", action="store_true")
+
+    cserve = campsub.add_parser(
+        "serve",
+        help="coordinate a campaign over HTTP so other hosts can join",
+    )
+    cserve.add_argument("dir", help="campaign directory")
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument(
+        "--port",
+        type=int,
+        default=8643,
+        help="listen port (default: %(default)s)",
+    )
+    cserve.add_argument(
+        "--queue-backend",
+        choices=("sqlite", "file"),
+        default="sqlite",
+        help="work-queue backend inside the campaign directory "
+        "(file = shared-filesystem lease files; default: %(default)s)",
+    )
+    cserve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat timeout before a worker's shard lease is "
+        "reclaimed (default: %(default)s)",
+    )
+    cserve.add_argument(
+        "--until-complete",
+        action="store_true",
+        help="exit once every shard is done and report.json is written "
+        "(instead of serving until SIGTERM)",
+    )
+    cserve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSONL path (default: telemetry.jsonl inside "
+        "the campaign directory)",
+    )
+    cserve.add_argument("--no-telemetry", action="store_true")
+    _add_fault_plan_flag(cserve)
+
+    cjoin = campsub.add_parser(
+        "join",
+        help="work a campaign's shard queue (directory or coordinator URL)",
+    )
+    cjoin.add_argument(
+        "target",
+        help="campaign directory (shared filesystem) or the "
+        "http://host:port of a `repro campaign serve` coordinator",
+    )
+    cjoin.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes per shard fan-out (default: $REPRO_WORKERS or "
+        "one per core, resolved once at join time)",
+    )
+    cjoin.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="leave after completing N shards (default: stay until the "
+        "campaign completes)",
+    )
+    cjoin.add_argument(
+        "--queue-backend",
+        choices=("sqlite", "file"),
+        default="sqlite",
+        help="work-queue backend (path targets only; must match the "
+        "other workers'; default: %(default)s)",
+    )
+    cjoin.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="lease TTL for path targets (URL targets use the "
+        "coordinator's; default: %(default)s)",
+    )
+    cjoin.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="verdict cache directory for URL targets (path targets "
+        "share the campaign's cache/)",
+    )
+    cjoin.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSONL path for this worker",
+    )
+    cjoin.add_argument("--no-telemetry", action="store_true")
+    _add_fault_plan_flag(cjoin)
 
     explain = sub.add_parser(
         "explain", help="derive one matrix cell with its proof chain"
@@ -1007,7 +1105,103 @@ def _campaign_execute(campaign: Campaign, args) -> int:
     return 0
 
 
+def _cmd_campaign_serve(args) -> int:
+    """``repro campaign serve <dir>`` — the coordinator daemon."""
+    from .campaign.coordinator import CampaignCoordinator
+
+    campaign = Campaign.open(args.dir)
+    path = None
+    if not args.no_telemetry:
+        path = args.telemetry or str(campaign.paths.telemetry_path)
+    obs.configure(
+        path,
+        run={"command": "campaign-serve", "campaign": campaign.spec.name},
+    )
+    try:
+        try:
+            coordinator = CampaignCoordinator(
+                campaign,
+                host=args.host,
+                port=args.port,
+                backend=args.queue_backend,
+                lease_ttl=args.lease_ttl,
+            )
+        except OSError as error:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        status = campaign.status()
+        print(
+            f"repro campaign serve: {campaign.spec.name} on "
+            f"{coordinator.url}  ({status['shards_pending']} of "
+            f"{status['shards_total']} shard(s) pending, "
+            f"queue {args.queue_backend}, lease TTL {args.lease_ttl:g}s)",
+            flush=True,
+        )
+        print(f"repro campaign serve: trace {coordinator.trace.trace_id}", flush=True)
+        coordinator.serve_forever(until_complete=args.until_complete)
+        if coordinator.complete:
+            print(
+                f"repro campaign serve: campaign complete, report at "
+                f"{campaign.paths.report_path}"
+            )
+    finally:
+        obs.shutdown()
+    return 0
+
+
+def _cmd_campaign_join(args) -> int:
+    """``repro campaign join <dir-or-url>`` — one worker loop."""
+    from .campaign.queue import default_worker_id
+    from .campaign.worker import JoinError, join
+
+    worker = default_worker_id()
+    path = None
+    if not args.no_telemetry:
+        path = args.telemetry
+        if path is None and not args.target.startswith(("http://", "https://")):
+            # Path joiners share the campaign's stream (append-only
+            # JSONL; repro stats/trace merge records by host+pid).
+            path = os.path.join(args.target, "telemetry.jsonl")
+    obs.configure(path, run={"command": "campaign-join", "worker": worker})
+    try:
+        summary = join(
+            args.target,
+            workers=args.workers,
+            backend=args.queue_backend,
+            lease_ttl=args.lease_ttl,
+            max_shards=args.max_shards,
+            cache_dir=args.cache_dir,
+            worker_id=worker,
+        )
+    except JoinError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        obs.shutdown()
+    print(
+        f"repro campaign join: worker {summary['worker']} ran "
+        f"{len(summary['shards'])} shard(s)"
+        + (f", lost {summary['lost_leases']} lease(s)" if summary["lost_leases"] else "")
+        + ("; campaign complete" if summary["complete"] else "")
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
+    if args.campaign_command in ("serve", "join"):
+        handler = (
+            _cmd_campaign_serve
+            if args.campaign_command == "serve"
+            else _cmd_campaign_join
+        )
+        try:
+            return handler(args)
+        except (CampaignError, QueueError, FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     try:
         campaign = _campaign_for_args(args)
         if args.campaign_command in ("run", "resume"):

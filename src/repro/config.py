@@ -104,6 +104,23 @@ class RunConfig:
             return self.cache
         return self.cache_dir
 
+    def resolved_workers(self) -> int:
+        """The concrete fan-out width this config implies.
+
+        ``workers`` when set; otherwise one snapshot of
+        :func:`repro.engine.parallel.default_workers` (which honours
+        ``$REPRO_WORKERS``).  Drivers that execute many fan-outs — the
+        campaign runner, ``campaign join`` — call this *once* and pass
+        the integer down, so an environment change mid-run never
+        reshapes later shards.  (Imported lazily: this module stays at
+        the bottom of the layering.)
+        """
+        if self.workers is not None:
+            return self.workers
+        from .engine.parallel import default_workers
+
+        return default_workers()
+
     def replace(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (fields re-validated)."""
         return dataclasses.replace(self, **changes)

@@ -92,7 +92,7 @@ def build_poll_frame(
         }
         for q in _QUANTILES:
             quantiles[f"p{int(q * 100)}"] = quantile_from_buckets(deltas, q)
-    return {
+    frame = {
         "source": "poll",
         "requests": int(_counter(samples, "requests")),
         "rps": rate("requests"),
@@ -106,6 +106,22 @@ def build_poll_frame(
         "draining": bool(_sample(samples, "repro_serve_draining") or 0),
         "quantiles": quantiles,
     }
+    # Scraping a campaign coordinator instead of (or alongside) a
+    # verdict server: surface the shard queue and lease traffic.
+    if _sample(samples, "repro_campaign_queue_depth") is not None:
+        frame["campaign"] = {
+            "open": int(_sample(samples, "repro_campaign_queue_depth") or 0),
+            "leased": int(_sample(samples, "repro_campaign_queue_leased") or 0),
+            "done": int(_sample(samples, "repro_campaign_queue_done") or 0),
+            "claimed": int(
+                _sample(samples, "repro_campaign_lease_claimed_total") or 0
+            ),
+            "reclaimed": int(
+                _sample(samples, "repro_campaign_lease_reclaimed_total") or 0
+            ),
+            "complete": bool(_sample(samples, "repro_campaign_complete") or 0),
+        }
+    return frame
 
 
 def build_tail_frame(records: list, window_s: float = 60.0) -> dict:
@@ -214,6 +230,15 @@ def render_frame(frame: dict, width: int = 72) -> str:
         f"inflight {frame['inflight']}   shed {frame['shed']} "
         f"({frame['shed_rate']:.2f}/s)   errors {frame['errors']}"
     )
+    campaign = frame.get("campaign")
+    if campaign:
+        state = "complete" if campaign.get("complete") else "running"
+        lines.append(
+            f"campaign {state}   shards open {campaign['open']} "
+            f"leased {campaign['leased']} done {campaign['done']}   "
+            f"leases claimed {campaign['claimed']} "
+            f"reclaimed {campaign['reclaimed']}"
+        )
     return "\n".join(lines)
 
 

@@ -30,7 +30,7 @@ __all__ = [
 ]
 
 #: Phase groups always present in the breakdown, in display order.
-KNOWN_PHASES = ("explore", "reduction", "cache", "worker", "serve")
+KNOWN_PHASES = ("explore", "reduction", "cache", "worker", "serve", "campaign")
 
 #: Counters inlined into the phase table under their phase group (the
 #: first dotted segment), so search-shape numbers — how much the packed
@@ -49,6 +49,10 @@ PHASE_COUNTERS = (
     "serve.inflight_joins",
     "serve.batches",
     "serve.shed",
+    "campaign.lease.claimed",
+    "campaign.lease.reclaimed",
+    "campaign.lease.completed",
+    "campaign.lease.lost",
 )
 
 

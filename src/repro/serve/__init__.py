@@ -25,7 +25,16 @@ See ``docs/serving.md`` for the wire protocol and deployment notes.
 """
 
 from .client import QueryResponse, ServeClient, ServerError, ServerShedding, query
-from .protocol import PROTOCOL_VERSION, ProtocolError, QueryRequest, parse_query
+from .protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    QueryRequest,
+    UnsupportedVersion,
+    check_version,
+    envelope,
+    parse_query,
+)
 from .server import ReproServer
 from .service import (
     ComputeFailed,
@@ -39,6 +48,7 @@ from .service import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ComputeFailed",
     "DeadlineExceeded",
     "Draining",
@@ -52,7 +62,10 @@ __all__ = [
     "ServerError",
     "ServerShedding",
     "Shed",
+    "UnsupportedVersion",
     "VerdictService",
+    "check_version",
+    "envelope",
     "parse_query",
     "query",
 ]

@@ -20,7 +20,7 @@ from ..core.serialization import instance_to_dict
 from ..core.spp import SPPInstance
 from ..engine.cache import result_from_payload
 from ..obs import tracing
-from .protocol import TRACE_RESPONSE_HEADER, TRACEPARENT_HEADER
+from .protocol import PROTOCOL_VERSION, TRACE_RESPONSE_HEADER, TRACEPARENT_HEADER
 
 __all__ = [
     "QueryResponse",
@@ -91,7 +91,7 @@ def build_query_body(
     are byte-identical on the wire — that is what makes the server's
     response hot tier, keyed by the raw body hash, effective.
     """
-    body: dict = {"instance": instance_to_dict(instance)}
+    body: dict = {"v": PROTOCOL_VERSION, "instance": instance_to_dict(instance)}
     if models is not None:
         body["models"] = list(models)
     bounds = {}

@@ -3,6 +3,7 @@
 One endpoint, ``POST /v1/query``, takes a JSON object::
 
     {
+      "v": 2,                       # envelope version; absent = legacy v1
       "instance": {...},            # core.serialization.instance_to_dict form
       "models":   ["R1O", ...],     # optional; default: all 24 models
       "bounds":   {                 # optional; all fields optional
@@ -19,7 +20,8 @@ One endpoint, ``POST /v1/query``, takes a JSON object::
 and answers::
 
     {
-      "protocol": 1,
+      "v": 2,
+      "protocol": 2,
       "instance": "<name>",
       "canonical_hash": "<sha256>",
       "results": {"<model>": <cache-entry payload>, ...},
@@ -54,15 +56,27 @@ from ..core.spp import SPPInstance
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "TRACEPARENT_HEADER",
     "TRACE_RESPONSE_HEADER",
     "ProtocolError",
     "QueryRequest",
+    "UnsupportedVersion",
+    "check_version",
+    "envelope",
     "parse_query",
 ]
 
-#: Bumped whenever the request/response JSON shape changes.
-PROTOCOL_VERSION = 1
+#: Bumped whenever the request/response JSON shape changes.  v2 added
+#: the explicit ``"v"`` envelope field shared by verdict queries and
+#: campaign lease brokering; v1 bodies (no ``"v"``) are still accepted
+#: on the verdict endpoint for old clients.
+PROTOCOL_VERSION = 2
+
+#: Versions this server parses.  Campaign coordination endpoints are
+#: v2-only (they did not exist before v2); the verdict endpoint keeps
+#: accepting version-less v1 bodies.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Request header carrying the client's trace context (W3C form,
 #: ``00-<trace>-<span>-01``).  Optional; a missing or malformed header
@@ -82,6 +96,53 @@ _REDUCTIONS = ("ample", "none")
 
 class ProtocolError(ValueError):
     """A malformed or out-of-contract query (HTTP 400)."""
+
+    #: Machine-readable error code echoed in the JSON error body.
+    code = "bad-request"
+
+
+class UnsupportedVersion(ProtocolError):
+    """An envelope version this server does not speak (HTTP 400).
+
+    The error body carries ``"code": "unsupported-version"`` plus the
+    versions the server does support, so old clients fail with an
+    actionable message instead of a shape mismatch deeper in.
+    """
+
+    code = "unsupported-version"
+
+    def __init__(self, version) -> None:
+        super().__init__(
+            f"unsupported protocol version {version!r}; this server "
+            f"speaks {', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
+        )
+        self.version = version
+
+
+def check_version(body: dict, *, minimum: int = 1) -> int:
+    """Validate a request envelope's ``"v"`` field; the effective version.
+
+    A missing ``"v"`` is a legacy v1 body — accepted when ``minimum``
+    allows it (the verdict endpoint), rejected by v2-only endpoints
+    (campaign lease brokering).  Anything outside
+    :data:`SUPPORTED_VERSIONS` raises :class:`UnsupportedVersion`.
+    """
+    version = body.get("v", 1)
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or version not in SUPPORTED_VERSIONS
+        or version < minimum
+    ):
+        raise UnsupportedVersion(version)
+    return version
+
+
+def envelope(payload: dict) -> dict:
+    """``payload`` stamped as a v2 envelope (``"v"`` first-class field)."""
+    out = {"v": PROTOCOL_VERSION}
+    out.update(payload)
+    return out
 
 
 @dataclass(frozen=True)
@@ -196,8 +257,9 @@ def parse_query(body, *, default_engine: str = "compiled") -> QueryRequest:
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
     _require(isinstance(body, dict), "request body must be a JSON object")
-    unknown = sorted(set(body) - {"instance", "models", "bounds", "config"})
+    unknown = sorted(set(body) - {"v", "instance", "models", "bounds", "config"})
     _require(not unknown, f"unknown request field(s): {', '.join(unknown)}")
+    check_version(body)
     _require("instance" in body, "request is missing 'instance'")
     try:
         instance = instance_from_dict(body["instance"])

@@ -17,7 +17,9 @@ Error mapping: :class:`~repro.serve.protocol.ProtocolError` → 400,
 :class:`~repro.serve.service.Shed` → 429 with ``Retry-After``,
 :class:`~repro.serve.service.Draining` → 503 with ``Retry-After``,
 :class:`~repro.serve.service.DeadlineExceeded` → 504, anything else
-→ 500.  Every error body is ``{"error": ..., "status": ...}``.
+→ 500.  Every error body is ``{"error": ..., "status": ...}``; protocol
+errors add a machine-readable ``"code"`` (e.g. ``unsupported-version``
+when a client speaks an envelope version this server does not).
 
 Shutdown: SIGTERM/SIGINT flip the service to draining (new queries get
 503), stop the accept loop, then ``server_close()`` joins the
@@ -85,8 +87,13 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
         self._send(status, body.encode("utf-8"), headers)
 
-    def _send_error(self, status: int, message: str, headers=()) -> None:
-        self._send_json(status, {"error": message, "status": status}, headers)
+    def _send_error(
+        self, status: int, message: str, headers=(), code: "str | None" = None
+    ) -> None:
+        payload = {"error": message, "status": status}
+        if code is not None:
+            payload["code"] = code
+        self._send_json(status, payload, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
@@ -130,7 +137,7 @@ class _Handler(BaseHTTPRequestHandler):
             with tracing.use(context):
                 body, hot = self.service.handle_query(raw)
         except ProtocolError as exc:
-            self._send_error(400, str(exc))
+            self._send_error(400, str(exc), code=exc.code)
         except Shed as exc:
             self._send_error(
                 429, str(exc), [("Retry-After", f"{exc.retry_after:g}")]

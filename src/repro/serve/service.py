@@ -272,6 +272,7 @@ class VerdictService:
             pending = len(self._pending)
             responses = len(self._responses)
         return {
+            "v": PROTOCOL_VERSION,
             "protocol": PROTOCOL_VERSION,
             "serve": counters,
             "queue_depth": self._queue.qsize(),
@@ -399,6 +400,7 @@ class VerdictService:
                 wait_span.note(owned=len(owned), joined=len(joined))
                 self._await(owned, joined, results, served, deadline)
         return {
+            "v": PROTOCOL_VERSION,
             "protocol": PROTOCOL_VERSION,
             "instance": request.instance.name,
             "canonical_hash": canonical,

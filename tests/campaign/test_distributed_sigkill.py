@@ -1,0 +1,165 @@
+"""The multi-host acceptance property, end to end through the CLI.
+
+One ``repro campaign serve`` coordinator, two ``repro campaign join``
+workers.  One worker is SIGKILLed mid-shard — no cleanup, no lease
+release — and the survivor must finish the campaign via stale-lease
+reclamation, producing a ``report.json`` byte-identical to a
+single-host run of the same spec.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+SPEC = {
+    "name": "distributed-sigkill",
+    "count": 8,
+    "models": ["R1O", "RMS"],
+    "mode": "explore",
+    "shard_size": 2,
+    "n_nodes": 4,
+    "queue_bound": 2,
+    "step_bound": 20000,
+}
+
+LEASE_TTL = "1.0"
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _cli(*argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def _spawn(*argv, stdout=subprocess.DEVNULL):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        cwd=str(REPO),
+        stdout=stdout,
+        stderr=subprocess.STDOUT,
+    )
+
+
+@pytest.mark.slow
+def test_sigkilled_joiner_is_reclaimed_and_report_is_bit_identical(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+
+    # Uninterrupted single-host reference.
+    reference_dir = tmp_path / "reference"
+    done = _cli(
+        "campaign", "run", str(spec_path),
+        "--dir", str(reference_dir), "--workers", "1", "--no-telemetry",
+    )
+    assert done.returncode == 0, done.stderr
+    reference = (reference_dir / "report.json").read_bytes()
+
+    # Materialize the distributed campaign directory (0 shards).
+    victim_dir = tmp_path / "victim"
+    boot = _cli(
+        "campaign", "run", str(spec_path),
+        "--dir", str(victim_dir), "--max-shards", "0", "--no-telemetry",
+    )
+    assert boot.returncode == 0, boot.stderr
+
+    # Coordinator on an ephemeral port, announced on stdout.  It stays
+    # up after completion (no --until-complete) so the final /metrics
+    # scrape below cannot race the shutdown.
+    serve_log = tmp_path / "serve.log"
+    with open(serve_log, "w") as log:
+        server = _spawn(
+            "campaign", "serve", str(victim_dir),
+            "--port", "0", "--lease-ttl", LEASE_TTL,
+            stdout=log,
+        )
+    url = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and url is None:
+        match = re.search(r"on (http://[\d.:]+)", serve_log.read_text())
+        if match:
+            url = match.group(1)
+        else:
+            assert server.poll() is None, serve_log.read_text()
+            time.sleep(0.05)
+    assert url, "coordinator never announced its URL"
+
+    try:
+        victim = _spawn(
+            "campaign", "join", url, "--workers", "1",
+            "--telemetry", str(victim_dir / "telemetry.jsonl"),
+        )
+        # Kill the victim as soon as it holds a lease — it dies
+        # mid-shard, leaving a stale lease behind for reclamation.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            queue = json.load(
+                urllib.request.urlopen(url + "/statz", timeout=5)
+            )["queue"]
+            if queue["leased"] >= 1:
+                break
+            time.sleep(0.002)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+        assert not (victim_dir / "report.json").is_file(), (
+            "victim finished the whole campaign before the kill; "
+            "grow the spec to widen the window"
+        )
+
+        # The survivor drains the queue, reclaiming the victim's lease.
+        survivor = _spawn(
+            "campaign", "join", url, "--workers", "1",
+            "--telemetry", str(victim_dir / "telemetry.jsonl"),
+        )
+        assert survivor.wait(timeout=300) == 0
+        metrics = urllib.request.urlopen(
+            url + "/metrics", timeout=5
+        ).read().decode()
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        server.wait(timeout=60)
+
+    assert (victim_dir / "report.json").read_bytes() == reference
+
+    # Lease traffic is observable: claims happened, and the victim's
+    # stale lease was reclaimed.
+    claimed = re.search(r"repro_campaign_lease_claimed_total (\d+)", metrics)
+    reclaimed = re.search(r"repro_campaign_lease_reclaimed_total (\d+)", metrics)
+    assert claimed and int(claimed.group(1)) >= 2, metrics
+    assert reclaimed and int(reclaimed.group(1)) >= 1, metrics
+
+    # The campaign trace is reconstructible from the shared telemetry.
+    trace_id = re.search(r"trace ([0-9a-f]{32})", serve_log.read_text())
+    assert trace_id, serve_log.read_text()
+    shown = _cli(
+        "trace", "show", trace_id.group(1),
+        "--telemetry", str(victim_dir / "telemetry.jsonl"),
+    )
+    assert shown.returncode == 0, shown.stderr

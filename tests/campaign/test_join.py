@@ -1,0 +1,147 @@
+"""Multi-worker joins converge on the single-host report, byte for byte.
+
+The determinism chain under test: records are pure functions of
+``(spec, shard)``, checkpoints are write-once, and the report
+aggregates in manifest order — so any interleaving of joiners (path or
+HTTP transport, duplicated work included) must reproduce the
+single-host ``report.json`` exactly.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign import api
+from repro.campaign.spec import CampaignSpec
+
+SPEC = dict(
+    name="join-test",
+    count=6,
+    models=("R1O", "RMS"),
+    mode="explore",
+    shard_size=2,
+    n_nodes=4,
+    queue_bound=2,
+    step_bound=20_000,
+    cache=False,
+)
+
+
+@pytest.fixture(scope="module")
+def reference_report(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("reference") / "campaign"
+    handle = api.create(CampaignSpec(**SPEC), directory)
+    handle.run(workers=1)
+    return (directory / "report.json").read_bytes()
+
+
+def _join_all(target, n_workers, **kwargs):
+    summaries = []
+    lock = threading.Lock()
+
+    def work():
+        summary = api.join(target, workers=1, **kwargs)
+        with lock:
+            summaries.append(summary)
+
+    threads = [threading.Thread(target=work) for _ in range(n_workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return summaries
+
+
+@pytest.mark.parametrize("backend", ("sqlite", "file"))
+def test_two_path_joiners_match_single_host(
+    tmp_path, backend, reference_report
+):
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory)
+    summaries = _join_all(str(directory), 2, backend=backend, lease_ttl=10.0)
+    assert (directory / "report.json").read_bytes() == reference_report
+    ran = sorted(shard for s in summaries for shard in s["shards"])
+    assert ran == list(range(CampaignSpec(**SPEC).n_shards))
+    assert all(s["complete"] for s in summaries)
+
+
+def test_two_url_joiners_match_single_host(tmp_path, reference_report):
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory)
+    coordinator = api.serve(directory, port=0, lease_ttl=10.0)
+    with coordinator:
+        summaries = _join_all(
+            coordinator.url, 2, cache_dir=str(tmp_path / "worker-cache")
+        )
+        assert coordinator.wait_complete(timeout=10)
+        snap = coordinator.queue.snapshot()
+    assert (directory / "report.json").read_bytes() == reference_report
+    assert snap["done"] == CampaignSpec(**SPEC).n_shards
+    assert all(s["complete"] for s in summaries)
+
+
+def test_join_then_join_again_is_idempotent(tmp_path, reference_report):
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory)
+    api.join(str(directory), workers=1)
+    again = api.join(str(directory), workers=1)
+    assert again["shards"] == [] and again["complete"]
+    assert (directory / "report.json").read_bytes() == reference_report
+
+
+def test_max_shards_leaves_early(tmp_path):
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory)
+    summary = api.join(str(directory), workers=1, max_shards=1)
+    assert len(summary["shards"]) == 1
+    assert not (directory / "report.json").is_file()
+
+
+def test_url_status_and_handle_surface(tmp_path):
+    directory = tmp_path / "campaign"
+    handle = api.create(CampaignSpec(**SPEC), directory)
+    assert handle.digest == api.attach(directory).digest
+    assert "join-test" in repr(handle)
+    coordinator = api.serve(directory, port=0)
+    with coordinator:
+        status = api.status(coordinator.url)
+        assert status["v"] == 2
+        assert status["campaign"]["shards_total"] == CampaignSpec(**SPEC).n_shards
+        assert status["queue"]["open"] == CampaignSpec(**SPEC).n_shards
+    assert api.status(str(directory))["shards_pending"] > 0
+
+
+def test_workers_resolved_once_per_join(tmp_path, monkeypatch):
+    """$REPRO_WORKERS is read once at join time, not once per shard."""
+    import repro.config as config_module
+
+    calls = []
+    real = config_module.RunConfig.resolved_workers
+
+    def counting(self):
+        calls.append(self.workers)
+        return real(self)
+
+    monkeypatch.setattr(config_module.RunConfig, "resolved_workers", counting)
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory)
+    api.join(str(directory))
+    assert len(calls) == 1
+
+
+def test_campaign_run_resolves_workers_once(tmp_path, monkeypatch):
+    import repro.config as config_module
+
+    calls = []
+    real = config_module.RunConfig.resolved_workers
+
+    def counting(self):
+        calls.append(self.workers)
+        return real(self)
+
+    monkeypatch.setattr(config_module.RunConfig, "resolved_workers", counting)
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    directory = tmp_path / "campaign"
+    api.create(CampaignSpec(**SPEC), directory).run()
+    assert len(calls) == 1

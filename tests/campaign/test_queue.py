@@ -1,0 +1,183 @@
+"""Lease-lifecycle properties of the campaign work queue.
+
+Both backends must uphold the same contract: at most one unexpired
+lease per shard (racing claimers never double-assign), heartbeat expiry
+reclaims exactly the dead worker's shards, completion is terminal, and
+a queue directory refuses to serve a foreign campaign digest.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign.queue import (
+    BACKENDS,
+    DEFAULT_LEASE_TTL,
+    QueueError,
+    open_queue,
+)
+
+DIGEST = "ab" * 32
+OTHER_DIGEST = "cd" * 32
+
+
+def make_queue(tmp_path, backend, lease_ttl=DEFAULT_LEASE_TTL, digest=DIGEST):
+    return open_queue(tmp_path, digest, backend=backend, lease_ttl=lease_ttl)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestLifecycle:
+    def test_claim_heartbeat_complete(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend)
+        q.enroll(range(3))
+        assert q.snapshot() == {
+            **q.snapshot(),
+            "open": 3,
+            "leased": 0,
+            "done": 0,
+        }
+
+        lease = q.claim("w1")
+        assert lease is not None and lease.shard == 0 and lease.worker == "w1"
+        assert q.snapshot()["leased"] == 1
+
+        renewed = q.heartbeat(lease)
+        assert renewed is not None and renewed.expires >= lease.expires
+        assert q.complete(renewed) is True
+        snap = q.snapshot()
+        assert snap["done"] == 1 and snap["leased"] == 0
+
+        # Claims proceed in shard order over what remains.
+        assert q.claim("w1").shard == 1
+        q.close()
+
+    def test_enroll_is_idempotent_and_respects_done(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend)
+        q.enroll(range(4), done=(1, 3))
+        q.enroll(range(4), done=(1, 3))
+        snap = q.snapshot()
+        assert snap["open"] == 2 and snap["done"] == 2
+        assert [q.claim("w").shard for _ in range(2)] == [0, 2]
+        assert q.claim("w") is None
+        q.close()
+
+    def test_release_reopens_the_shard(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend)
+        q.enroll([7])
+        lease = q.claim("w1")
+        q.release(lease)
+        assert q.snapshot()["open"] == 1
+        again = q.claim("w2")
+        assert again.shard == 7 and again.token != lease.token
+        q.close()
+
+    def test_expired_lease_is_reclaimed_by_next_claim(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend, lease_ttl=0.05)
+        q.enroll([0])
+        dead = q.claim("dead-worker")
+        assert dead is not None
+        assert q.claim("live-worker") is None  # still held
+        time.sleep(0.1)
+        stolen = q.claim("live-worker")
+        assert stolen is not None and stolen.shard == 0
+        # The dead worker's lease is gone: heartbeat and complete refuse.
+        assert q.heartbeat(dead) is None
+        assert q.complete(dead) is False
+        # The thief's lease works normally.
+        assert q.complete(stolen) is True
+        q.close()
+
+    def test_reclaim_touches_exactly_the_expired_leases(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend, lease_ttl=0.6)
+        q.enroll(range(3))
+        dead_a = q.claim("dead")
+        dead_b = q.claim("dead")
+        live = q.claim("live")
+        time.sleep(0.4)
+        kept = q.heartbeat(live)  # live renews; the dead worker does not
+        assert kept is not None
+        time.sleep(0.3)  # dead leases now past TTL, live's renewal is not
+        reclaimed = q.reclaim()
+        # Exactly the dead worker's shards are reclaimed; the live
+        # worker's heartbeaten lease is untouched.
+        assert set(reclaimed) == {dead_a.shard, dead_b.shard}
+        assert q.heartbeat(kept) is not None
+        assert q.snapshot()["open"] == 2
+        q.close()
+
+    def test_foreign_digest_is_refused(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend)
+        q.enroll([0])
+        q.close()
+        with pytest.raises(QueueError, match="refusing"):
+            make_queue(tmp_path, backend, digest=OTHER_DIGEST)
+
+    def test_complete_after_steal_reports_loss_but_keeps_done(
+        self, tmp_path, backend
+    ):
+        q = make_queue(tmp_path, backend, lease_ttl=0.05)
+        q.enroll([0])
+        loser = q.claim("loser")
+        time.sleep(0.1)
+        winner = q.claim("winner")
+        assert q.complete(loser) is False
+        # Whoever holds the live lease still completes cleanly; either
+        # way the shard ends done (checkpoints are write-once, so a
+        # duplicate completion is harmless by design).
+        q.complete(winner)
+        assert q.snapshot()["done"] == 1
+        q.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_racing_claims_never_double_assign(tmp_path, backend):
+    """N threads hammering claim() assign each shard exactly once."""
+    n_shards, n_threads = 12, 6
+    q = make_queue(tmp_path, backend)
+    q.enroll(range(n_shards))
+    assignments = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_threads)
+
+    def worker(name):
+        barrier.wait()
+        while True:
+            lease = q.claim(name)
+            if lease is None:
+                return
+            with lock:
+                assignments.append((lease.shard, name, lease.token))
+            q.complete(lease)
+
+    threads = [
+        threading.Thread(target=worker, args=(f"w{i}",))
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    shards = [shard for shard, _, _ in assignments]
+    assert sorted(shards) == list(range(n_shards))  # each exactly once
+    assert len({token for _, _, token in assignments}) == n_shards
+    assert q.snapshot()["done"] == n_shards
+    q.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_two_queue_instances_share_state(tmp_path, backend):
+    """Separate opens of the same directory see one queue (multi-process
+    shape, exercised in-process)."""
+    q1 = make_queue(tmp_path, backend)
+    q1.enroll(range(2))
+    q2 = make_queue(tmp_path, backend)
+    q2.enroll(range(2))
+    a = q1.claim("a")
+    b = q2.claim("b")
+    assert {a.shard, b.shard} == {0, 1}
+    assert q1.claim("a") is None and q2.claim("b") is None
+    q2.complete(b)
+    assert q1.snapshot()["done"] == 1
+    q1.close()
+    q2.close()

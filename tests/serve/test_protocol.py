@@ -5,7 +5,15 @@ import json
 import pytest
 
 from repro.core.serialization import instance_to_dict
-from repro.serve.protocol import ProtocolError, parse_query
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    UnsupportedVersion,
+    check_version,
+    envelope,
+    parse_query,
+)
 
 
 def body(disagree, **extra):
@@ -88,3 +96,52 @@ class TestParseQuery:
         other = parse_query(body(disagree, bounds={"queue_bound": 2}))
         assert base.group_key("h") == same.group_key("h")
         assert base.group_key("h") != other.group_key("h")
+
+
+class TestVersioning:
+    """The shared v2 envelope: verdict queries stay lenient (a missing
+    ``"v"`` is a legacy v1 client), campaign endpoints demand v2."""
+
+    def test_current_version_is_supported(self):
+        assert PROTOCOL_VERSION == 2
+        assert PROTOCOL_VERSION in SUPPORTED_VERSIONS
+
+    def test_missing_v_is_legacy_v1(self):
+        assert check_version({}) == 1
+
+    @pytest.mark.parametrize("v", sorted(SUPPORTED_VERSIONS))
+    def test_supported_versions_pass(self, v):
+        assert check_version({"v": v}) == v
+
+    @pytest.mark.parametrize("v", [0, 3, 99, -1, "2", 2.0, True, None])
+    def test_bad_versions_raise_with_machine_code(self, v):
+        with pytest.raises(UnsupportedVersion) as info:
+            check_version({"v": v})
+        assert info.value.code == "unsupported-version"
+
+    def test_minimum_gates_legacy_clients(self):
+        # A campaign endpoint (minimum=2) refuses v1 and bare bodies.
+        with pytest.raises(UnsupportedVersion):
+            check_version({"v": 1}, minimum=2)
+        with pytest.raises(UnsupportedVersion):
+            check_version({}, minimum=2)
+        assert check_version({"v": 2}, minimum=2) == 2
+
+    def test_unsupported_version_is_a_protocol_error(self):
+        assert issubclass(UnsupportedVersion, ProtocolError)
+        assert ProtocolError("x").code == "bad-request"
+
+    def test_envelope_stamps_current_version(self):
+        assert envelope({"shard": 3}) == {"v": 2, "shard": 3}
+
+    def test_parse_query_accepts_versioned_bodies(self, disagree):
+        request = parse_query(body(disagree, v=PROTOCOL_VERSION))
+        assert request.instance.name == disagree.name
+        with pytest.raises(UnsupportedVersion):
+            parse_query(body(disagree, v=99))
+
+    def test_client_bodies_are_versioned(self, disagree):
+        from repro.serve.client import build_query_body
+
+        sent = json.loads(build_query_body(disagree))
+        assert sent["v"] == PROTOCOL_VERSION

@@ -13,6 +13,7 @@ import repro
 EXPECTED_ALL = [
     "ALL_MODELS",
     "Campaign",
+    "CampaignHandle",
     "CampaignSpec",
     "CommunicationModel",
     "FaultPlan",
@@ -97,3 +98,29 @@ def test_campaign_surface():
         assert hasattr(Campaign, name)
     assert callable(aggregate_report) and callable(render_report)
     assert callable(spec_digest) and callable(CampaignSpec.from_file)
+
+
+def test_campaign_api_facade_surface():
+    from repro.campaign import api
+
+    for name in ("create", "attach", "run", "serve", "join", "status", "report"):
+        assert callable(getattr(api, name)), name
+    for name in ("run", "serve", "join", "status", "report", "records"):
+        assert hasattr(api.CampaignHandle, name), name
+    assert repro.CampaignHandle is api.CampaignHandle
+
+
+def test_campaign_resume_is_deprecated_alias():
+    import warnings
+
+    import pytest
+
+    with pytest.warns(DeprecationWarning, match="resume"):
+        # Bound-method lookup is enough to keep the shim honest once
+        # it's invoked; use a directory-free call path via a stub.
+        campaign = repro.Campaign.__new__(repro.Campaign)
+        campaign.run = lambda workers=None, max_shards=None: ["ran"]
+        assert campaign.resume() == ["ran"]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        campaign.run()  # the replacement path stays warning-free
