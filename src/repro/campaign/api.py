@@ -23,7 +23,7 @@ survives as a :class:`DeprecationWarning` shim.
 from __future__ import annotations
 
 from .coordinator import DEFAULT_PORT, CampaignCoordinator
-from .queue import DEFAULT_LEASE_TTL
+from .queue import DEFAULT_LEASE_TTL, DEFAULT_QUARANTINE_AFTER
 from .runner import Campaign
 from .spec import CampaignSpec
 
@@ -96,6 +96,13 @@ class CampaignHandle:
         return self._campaign.status()
 
     def report(self) -> dict:
+        from .manifest import read_json
+
+        # A written partial report (quarantined shards) is authoritative —
+        # recomputing would refuse on the pending-but-quarantined shards.
+        written = read_json(self._campaign.paths.report_path)
+        if written is not None and written.get("partial"):
+            return written
         return self._campaign.report()
 
     def records(self) -> list:
@@ -128,11 +135,16 @@ def serve(
     port: int = DEFAULT_PORT,
     backend: str = "sqlite",
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
 ) -> CampaignCoordinator:
     """A coordinator daemon over ``directory`` (not yet started; use as
     a context manager, or call ``start_background``/``serve_forever``)."""
     return attach(directory).serve(
-        host=host, port=port, backend=backend, lease_ttl=lease_ttl
+        host=host,
+        port=port,
+        backend=backend,
+        lease_ttl=lease_ttl,
+        quarantine_after=quarantine_after,
     )
 
 

@@ -25,6 +25,18 @@ off, drain-on-SIGTERM), the same v2 protocol envelopes, and the same
   coordinator validates and writes the shard checkpoint through the
   write-once store, and writes ``report.json`` when the last shard
   lands.
+* ``POST /v2/campaign/fail`` — a worker's compute failure on a leased
+  shard.  The queue re-opens the shard, or quarantines it once enough
+  distinct workers have failed it; a campaign whose only remaining
+  shards are quarantined completes with an explicitly *partial* report.
+
+**Crash recovery.**  The coordinator holds no campaign state that is
+not on disk: on boot it re-attaches to the durable queue, completes
+queue rows whose checkpoints already landed, and re-opens queue rows
+marked done whose checkpoint is missing or invalid.  SIGKILLing a
+coordinator mid-campaign and restarting it therefore resumes brokering
+exactly where the disk says the campaign is — and the final report is
+byte-identical to an uninterrupted run.
 * ``GET  /statz`` — campaign status + live queue snapshot.
 * ``GET  /metrics`` — lease/queue counters and gauges.
 
@@ -49,7 +61,13 @@ from ..serve.protocol import (
     check_version,
     envelope,
 )
-from .queue import DEFAULT_LEASE_TTL, Lease, WorkQueue, open_queue
+from .queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_QUARANTINE_AFTER,
+    Lease,
+    WorkQueue,
+    open_queue,
+)
 from .runner import Campaign, CampaignError
 
 __all__ = ["CampaignCoordinator", "DEFAULT_PORT", "open_coordinator"]
@@ -116,6 +134,7 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             "/v2/campaign/claim": self.coordinator.handle_claim,
             "/v2/campaign/heartbeat": self.coordinator.handle_heartbeat,
             "/v2/campaign/complete": self.coordinator.handle_complete,
+            "/v2/campaign/fail": self.coordinator.handle_fail,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -159,6 +178,7 @@ class CampaignCoordinator:
         port: int = DEFAULT_PORT,
         backend: str = "sqlite",
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
         self.campaign = campaign
         self.backend = backend
@@ -167,9 +187,18 @@ class CampaignCoordinator:
             campaign.digest,
             backend=backend,
             lease_ttl=lease_ttl,
+            quarantine_after=quarantine_after,
         )
         done = campaign.completed_shards()
         self.queue.enroll(range(campaign.spec.n_shards), done=done)
+        # Boot reconciliation, the other direction: queue rows marked
+        # done whose checkpoint is missing or invalid on disk (a crash
+        # between checkpoint loss and queue state, or manual cleanup)
+        # go back to open so the work actually happens again.
+        stale = sorted(set(self.queue.done_shards()) - set(done))
+        if stale:
+            self.queue.reset(stale)
+            _telemetry().count("campaign.queue.reconciled", len(stale))
         # One trace for the whole campaign: worker shard spans become
         # children of this root, so `repro trace show` reconstructs the
         # cross-host shard tree from any participant's telemetry.
@@ -181,7 +210,7 @@ class CampaignCoordinator:
         self.httpd.coordinator = self  # type: ignore[attr-defined]
         self._thread: "threading.Thread | None" = None
         self._complete_event = threading.Event()
-        if not campaign.pending_shards():
+        if not self._unresolved_shards():
             self._complete_event.set()
 
     # -- addressing ------------------------------------------------------
@@ -202,6 +231,17 @@ class CampaignCoordinator:
         return self._complete_event.is_set()
 
     # -- endpoint bodies -------------------------------------------------
+    def _unresolved_shards(self) -> list:
+        """Pending shards that could still resolve: not checkpointed and
+        not quarantined.  Empty means the campaign is as done as it can
+        get — fully, or partially with quarantined poison."""
+        quarantined = set(self.queue.quarantined())
+        return [
+            shard
+            for shard in self.campaign.pending_shards()
+            if shard not in quarantined
+        ]
+
     def describe(self) -> dict:
         """The ``GET /v2/campaign`` bootstrap payload."""
         return {
@@ -209,6 +249,7 @@ class CampaignCoordinator:
             "digest": self.campaign.digest,
             "backend": self.queue.backend,
             "lease_ttl": self.queue.lease_ttl,
+            "quarantine_after": self.queue.quarantine_after,
             "trace": self.trace.trace_id,
             "complete": self.complete,
         }
@@ -219,6 +260,7 @@ class CampaignCoordinator:
             raise ProtocolError("'worker' must be a non-empty string")
         lease = self.queue.claim(worker)
         if lease is None:
+            self._maybe_finish()
             return {"shard": None, "complete": self.complete}
         # Already-checkpointed shards (e.g. enrolled before a restart
         # with a stale queue) complete instantly without recompute.
@@ -255,6 +297,20 @@ class CampaignCoordinator:
         self._maybe_finish()
         return {"ok": True, "owned": owned, "complete": self.complete}
 
+    def handle_fail(self, body: dict) -> dict:
+        lease = self._lease_from(body)
+        outcome = self.queue.fail(lease)
+        _telemetry().event(
+            "campaign.shard.fail",
+            shard=lease.shard,
+            worker=lease.worker,
+            outcome=outcome,
+            error=str(body.get("error", ""))[:500],
+        )
+        if outcome == "quarantined":
+            self._maybe_finish()
+        return {"ok": outcome != "lost", "outcome": outcome, "complete": self.complete}
+
     def _lease_from(self, body: dict) -> Lease:
         shard = body.get("shard")
         token = body.get("token")
@@ -271,12 +327,15 @@ class CampaignCoordinator:
             if self._report_written:
                 self._complete_event.set()
                 return
-            if self.campaign.pending_shards():
+            if self._unresolved_shards():
                 return
-            self.campaign.write_report()
+            quarantined = self.queue.quarantined()
+            self.campaign.write_report(quarantined=quarantined)
             self._report_written = True
             self._complete_event.set()
             _telemetry().count("campaign.report.written")
+            if quarantined:
+                _telemetry().count("campaign.report.partial")
 
     def statz(self) -> dict:
         return {
@@ -295,6 +354,7 @@ class CampaignCoordinator:
         gauges["campaign.queue.depth"] = snapshot["open"]
         gauges["campaign.queue.leased"] = snapshot["leased"]
         gauges["campaign.queue.done"] = snapshot["done"]
+        gauges["campaign.shards_quarantined"] = snapshot.get("quarantined", 0)
         gauges["campaign.complete"] = int(self.complete)
         registry = getattr(tel, "metrics", None) or _metrics.registry()
         return _metrics.render_prometheus(
@@ -362,6 +422,7 @@ def open_coordinator(
     port: int = DEFAULT_PORT,
     backend: str = "sqlite",
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
 ) -> CampaignCoordinator:
     """A coordinator over the existing campaign at ``directory``."""
     return CampaignCoordinator(
@@ -370,4 +431,5 @@ def open_coordinator(
         port=port,
         backend=backend,
         lease_ttl=lease_ttl,
+        quarantine_after=quarantine_after,
     )

@@ -21,6 +21,12 @@ rarely run twice), which is exactly what a lease protocol gives:
 * ``complete`` marks a shard ``done`` *after* its checkpoint landed in
   the write-once store, so the queue's ``done`` state never runs ahead
   of durable results.
+* ``fail`` records a worker's compute failure against the shard
+  (token-guarded like every other transition).  A shard that keeps
+  failing across ``quarantine_after`` *distinct* workers — or across
+  three times that many attempts total, so a lone worker cannot
+  livelock on it — moves to ``quarantined``: never re-leased, reported
+  explicitly, repairable by ``repro doctor``/``reset``.
 
 Two interchangeable backends behind the same :class:`WorkQueue`
 surface (following the PyExperimenter experiment-table pattern: any
@@ -61,6 +67,7 @@ from ..obs import active as _telemetry
 __all__ = [
     "BACKENDS",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_QUARANTINE_AFTER",
     "FileLeaseWorkQueue",
     "Lease",
     "QueueError",
@@ -77,6 +84,11 @@ BACKENDS = ("sqlite", "file")
 #: a third of this, so one missed renewal never loses a lease; losing
 #: three in a row (or dying) does.
 DEFAULT_LEASE_TTL = 30.0
+
+#: Distinct workers that must fail a shard before it is quarantined.
+#: (A single worker quarantines it alone after three times as many
+#: failures — a poison shard must not livelock a one-worker campaign.)
+DEFAULT_QUARANTINE_AFTER = 3
 
 
 class QueueError(RuntimeError):
@@ -117,11 +129,19 @@ class WorkQueue:
 
     backend = "abstract"
 
-    def __init__(self, digest: str, lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+    def __init__(
+        self,
+        digest: str,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+    ) -> None:
         if lease_ttl <= 0:
             raise QueueError("lease_ttl must be positive")
+        if quarantine_after < 1:
+            raise QueueError("quarantine_after must be at least 1")
         self.digest = digest
         self.lease_ttl = lease_ttl
+        self.quarantine_after = quarantine_after
 
     # -- protocol -------------------------------------------------------
     def enroll(self, shards, done=()) -> None:
@@ -150,6 +170,31 @@ class WorkQueue:
         """Move every expired lease back to ``open``; the shard ids."""
         raise NotImplementedError
 
+    def fail(self, lease: Lease) -> str:
+        """Record a compute failure against the leased shard.
+
+        Token-guarded.  Returns the shard's resulting disposition:
+        ``"open"`` (re-leasable), ``"quarantined"`` (failure budget
+        exhausted — never re-leased), or ``"lost"`` (the lease was
+        already gone; nothing recorded).
+        """
+        raise NotImplementedError
+
+    def quarantined(self) -> list:
+        """Shard ids currently quarantined, sorted."""
+        raise NotImplementedError
+
+    def done_shards(self) -> list:
+        """Shard ids the queue believes are complete, sorted."""
+        raise NotImplementedError
+
+    def reset(self, shards) -> list:
+        """Force ``shards`` back to ``open`` (from ``done`` or
+        ``quarantined``) — the coordinator's boot-reconciliation and
+        ``repro doctor --repair`` path.  Returns the ids actually
+        reset."""
+        raise NotImplementedError
+
     def snapshot(self) -> dict:
         """Queue state: counts per state plus the live leases."""
         raise NotImplementedError
@@ -176,6 +221,21 @@ class WorkQueue:
         tel.gauge("campaign.queue.depth", snapshot["open"])
         tel.gauge("campaign.queue.leased", snapshot["leased"])
         tel.gauge("campaign.queue.done", snapshot["done"])
+        tel.gauge("campaign.shards_quarantined", snapshot.get("quarantined", 0))
+
+    def _should_quarantine(self, workers) -> bool:
+        """The failure budget: ``quarantine_after`` distinct workers, or
+        three times that many attempts from however few."""
+        return (
+            len(set(workers)) >= self.quarantine_after
+            or len(workers) >= 3 * self.quarantine_after
+        )
+
+    def _record_fail(self, lease: Lease, outcome: str) -> None:
+        tel = _telemetry()
+        tel.count("campaign.shard.failed")
+        if outcome == "quarantined":
+            tel.count("campaign.shard.quarantined")
 
 
 class SQLiteWorkQueue(WorkQueue):
@@ -188,8 +248,9 @@ class SQLiteWorkQueue(WorkQueue):
         path,
         digest: str,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
-        super().__init__(digest, lease_ttl)
+        super().__init__(digest, lease_ttl, quarantine_after)
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
@@ -211,8 +272,20 @@ class SQLiteWorkQueue(WorkQueue):
                 " worker TEXT,"
                 " token TEXT,"
                 " expires REAL,"
-                " claims INTEGER NOT NULL DEFAULT 0)"
+                " claims INTEGER NOT NULL DEFAULT 0,"
+                " failures TEXT NOT NULL DEFAULT '[]')"
             )
+            # Migration for queues created before the failure counter:
+            # ALTER is idempotent-by-check against the live column list.
+            columns = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(shards)")
+            }
+            if "failures" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE shards ADD COLUMN failures"
+                    " TEXT NOT NULL DEFAULT '[]'"
+                )
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key='digest'"
             ).fetchone()
@@ -321,17 +394,100 @@ class SQLiteWorkQueue(WorkQueue):
         return Lease(lease.shard, lease.worker, lease.token, expires)
 
     def complete(self, lease: Lease) -> bool:
+        state = None
         with self._lock:
             cursor = self._conn.execute(
                 "UPDATE shards SET state='done', worker=NULL, token=NULL,"
                 " expires=NULL WHERE shard=? AND token=? AND state='leased'",
                 (lease.shard, lease.token),
             )
+            if cursor.rowcount != 1:
+                row = self._conn.execute(
+                    "SELECT state FROM shards WHERE shard=?", (lease.shard,)
+                ).fetchone()
+                state = row[0] if row else None
         if cursor.rowcount != 1:
-            _telemetry().count("campaign.lease.lost")
+            # A completion whose shard is already done is a *duplicate*
+            # (someone else finished the same deterministic work — the
+            # checkpoint bytes match); anything else is a lost lease.
+            if state == "done":
+                _telemetry().count("campaign.complete.duplicate")
+            else:
+                _telemetry().count("campaign.lease.lost")
             return False
         _telemetry().count("campaign.lease.completed")
         return True
+
+    def fail(self, lease: Lease) -> str:
+        with self._lock:
+            conn = self._begin()
+            try:
+                row = conn.execute(
+                    "SELECT failures FROM shards WHERE shard=? AND token=?"
+                    " AND state='leased'",
+                    (lease.shard, lease.token),
+                ).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    _telemetry().count("campaign.lease.lost")
+                    return "lost"
+                try:
+                    workers = json.loads(row[0] or "[]")
+                except json.JSONDecodeError:
+                    workers = []
+                workers.append(lease.worker)
+                state = (
+                    "quarantined" if self._should_quarantine(workers) else "open"
+                )
+                conn.execute(
+                    "UPDATE shards SET state=?, worker=NULL, token=NULL,"
+                    " expires=NULL, failures=? WHERE shard=? AND token=?",
+                    (state, json.dumps(workers), lease.shard, lease.token),
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        self._record_fail(lease, state)
+        return state
+
+    def quarantined(self) -> list:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard FROM shards WHERE state='quarantined'"
+                " ORDER BY shard"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def done_shards(self) -> list:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT shard FROM shards WHERE state='done' ORDER BY shard"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def reset(self, shards) -> list:
+        shards = [int(shard) for shard in shards]
+        reset = []
+        with self._lock:
+            conn = self._begin()
+            try:
+                for shard in shards:
+                    cursor = conn.execute(
+                        "UPDATE shards SET state='open', worker=NULL,"
+                        " token=NULL, expires=NULL, failures='[]'"
+                        " WHERE shard=? AND state IN ('done', 'quarantined')",
+                        (shard,),
+                    )
+                    if cursor.rowcount == 1:
+                        reset.append(shard)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        if reset:
+            _telemetry().count("campaign.queue.reset", len(reset))
+        return reset
 
     def release(self, lease: Lease) -> None:
         fault_point("queue.release", lease.shard)
@@ -368,11 +524,20 @@ class SQLiteWorkQueue(WorkQueue):
                 "SELECT shard, worker, expires FROM shards"
                 " WHERE state='leased' ORDER BY shard"
             ).fetchall()
+            quarantined = [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT shard FROM shards WHERE state='quarantined'"
+                    " ORDER BY shard"
+                ).fetchall()
+            ]
         snapshot = {
             "backend": self.backend,
             "open": counts.get("open", 0),
             "leased": counts.get("leased", 0),
             "done": counts.get("done", 0),
+            "quarantined": counts.get("quarantined", 0),
+            "quarantined_shards": quarantined,
             "leases": [
                 {
                     "shard": shard,
@@ -391,14 +556,19 @@ class FileLeaseWorkQueue(WorkQueue):
 
     Layout under ``directory``::
 
-        digest.json          campaign identity (write-once)
-        shards.json          the enrolled shard universe (write-once)
-        lease-0007.json      live lease: {worker, token, expires}
-        done-0007.marker     completion marker (empty, write-once)
+        digest.json             campaign identity (write-once)
+        shards.json             the enrolled shard universe (write-once)
+        lease-0007.json         live lease: {worker, token, expires}
+        done-0007.marker        completion marker (empty, write-once)
+        failed-0007.json        failure history: {workers: [...]}
+        quarantined-0007.marker quarantine marker (empty, write-once)
 
-    ``open`` is the *absence* of both files — there is no mutable row,
-    so the only atomic primitives needed are ``O_EXCL`` create and
-    ``rename``, which even NFS gets right.
+    ``open`` is the *absence* of marker and lease files — there is no
+    mutable row, so the only atomic primitives needed are ``O_EXCL``
+    create and ``rename``, which even NFS gets right.  The failure
+    history is the one read-modify-write file; two workers failing the
+    same shard simultaneously can lose one increment, which costs at
+    most one extra retry before quarantine — never correctness.
     """
 
     backend = "file"
@@ -408,8 +578,9 @@ class FileLeaseWorkQueue(WorkQueue):
         directory,
         digest: str,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
-        super().__init__(digest, lease_ttl)
+        super().__init__(digest, lease_ttl, quarantine_after)
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._shards: "list[int]" = []
@@ -433,6 +604,12 @@ class FileLeaseWorkQueue(WorkQueue):
 
     def _done_path(self, shard: int) -> Path:
         return self.directory / f"done-{shard:04d}.marker"
+
+    def _failed_path(self, shard: int) -> Path:
+        return self.directory / f"failed-{shard:04d}.json"
+
+    def _quarantined_path(self, shard: int) -> Path:
+        return self.directory / f"quarantined-{shard:04d}.marker"
 
     def enroll(self, shards, done=()) -> None:
         universe = sorted(set(self._shards) | {int(s) for s in shards})
@@ -501,6 +678,8 @@ class FileLeaseWorkQueue(WorkQueue):
         for shard in self._shards:
             if self._done_path(shard).is_file():
                 continue
+            if self._quarantined_path(shard).is_file():
+                continue
             lease = self._try_claim(shard, worker, now)
             if lease is None:
                 held = self._read_lease(shard)
@@ -512,6 +691,15 @@ class FileLeaseWorkQueue(WorkQueue):
                 lease = self._try_claim(shard, worker, now)
                 if lease is None:
                     continue  # lost the post-reclaim race; move on
+            if self._done_path(shard).is_file():
+                # The shard completed between our done-check and the
+                # O_EXCL claim (complete() creates the marker before
+                # unlinking its lease, so the marker is authoritative).
+                try:
+                    os.unlink(self._lease_path(shard))
+                except OSError:
+                    pass
+                continue
             self._record_reclaim(reclaimed)
             self._record_claim(lease)
             return lease
@@ -539,7 +727,9 @@ class FileLeaseWorkQueue(WorkQueue):
     def complete(self, lease: Lease) -> bool:
         held = self._read_lease(lease.shard)
         owned = held is not None and held.get("token") == lease.token
-        self._mark_done(lease.shard)
+        first = self._mark_done(lease.shard)
+        if not first:
+            _telemetry().count("campaign.complete.duplicate")
         if owned:
             try:
                 os.unlink(self._lease_path(lease.shard))
@@ -549,6 +739,68 @@ class FileLeaseWorkQueue(WorkQueue):
             return True
         _telemetry().count("campaign.lease.lost")
         return False
+
+    def fail(self, lease: Lease) -> str:
+        held = self._read_lease(lease.shard)
+        if held is None or held.get("token") != lease.token:
+            _telemetry().count("campaign.lease.lost")
+            return "lost"
+        failed_path = self._failed_path(lease.shard)
+        try:
+            workers = json.loads(failed_path.read_text()).get("workers", [])
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            workers = []
+        workers.append(lease.worker)
+        from ..fsutil import atomic_write_text
+
+        atomic_write_text(failed_path, json.dumps({"workers": workers}))
+        outcome = "open"
+        if self._should_quarantine(workers):
+            outcome = "quarantined"
+            try:
+                with open(self._quarantined_path(lease.shard), "x"):
+                    pass
+            except FileExistsError:
+                pass
+        try:
+            os.unlink(self._lease_path(lease.shard))
+        except OSError:
+            pass
+        self._record_fail(lease, outcome)
+        return outcome
+
+    def quarantined(self) -> list:
+        return sorted(
+            shard
+            for shard in self._shards
+            if self._quarantined_path(shard).is_file()
+        )
+
+    def done_shards(self) -> list:
+        return sorted(
+            shard for shard in self._shards if self._done_path(shard).is_file()
+        )
+
+    def reset(self, shards) -> list:
+        reset = []
+        for shard in shards:
+            shard = int(shard)
+            hit = False
+            for path in (
+                self._done_path(shard),
+                self._quarantined_path(shard),
+                self._failed_path(shard),
+            ):
+                try:
+                    os.unlink(path)
+                    hit = True
+                except OSError:
+                    pass
+            if hit:
+                reset.append(shard)
+        if reset:
+            _telemetry().count("campaign.queue.reset", len(reset))
+        return reset
 
     def release(self, lease: Lease) -> None:
         fault_point("queue.release", lease.shard)
@@ -566,6 +818,8 @@ class FileLeaseWorkQueue(WorkQueue):
         for shard in self._shards:
             if self._done_path(shard).is_file():
                 continue
+            if self._quarantined_path(shard).is_file():
+                continue
             held = self._read_lease(shard)
             if held is None or held.get("expires", 0) >= now:
                 continue
@@ -578,9 +832,13 @@ class FileLeaseWorkQueue(WorkQueue):
         now = time.time()
         leases = []
         done = 0
+        quarantined = []
         for shard in self._shards:
             if self._done_path(shard).is_file():
                 done += 1
+                continue
+            if self._quarantined_path(shard).is_file():
+                quarantined.append(shard)
                 continue
             held = self._read_lease(shard)
             if held is not None:
@@ -593,9 +851,11 @@ class FileLeaseWorkQueue(WorkQueue):
                 )
         snapshot = {
             "backend": self.backend,
-            "open": len(self._shards) - done - len(leases),
+            "open": len(self._shards) - done - len(leases) - len(quarantined),
             "leased": len(leases),
             "done": done,
+            "quarantined": len(quarantined),
+            "quarantined_shards": quarantined,
             "leases": leases,
         }
         self._publish_gauges(snapshot)
@@ -608,6 +868,7 @@ def open_queue(
     *,
     backend: str = "sqlite",
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
 ) -> WorkQueue:
     """The campaign directory's work queue under ``directory``/queue.
 
@@ -622,5 +883,7 @@ def open_queue(
         )
     root = Path(directory)
     if backend == "sqlite":
-        return SQLiteWorkQueue(root / "queue.sqlite", digest, lease_ttl)
-    return FileLeaseWorkQueue(root / "queue", digest, lease_ttl)
+        return SQLiteWorkQueue(
+            root / "queue.sqlite", digest, lease_ttl, quarantine_after
+        )
+    return FileLeaseWorkQueue(root / "queue", digest, lease_ttl, quarantine_after)

@@ -79,12 +79,18 @@ def _simulate_rollup(model_names, records) -> dict:
     return per_model
 
 
-def aggregate_report(spec: CampaignSpec, records) -> dict:
+def aggregate_report(spec: CampaignSpec, records, *, quarantined=()) -> dict:
     """Fold per-task checkpoint ``records`` into the survey report.
 
     ``records`` must be in manifest order (shard id, then the shard's
     own task order) — the runner guarantees this — so the report bytes
     are independent of how execution was scheduled or interrupted.
+
+    ``quarantined`` names shards whose records are *missing* because the
+    queue quarantined them as poison.  A non-empty set stamps the report
+    ``"partial": true`` with the excluded shard ids; an empty one leaves
+    the report bytes exactly as before (a full run stays byte-identical
+    across versions).
     """
     records = list(records)
     model_names = spec.model_names()
@@ -92,7 +98,7 @@ def aggregate_report(spec: CampaignSpec, records) -> dict:
         per_model = _explore_rollup(model_names, records)
     else:
         per_model = _simulate_rollup(model_names, records)
-    return {
+    report = {
         "schema": CAMPAIGN_SCHEMA,
         "digest": spec_digest(spec),
         "name": spec.name,
@@ -102,6 +108,11 @@ def aggregate_report(spec: CampaignSpec, records) -> dict:
         "tasks": len(records),
         "per_model": per_model,
     }
+    quarantined = sorted(int(shard) for shard in quarantined)
+    if quarantined:
+        report["partial"] = True
+        report["quarantined_shards"] = quarantined
+    return report
 
 
 def render_report(report: dict) -> str:
@@ -111,6 +122,12 @@ def render_report(report: dict) -> str:
         f"{report['instances']} instances x {report['models']} models, "
         f"{report['tasks']} tasks",
     ]
+    if report.get("partial"):
+        quarantined = report.get("quarantined_shards", [])
+        lines.append(
+            f"PARTIAL REPORT: {len(quarantined)} shard(s) quarantined as "
+            f"poison and excluded: {', '.join(str(s) for s in quarantined)}"
+        )
     if report["mode"] == "explore":
         lines.append(
             "model | oscillation rate [95% CI]    | conclusive | states explored | pruned"

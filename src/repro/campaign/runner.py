@@ -319,9 +319,14 @@ class Campaign:
             "report_written": self.paths.report_path.is_file(),
         }
 
-    def records(self) -> list:
-        """All checkpointed records in manifest order (complete campaigns)."""
-        pending = self.pending_shards()
+    def records(self, ignore=()) -> list:
+        """All checkpointed records in manifest order (complete campaigns).
+
+        ``ignore`` names shards excluded from the requirement and the
+        result — the quarantined shards of a partial campaign.
+        """
+        ignore = {int(shard) for shard in ignore}
+        pending = [s for s in self.pending_shards() if s not in ignore]
         if pending:
             raise CampaignError(
                 f"campaign incomplete: shard(s) {pending} still pending "
@@ -329,17 +334,27 @@ class Campaign:
             )
         records = []
         for shard in range(self.spec.n_shards):
-            records.extend(self._shard_records(shard))
+            if shard in ignore:
+                continue
+            shard_records = self._shard_records(shard)
+            if shard_records is not None:
+                records.extend(shard_records)
         return records
 
-    def report(self) -> dict:
-        """The aggregate survey report (requires every shard done)."""
-        return aggregate_report(self.spec, self.records())
+    def report(self, quarantined=()) -> dict:
+        """The aggregate survey report (requires every shard done, minus
+        ``quarantined`` — which stamp the report as partial)."""
+        return aggregate_report(
+            self.spec, self.records(ignore=quarantined), quarantined=quarantined
+        )
 
-    def write_report(self) -> dict:
-        report = self.report()
+    def write_report(self, quarantined=()) -> dict:
+        report = self.report(quarantined)
         atomic_write_json(self.paths.report_path, report)
         return report
 
     def render_report(self) -> str:
+        report = read_json(self.paths.report_path)
+        if report is not None and report.get("partial"):
+            return render_report(report)
         return render_report(self.report())

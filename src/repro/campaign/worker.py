@@ -23,28 +23,62 @@ Worker identity is ``host:pid`` — it is stamped into every lease, into
 the telemetry run header (:mod:`repro.obs` already records host and
 pid), and visible in ``repro campaign status``/``/statz`` while a
 lease is live.
+
+**Resilience.**  Every wire call (claim/heartbeat/complete/fail) runs
+under the shared :mod:`repro.serve.retry` policy — capped backoff with
+deterministic jitter, per-endpoint circuit breakers, ``Retry-After``
+honored — so a flapping or restarting coordinator degrades a worker to
+slow progress, not death.  A shard whose *compute* raises is reported
+back through ``fail`` (the queue re-opens or quarantines it) and the
+worker moves on to the next claim instead of dying with the shard.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import sys
 import threading
 import time
 import urllib.parse
 
 from ..config import RunConfig
+from ..faults import fault_point
 from ..obs import active as _telemetry
 from ..obs import tracing
 from ..serve.protocol import PROTOCOL_VERSION, envelope
+from ..serve.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    parse_retry_after,
+)
 from .queue import DEFAULT_LEASE_TTL, Lease, WorkQueue, default_worker_id, open_queue
 from .runner import Campaign, compute_shard_records
 from .spec import CampaignSpec
 
-__all__ = ["CoordinatorClient", "JoinError", "join"]
+__all__ = ["CoordinatorClient", "DEFAULT_JOIN_RETRY_POLICY", "JoinError", "join"]
 
 #: Idle poll interval while other workers hold all remaining leases.
 DEFAULT_POLL_S = 0.5
+
+#: Wire-retry shape for the worker loop: generous, because a worker
+#: outliving a coordinator restart is the whole point.  Eight retries
+#: capped at 2 s ride out a multi-second outage per call; the join
+#: loop additionally tolerates several consecutive failed claims.
+DEFAULT_JOIN_RETRY_POLICY = RetryPolicy(retries=8, base_delay_s=0.05, max_delay_s=2.0)
+
+#: Consecutive claim-call failures (each already retried under the
+#: policy) a joiner rides out before giving up on the coordinator.
+CLAIM_FAILURE_LIMIT = 5
+
+#: Wire fault-injection sites, keyed by coordinator endpoint.
+_FAULT_SITES = {
+    "/v2/campaign/claim": "campaign.claim",
+    "/v2/campaign/heartbeat": "campaign.heartbeat",
+    "/v2/campaign/complete": "campaign.complete",
+}
 
 
 class JoinError(RuntimeError):
@@ -64,15 +98,25 @@ class _HeartbeatThread:
         self._renew = renew
         self.lease = lease
         self.lost = threading.Event()
+        self.started = time.monotonic()
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, args=(interval,), daemon=True
         )
         self._thread.start()
 
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
     def _loop(self, interval: float) -> None:
         while not self._stop.wait(interval):
-            renewed = self._renew(self.lease)
+            try:
+                renewed = self._renew(self.lease)
+            except Exception:
+                # Renewal failing past its own retries means the
+                # coordinator is unreachable; the lease will expire and
+                # be reclaimed — same outcome as an explicit loss.
+                renewed = None
             if renewed is None:
                 self.lost.set()
                 return
@@ -86,13 +130,23 @@ class _HeartbeatThread:
 class _PathTransport:
     """Direct campaign-directory access (same host / shared filesystem)."""
 
-    def __init__(self, directory, backend: str, lease_ttl: float) -> None:
+    def __init__(
+        self,
+        directory,
+        backend: str,
+        lease_ttl: float,
+        quarantine_after: "int | None" = None,
+    ) -> None:
         self.campaign = Campaign.open(directory)
+        queue_kwargs = {}
+        if quarantine_after is not None:
+            queue_kwargs["quarantine_after"] = quarantine_after
         self.queue: WorkQueue = open_queue(
             self.campaign.paths.directory,
             self.campaign.digest,
             backend=backend,
             lease_ttl=lease_ttl,
+            **queue_kwargs,
         )
         self.queue.enroll(
             range(self.campaign.spec.n_shards),
@@ -102,6 +156,7 @@ class _PathTransport:
         self.cache_dir = (
             str(self.campaign.paths.cache_dir) if self.spec.cache else None
         )
+        self._final: "bool | None" = None
 
     def claim(self, worker: str):
         lease = self.queue.claim(worker)
@@ -119,36 +174,110 @@ class _PathTransport:
         if self.campaign._shard_records(lease.shard) is None:
             self.campaign.write_shard_checkpoint(lease.shard, records)
         self.queue.complete(lease)
-        if not self.campaign.pending_shards():
-            # Idempotent: whichever joiner lands the last shard writes
-            # the (deterministic, hence identical) report.
-            self.campaign.write_report()
-            _telemetry().count("campaign.report.written")
+        self._maybe_report()
+
+    def fail(self, lease: Lease, error: "str | None" = None) -> str:
+        outcome = self.queue.fail(lease)
+        if outcome == "quarantined":
+            # Quarantining the last unresolved shard resolves the
+            # campaign — someone has to write the partial report, and
+            # with a path transport there is no coordinator to do it.
+            self._maybe_report()
+        return outcome
+
+    def _unresolved(self) -> list:
+        quarantined = set(self.queue.quarantined())
+        return [
+            shard
+            for shard in self.campaign.pending_shards()
+            if shard not in quarantined
+        ]
+
+    def _maybe_report(self) -> None:
+        if self._unresolved():
+            return
+        # Idempotent: whichever joiner resolves the last shard writes
+        # the (deterministic, hence identical) report.
+        self.campaign.write_report(quarantined=self.queue.quarantined())
+        _telemetry().count("campaign.report.written")
 
     def traceparent(self, lease: Lease) -> "str | None":
         context = tracing.current() or tracing.from_environment()
         return context.child().to_traceparent() if context else None
 
     def complete(self) -> bool:
-        return not self.campaign.pending_shards()
+        if self._final is not None:
+            return self._final
+        return not self._unresolved()
 
     def close(self) -> None:
+        # Snapshot completion first: join() builds its summary after
+        # close(), and the SQLite queue cannot be queried once closed.
+        self._final = not self._unresolved()
         self.queue.close()
 
 
 class CoordinatorClient:
-    """v2-envelope HTTP client for a ``repro campaign serve`` daemon."""
+    """v2-envelope HTTP client for a ``repro campaign serve`` daemon.
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    Wire-level failures *and* 5xx/429/503 answers are retried under the
+    shared serve retry policy (the coordinator restarting mid-campaign
+    answers connection-refused for a few seconds — precisely the window
+    the backoff is shaped for), with one circuit breaker per endpoint.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        *,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme != "http":
             raise JoinError(f"unsupported scheme in {url!r} (http only)")
         self._conn = http.client.HTTPConnection(
             parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=timeout
         )
+        self._policy = (
+            retry_policy if retry_policy is not None else DEFAULT_JOIN_RETRY_POLICY
+        )
+        self._breakers: dict = {}
 
     def close(self) -> None:
         self._conn.close()
+
+    def _breaker(self, path: str) -> CircuitBreaker:
+        breaker = self._breakers.get(path)
+        if breaker is None:
+            breaker = self._breakers[path] = CircuitBreaker(
+                failure_threshold=5, cooldown_s=0.5
+            )
+        return breaker
+
+    def _send_once(self, method: str, path: str, body, headers: dict):
+        try:
+            # Inside the wire-error net: an injected connreset must be
+            # retried exactly like a real one.
+            fault_point(_FAULT_SITES.get(path, "campaign.request"), path)
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError) as exc:
+            self._conn.close()
+            raise TransientError(str(exc), cause=exc) from exc
+        if response.status >= 500 or response.status == 429:
+            # The coordinator answered but cannot serve right now
+            # (restarting, shedding, transient disk error): retryable.
+            raise TransientError(
+                f"coordinator HTTP {response.status}",
+                retry_after=parse_retry_after(response.headers.get("Retry-After")),
+                cause=JoinError(
+                    f"coordinator HTTP {response.status}: "
+                    f"{raw[:200].decode('utf-8', 'replace')}"
+                ),
+            )
+        return response, raw
 
     def _request(self, method: str, path: str, payload: "dict | None" = None) -> dict:
         body = None
@@ -158,15 +287,12 @@ class CoordinatorClient:
                 envelope(payload), separators=(",", ":"), sort_keys=True
             ).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        try:
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, ConnectionError):
-            self._conn.close()
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
+        response, raw = call_with_retry(
+            lambda: self._send_once(method, path, body, headers),
+            policy=self._policy,
+            endpoint=path,
+            breaker=self._breaker(path),
+        )
         try:
             data = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -210,12 +336,29 @@ class CoordinatorClient:
             },
         )
 
+    def fail(self, lease: Lease, error: "str | None" = None) -> dict:
+        return self._request(
+            "POST",
+            "/v2/campaign/fail",
+            {
+                "shard": lease.shard,
+                "token": lease.token,
+                "worker": lease.worker,
+                "error": error or "",
+            },
+        )
+
 
 class _UrlTransport:
     """Worker side of the coordinator protocol (no shared filesystem)."""
 
-    def __init__(self, url: str, cache_dir: "str | None") -> None:
-        self.client = CoordinatorClient(url)
+    def __init__(
+        self,
+        url: str,
+        cache_dir: "str | None",
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> None:
+        self.client = CoordinatorClient(url, retry_policy=retry_policy)
         info = self.client.describe()
         try:
             self.spec = CampaignSpec.from_dict(info["spec"])
@@ -260,6 +403,16 @@ class _UrlTransport:
         answer = self.client.complete(lease, records)
         self._complete = bool(answer.get("complete"))
 
+    def fail(self, lease: Lease, error: "str | None" = None) -> str:
+        try:
+            answer = self.client.fail(lease, error)
+        except JoinError:
+            # A pre-quarantine coordinator has no /fail endpoint; the
+            # lease will simply expire and be reclaimed.
+            return "lost"
+        self._complete = bool(answer.get("complete"))
+        return str(answer.get("outcome", "lost"))
+
     def traceparent(self, lease: Lease) -> "str | None":
         return self._traceparents.pop(lease.token, None)
 
@@ -271,11 +424,17 @@ class _UrlTransport:
 
 
 def _open_transport(
-    target, *, backend: str, lease_ttl: float, cache_dir: "str | None"
+    target,
+    *,
+    backend: str,
+    lease_ttl: float,
+    cache_dir: "str | None",
+    retry_policy: "RetryPolicy | None" = None,
+    quarantine_after: "int | None" = None,
 ):
     if isinstance(target, str) and target.startswith(("http://", "https://")):
-        return _UrlTransport(target, cache_dir)
-    return _PathTransport(target, backend, lease_ttl)
+        return _UrlTransport(target, cache_dir, retry_policy)
+    return _PathTransport(target, backend, lease_ttl, quarantine_after)
 
 
 def join(
@@ -288,15 +447,34 @@ def join(
     poll_s: float = DEFAULT_POLL_S,
     cache_dir: "str | None" = None,
     worker_id: "str | None" = None,
+    retry_budget: "int | None" = None,
+    quarantine_after: "int | None" = None,
 ) -> dict:
     """Work a campaign from ``target`` (a directory or coordinator URL)
     until it completes (or ``max_shards`` shards have been executed).
 
-    Returns a summary ``{"worker", "shards", "lost_leases", "complete"}``.
+    ``retry_budget`` overrides the per-wire-call retry count of
+    :data:`DEFAULT_JOIN_RETRY_POLICY`; ``quarantine_after`` applies to
+    path transports (URL joiners inherit the coordinator's setting).
+
+    Returns a summary ``{"worker", "shards", "lost_leases",
+    "failed_shards", "complete"}``.
     """
     worker = worker_id or default_worker_id()
+    retry_policy = None
+    if retry_budget is not None:
+        retry_policy = RetryPolicy(
+            retries=retry_budget,
+            base_delay_s=DEFAULT_JOIN_RETRY_POLICY.base_delay_s,
+            max_delay_s=DEFAULT_JOIN_RETRY_POLICY.max_delay_s,
+        )
     transport = _open_transport(
-        target, backend=backend, lease_ttl=lease_ttl, cache_dir=cache_dir
+        target,
+        backend=backend,
+        lease_ttl=lease_ttl,
+        cache_dir=cache_dir,
+        retry_policy=retry_policy,
+        quarantine_after=quarantine_after,
     )
     # One resolution of the fan-out width for the whole join (satellite
     # of the same fix in Campaign.run): $REPRO_WORKERS drifting while a
@@ -305,11 +483,25 @@ def join(
     tel = _telemetry()
     executed = []
     lost = 0
+    failed = 0
+    claim_failures = 0
     try:
         while True:
             if max_shards is not None and len(executed) >= max_shards:
                 break
-            lease, complete = transport.claim(worker)
+            try:
+                lease, complete = transport.claim(worker)
+            except (JoinError, http.client.HTTPException, OSError):
+                # The claim call exhausted its own retries — the
+                # coordinator is down harder than the per-call budget
+                # covers (a restart takes seconds).  Ride out a few of
+                # these before conceding the campaign is unreachable.
+                claim_failures += 1
+                if claim_failures > CLAIM_FAILURE_LIMIT:
+                    raise
+                time.sleep(poll_s)
+                continue
+            claim_failures = 0
             if lease is None:
                 if complete:
                     break
@@ -334,6 +526,27 @@ def join(
                             workers=width,
                             cache_dir=transport.cache_dir,
                         )
+            except Exception as exc:
+                # The shard's *compute* failed — a poison instance, a
+                # resource limit, an injected fault.  Report it so the
+                # queue can re-open or quarantine the shard, and keep
+                # claiming: one bad shard must not kill the worker.
+                beat.stop()
+                failed += 1
+                outcome = transport.fail(beat.lease, repr(exc))
+                tel.event(
+                    "campaign.shard.error",
+                    shard=lease.shard,
+                    worker=worker,
+                    outcome=outcome,
+                    error=repr(exc)[:500],
+                )
+                print(
+                    f"repro campaign join: shard {lease.shard} failed "
+                    f"({exc!r}); outcome: {outcome}",
+                    file=sys.stderr,
+                )
+                continue
             except BaseException:
                 beat.stop()
                 try:
@@ -347,6 +560,20 @@ def join(
                 # the TTL).  The records are still valid — write-once
                 # checkpoints make duplicate completion harmless.
                 lost += 1
+                elapsed = beat.elapsed()
+                tel.count("campaign.lease.lost.midshard")
+                tel.event(
+                    "campaign.lease.lost",
+                    shard=lease.shard,
+                    worker=worker,
+                    elapsed_s=round(elapsed, 3),
+                )
+                print(
+                    f"repro campaign join: warning: lease on shard "
+                    f"{lease.shard} lost after {elapsed:.1f}s of compute; "
+                    "completing anyway (duplicate checkpoints are identical)",
+                    file=sys.stderr,
+                )
             transport.complete_shard(beat.lease, records)
             executed.append(lease.shard)
             tel.heartbeat("campaign.join", worker=worker, shard=lease.shard)
@@ -356,6 +583,7 @@ def join(
         "worker": worker,
         "shards": executed,
         "lost_leases": lost,
+        "failed_shards": failed,
         "complete": transport.complete(),
     }
 

@@ -534,6 +534,15 @@ def build_parser() -> argparse.ArgumentParser:
         "reclaimed (default: %(default)s)",
     )
     cserve.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="N",
+        help="quarantine a shard as poison after N distinct workers "
+        "fail it (the report is then stamped partial; default: "
+        "%(default)s)",
+    )
+    cserve.add_argument(
         "--until-complete",
         action="store_true",
         help="exit once every shard is done and report.json is written "
@@ -587,6 +596,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="lease TTL for path targets (URL targets use the "
         "coordinator's; default: %(default)s)",
+    )
+    cjoin.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="poison-shard quarantine threshold for path targets "
+        "(URL targets use the coordinator's; default: 3)",
+    )
+    cjoin.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per coordinator call before the claim loop "
+        "counts a failure (default: 8)",
     )
     cjoin.add_argument(
         "--cache-dir",
@@ -1125,6 +1150,7 @@ def _cmd_campaign_serve(args) -> int:
                 port=args.port,
                 backend=args.queue_backend,
                 lease_ttl=args.lease_ttl,
+                quarantine_after=args.quarantine_after,
             )
         except OSError as error:
             print(
@@ -1175,6 +1201,8 @@ def _cmd_campaign_join(args) -> int:
             max_shards=args.max_shards,
             cache_dir=args.cache_dir,
             worker_id=worker,
+            retry_budget=args.retry_budget,
+            quarantine_after=args.quarantine_after,
         )
     except JoinError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1185,6 +1213,11 @@ def _cmd_campaign_join(args) -> int:
         f"repro campaign join: worker {summary['worker']} ran "
         f"{len(summary['shards'])} shard(s)"
         + (f", lost {summary['lost_leases']} lease(s)" if summary["lost_leases"] else "")
+        + (
+            f", {summary['failed_shards']} shard(s) failed"
+            if summary.get("failed_shards")
+            else ""
+        )
         + ("; campaign complete" if summary["complete"] else "")
     )
     return 0
@@ -1234,7 +1267,13 @@ def _cmd_campaign(args) -> int:
                         f"{row['p95_steps']:3.0f} / {p99:3.0f}"
                     )
             return 0
-        report = campaign.report()
+        # A written partial report (quarantined shards) is authoritative:
+        # recomputing would refuse on the pending-but-quarantined shards.
+        from .campaign.manifest import read_json
+
+        report = read_json(campaign.paths.report_path)
+        if report is None or not report.get("partial"):
+            report = campaign.report()
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:

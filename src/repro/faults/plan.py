@@ -24,6 +24,11 @@ site                      where
 ``serve.compute``         entry of one cold-miss batch computation (a raise
                           here exercises the leader-dies singleflight path)
 ``serve.shed``            a query rejected by the bounded batch queue
+``serve.client.send``     one :class:`~repro.serve.client.ServeClient` HTTP
+                          attempt, before the request leaves the process
+``campaign.claim``        one worker → coordinator claim attempt
+``campaign.heartbeat``    one worker → coordinator lease renewal attempt
+``campaign.complete``     one worker → coordinator shard-completion attempt
 ========================  ====================================================
 
 **Determinism.**  Each rule owns a :class:`random.Random` seeded from
@@ -81,6 +86,7 @@ FAULT_KINDS = (
     "bitflip",    # flip one bit of the payload: silent corruption
     "sigkill",    # SIGKILL the current process: a hard crash
     "latency",    # sleep latency_s: a slow disk / network stall
+    "connreset",  # ConnectionResetError: the peer dropped the connection
 )
 
 
@@ -245,6 +251,8 @@ class ArmedPlan:
         if rule.kind == "latency":
             time.sleep(rule.latency_s)
             return payload
+        if rule.kind == "connreset":
+            raise ConnectionResetError(errno.ECONNRESET, f"{rule.message} [{site}]")
         raise AssertionError(f"unreachable kind {rule.kind!r}")
 
 

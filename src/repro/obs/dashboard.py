@@ -104,6 +104,8 @@ def build_poll_frame(
         "queue_cap": int(_sample(samples, "repro_serve_queue_cap") or 0),
         "inflight": int(_sample(samples, "repro_serve_inflight") or 0),
         "draining": bool(_sample(samples, "repro_serve_draining") or 0),
+        "retries": int(_sample(samples, "repro_serve_retries_total") or 0),
+        "breaker": _sample(samples, "repro_serve_breaker_state"),
         "quantiles": quantiles,
     }
     # Scraping a campaign coordinator instead of (or alongside) a
@@ -118,6 +120,16 @@ def build_poll_frame(
             ),
             "reclaimed": int(
                 _sample(samples, "repro_campaign_lease_reclaimed_total") or 0
+            ),
+            "lost": int(
+                _sample(samples, "repro_campaign_lease_lost_total") or 0
+            ),
+            "duplicates": int(
+                _sample(samples, "repro_campaign_complete_duplicate_total")
+                or 0
+            ),
+            "quarantined": int(
+                _sample(samples, "repro_campaign_shards_quarantined") or 0
             ),
             "complete": bool(_sample(samples, "repro_campaign_complete") or 0),
         }
@@ -230,15 +242,34 @@ def render_frame(frame: dict, width: int = 72) -> str:
         f"inflight {frame['inflight']}   shed {frame['shed']} "
         f"({frame['shed_rate']:.2f}/s)   errors {frame['errors']}"
     )
+    # Resilience line: client retry pressure and the circuit breaker.
+    # Only poll frames carry these; tail frames omit the line entirely.
+    breaker = frame.get("breaker")
+    if frame.get("retries") or breaker is not None:
+        breaker_text = {0: "closed", 1: "half-open", 2: "OPEN"}.get(
+            int(breaker) if breaker is not None else 0, "closed"
+        )
+        lines.append(
+            f"resilience  retries {frame.get('retries', 0)}   "
+            f"breaker {breaker_text}"
+        )
     campaign = frame.get("campaign")
     if campaign:
         state = "complete" if campaign.get("complete") else "running"
-        lines.append(
+        line = (
             f"campaign {state}   shards open {campaign['open']} "
             f"leased {campaign['leased']} done {campaign['done']}   "
             f"leases claimed {campaign['claimed']} "
             f"reclaimed {campaign['reclaimed']}"
         )
+        if campaign.get("quarantined"):
+            line += f"   QUARANTINED {campaign['quarantined']}"
+        if campaign.get("lost") or campaign.get("duplicates"):
+            line += (
+                f"   lost {campaign.get('lost', 0)} "
+                f"dup {campaign.get('duplicates', 0)}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

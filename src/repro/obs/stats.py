@@ -49,10 +49,15 @@ PHASE_COUNTERS = (
     "serve.inflight_joins",
     "serve.batches",
     "serve.shed",
+    "serve.retries",
+    "serve.breaker.opened",
     "campaign.lease.claimed",
     "campaign.lease.reclaimed",
     "campaign.lease.completed",
     "campaign.lease.lost",
+    "campaign.complete.duplicate",
+    "campaign.shard.failed",
+    "campaign.shard.quarantined",
 )
 
 
@@ -75,9 +80,22 @@ class TelemetryAggregate:
         # the merge is visibly a merge, not a collision.
         self.sources: set = set()
         self.traces: set = set()
+        # Mid-shard lease losses, verbatim: ``{"shard", "worker",
+        # "elapsed_s"}`` per event.  These are the ones worth a warning
+        # line — a worker stalled past the TTL and its shard was handed
+        # to someone else while it kept computing.
+        self.lease_losses: list = []
 
     def add_record(self, record: dict) -> None:
         kind = record.get("type")
+        if kind == "campaign.lease.lost":
+            self.lease_losses.append(
+                {
+                    "shard": record.get("shard"),
+                    "worker": record.get("worker"),
+                    "elapsed_s": record.get("elapsed_s"),
+                }
+            )
         if kind == "run":
             self.runs += 1
             self.sources.add((record.get("host"), record.get("pid")))
@@ -150,6 +168,7 @@ class TelemetryAggregate:
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "phases": self.phases(),
+            "lease_losses": list(self.lease_losses),
         }
 
 
@@ -218,6 +237,22 @@ def render_phase_table(aggregate: TelemetryAggregate) -> str:
         lines.append(
             f"WARNING: {dropped} event(s) dropped by degraded telemetry "
             f"sink(s) — the stream is incomplete"
+        )
+    for loss in aggregate.lease_losses:
+        elapsed = loss.get("elapsed_s")
+        elapsed_text = (
+            f" after {elapsed:.1f}s" if isinstance(elapsed, (int, float)) else ""
+        )
+        lines.append(
+            f"WARNING: lease lost mid-shard on shard {loss.get('shard')} "
+            f"(worker {loss.get('worker') or '?'}){elapsed_text} — the "
+            "shard re-ran elsewhere; duplicate completion is harmless"
+        )
+    duplicates = aggregate.counters.get("campaign.complete.duplicate", 0)
+    if duplicates:
+        lines.append(
+            f"note: {duplicates} duplicate shard completion(s) — "
+            "write-once checkpoints kept exactly one copy"
         )
     if aggregate.runs > aggregate.summaries:
         lines.append(

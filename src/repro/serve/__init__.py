@@ -35,6 +35,14 @@ from .protocol import (
     envelope,
     parse_query,
 )
+from .retry import (
+    BreakerOpen,
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    parse_retry_after,
+)
 from .server import ReproServer
 from .service import (
     ComputeFailed,
@@ -49,6 +57,8 @@ from .service import (
 __all__ = [
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
+    "BreakerOpen",
+    "CircuitBreaker",
     "ComputeFailed",
     "DeadlineExceeded",
     "Draining",
@@ -56,16 +66,20 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "ReproServer",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerError",
     "ServerShedding",
     "Shed",
+    "TransientError",
     "UnsupportedVersion",
     "VerdictService",
+    "call_with_retry",
     "check_version",
     "envelope",
     "parse_query",
+    "parse_retry_after",
     "query",
 ]

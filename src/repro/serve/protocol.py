@@ -55,6 +55,7 @@ from ..core.serialization import instance_from_dict
 from ..core.spp import SPPInstance
 
 __all__ = [
+    "DEADLINE_HEADER",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
     "TRACEPARENT_HEADER",
@@ -86,6 +87,13 @@ TRACEPARENT_HEADER = "traceparent"
 #: Response header echoing the trace ID back to a tracing client, so
 #: ``repro query`` can print the ID that ``repro trace show`` takes.
 TRACE_RESPONSE_HEADER = "X-Repro-Trace"
+
+#: Request header carrying the client's remaining time budget as
+#: decimal seconds (``"12.5"``).  The server clamps its own per-request
+#: deadline to the smaller of the two, so work the client has already
+#: given up on is not computed to completion.  Optional; a missing or
+#: malformed value costs nothing — the server deadline applies alone.
+DEADLINE_HEADER = "X-Repro-Deadline"
 
 #: Request ``config`` fields a client may set.
 _CLIENT_CONFIG_FIELDS = frozenset({"engine", "reduction"})

@@ -1,0 +1,271 @@
+"""Shared retry policy for every HTTP client in the package.
+
+Both :class:`repro.serve.client.ServeClient` and the campaign worker's
+claim/heartbeat/complete loop funnel their attempts through
+:func:`call_with_retry`, so a flapping server degrades every caller to
+*slow progress* instead of an unhandled exception:
+
+* **Capped exponential backoff with deterministic jitter** — the i-th
+  retry sleeps ``min(max_delay_s, base_delay_s * multiplier**i)``
+  scaled into ``[1 - jitter, 1)`` by a :class:`random.Random` seeded
+  from ``sha256(seed, endpoint, i)``.  Under a fixed seed the whole
+  delay sequence is a pure function of the endpoint — replayable by
+  chaos tests, byte-for-byte.
+* **Per-call retry budget** — ``retries`` bounds the number of
+  *re*-tries; the budget exhausted, the last underlying error is
+  re-raised unchanged.
+* **``Retry-After``** — a server-provided hint (seconds or HTTP-date,
+  parsed defensively by :func:`parse_retry_after`) overrides the
+  computed backoff for that step.
+* **Half-open circuit breaker** — after ``failure_threshold``
+  consecutive failures a :class:`CircuitBreaker` opens and attempts
+  wait out the cooldown before a single half-open probe; a probe
+  success closes it, a failure re-opens it.  State is published as the
+  ``serve.breaker.state`` gauge (0 closed / 1 half-open / 2 open).
+* **Deadline propagation** — an optional monotonic ``deadline`` stops
+  the retry loop early instead of sleeping past the caller's budget.
+
+The attempt callable signals "worth retrying" by raising
+:class:`TransientError` (wrapping the real error); any other exception
+propagates immediately.  Every retry increments the ``serve.retries``
+counter (``repro_serve_retries_total`` on ``/metrics``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+from dataclasses import dataclass
+from email.utils import parsedate_to_datetime
+
+from ..obs import active as _telemetry
+
+__all__ = [
+    "RETRY_SEED_ENV_VAR",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "TransientError",
+    "call_with_retry",
+    "parse_retry_after",
+]
+
+#: Environment fallback for the jitter seed, so multi-process chaos
+#: harnesses can pin every worker's backoff schedule from outside.
+RETRY_SEED_ENV_VAR = "REPRO_RETRY_SEED"
+
+#: Process-level default seed: random per process (retries across a
+#: fleet should not synchronize), overridable for determinism.
+_PROCESS_SEED = int.from_bytes(os.urandom(8), "big")
+
+
+class TransientError(Exception):
+    """Raised by an attempt callable to request a retry.
+
+    Wraps the underlying failure (``cause``) and an optional
+    server-provided ``retry_after`` hint in seconds.
+    """
+
+    def __init__(self, message: str, *, retry_after=None, cause=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.cause = cause
+
+
+class BreakerOpen(Exception):
+    """Raised when a call is refused because its circuit breaker is open
+    and the retry budget cannot cover the remaining cooldown."""
+
+
+def parse_retry_after(value) -> "float | None":
+    """Parse an HTTP ``Retry-After`` header value defensively.
+
+    Accepts delta-seconds (``"1.5"``) or an HTTP-date; anything
+    malformed — including the empty string and garbage like
+    ``"soon"`` — yields ``None`` rather than an exception.
+    """
+    if value is None:
+        return None
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        seconds = float(text)
+    except ValueError:
+        try:
+            when = parsedate_to_datetime(text)
+        except (TypeError, ValueError):
+            return None
+        if when is None:
+            return None
+        if when.tzinfo is None:
+            return None
+        import datetime
+
+        seconds = (when - datetime.datetime.now(datetime.timezone.utc)).total_seconds()
+    return max(0.0, seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape and budget for one logical call."""
+
+    #: Maximum number of *re*-tries after the first attempt.
+    retries: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    #: Fraction of each delay randomized: the i-th delay lands in
+    #: ``[cap * (1 - jitter), cap)``.  0 disables jitter entirely.
+    jitter: float = 0.5
+    #: Jitter seed; ``None`` uses :data:`RETRY_SEED_ENV_VAR` when set,
+    #: else a per-process random seed.
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def effective_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        env = os.environ.get(RETRY_SEED_ENV_VAR)
+        if env:
+            try:
+                return int(env)
+            except ValueError:
+                pass
+        return _PROCESS_SEED
+
+    def delay(self, attempt: int, endpoint: str = "") -> float:
+        """The backoff before retry ``attempt`` (0-based), deterministic
+        given the seed and endpoint."""
+        cap = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        if self.jitter == 0.0 or cap == 0.0:
+            return cap
+        digest = hashlib.sha256(
+            f"{self.effective_seed()}:{endpoint}:{attempt}".encode("utf-8")
+        ).digest()
+        u = random.Random(int.from_bytes(digest[:8], "big")).random()
+        return cap * (1.0 - self.jitter + self.jitter * u)
+
+
+# Breaker states, published as the ``serve.breaker.state`` gauge.
+CLOSED, HALF_OPEN, OPEN = 0, 1, 2
+
+
+class CircuitBreaker:
+    """A half-open circuit breaker for one endpoint.
+
+    Not thread-safe by itself; callers that share a breaker across
+    threads (the campaign worker's heartbeat thread does) accept the
+    benign race — the worst case is one extra probe.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 1.0, *, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+
+    def _publish(self) -> None:
+        _telemetry().gauge("serve.breaker.state", self.state)
+
+    def acquire(self) -> float:
+        """Gate one attempt.  Returns 0.0 when the attempt may proceed,
+        else the seconds left on the cooldown."""
+        if self.state == OPEN:
+            remaining = self._opened_at + self.cooldown_s - self._clock()
+            if remaining > 0:
+                return remaining
+            self.state = HALF_OPEN
+            self._publish()
+        return 0.0
+
+    def record_success(self) -> None:
+        if self.state != CLOSED or self.failures:
+            self.state = CLOSED
+            self.failures = 0
+            self._publish()
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
+            if self.state != OPEN:
+                _telemetry().count("serve.breaker.opened")
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self._publish()
+
+
+def call_with_retry(
+    send,
+    *,
+    policy: RetryPolicy,
+    endpoint: str = "",
+    breaker: "CircuitBreaker | None" = None,
+    deadline: "float | None" = None,
+    sleep=time.sleep,
+    clock=time.monotonic,
+):
+    """Run ``send()`` under ``policy``, retrying on :class:`TransientError`.
+
+    ``deadline`` is a monotonic timestamp; once a computed backoff would
+    sleep past it the loop stops and re-raises the underlying error.
+    ``send`` takes no arguments — close over whatever the attempt needs.
+    """
+    attempt = 0
+    while True:
+        if breaker is not None:
+            wait = breaker.acquire()
+            if wait > 0.0:
+                if attempt >= policy.retries or (
+                    deadline is not None and clock() + wait > deadline
+                ):
+                    raise BreakerOpen(
+                        f"circuit breaker open for {endpoint or 'endpoint'}; "
+                        f"{wait:.2f}s of cooldown left"
+                    )
+                _telemetry().count("serve.retries")
+                sleep(wait)
+                attempt += 1
+                continue
+        try:
+            result = send()
+        except TransientError as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt >= policy.retries:
+                _raise_cause(exc)
+            delay = exc.retry_after
+            if delay is None:
+                delay = policy.delay(attempt, endpoint)
+            if deadline is not None and clock() + delay > deadline:
+                _raise_cause(exc)
+            _telemetry().count("serve.retries")
+            sleep(delay)
+            attempt += 1
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+
+def _raise_cause(exc: TransientError):
+    if exc.cause is not None:
+        raise exc.cause from exc
+    raise exc

@@ -36,6 +36,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..obs import tracing
 from .protocol import (
+    DEADLINE_HEADER,
     TRACE_RESPONSE_HEADER,
     TRACEPARENT_HEADER,
     ProtocolError,
@@ -133,9 +134,21 @@ class _Handler(BaseHTTPRequestHandler):
         trace_headers = (
             [(TRACE_RESPONSE_HEADER, context.trace_id)] if context else []
         )
+        # A client-declared time budget clamps the server's own
+        # deadline; malformed or non-positive values are ignored (the
+        # header is advisory — it can only tighten, never extend).
+        deadline_s = None
+        raw_deadline = self.headers.get(DEADLINE_HEADER)
+        if raw_deadline:
+            try:
+                parsed = float(raw_deadline)
+            except ValueError:
+                parsed = None
+            if parsed is not None and parsed > 0:
+                deadline_s = parsed
         try:
             with tracing.use(context):
-                body, hot = self.service.handle_query(raw)
+                body, hot = self.service.handle_query(raw, deadline_s=deadline_s)
         except ProtocolError as exc:
             self._send_error(400, str(exc), code=exc.code)
         except Shed as exc:

@@ -311,12 +311,16 @@ class VerdictService:
         )
 
     # -- request path ---------------------------------------------------
-    def handle_query(self, raw: bytes) -> "tuple[bytes, bool]":
+    def handle_query(
+        self, raw: bytes, *, deadline_s: "float | None" = None
+    ) -> "tuple[bytes, bool]":
         """Answer one raw ``/v1/query`` body.
 
         Returns ``(response_bytes, hot)`` where ``hot`` marks a
         response-tier replay.  Raises :class:`ProtocolError` or a
-        :class:`ServeError` subclass on rejection.
+        :class:`ServeError` subclass on rejection.  ``deadline_s``, if
+        given (the ``X-Repro-Deadline`` header), clamps this request's
+        deadline below the configured one.
         """
         tel = _telemetry()
         # trace_span(timing=True) keeps the serve.request wall-time
@@ -341,7 +345,7 @@ class VerdictService:
                 return cached, True
             request = parse_query(raw, default_engine=self.config.engine)
             req_span.note(instance=request.instance.name, models=len(request.models))
-            response = self._resolve(request, tel)
+            response = self._resolve(request, tel, deadline_s=deadline_s)
             body = json.dumps(response, separators=(",", ":"), sort_keys=True)
             encoded = body.encode("utf-8")
             if self.config.response_cache_entries:
@@ -352,9 +356,14 @@ class VerdictService:
                         self._responses.popitem(last=False)
             return encoded, False
 
-    def _resolve(self, request: QueryRequest, tel) -> dict:
+    def _resolve(
+        self, request: QueryRequest, tel, *, deadline_s: "float | None" = None
+    ) -> dict:
         canonical = canonical_hash(request.instance)
-        deadline = time.monotonic() + self.config.deadline_s
+        budget = self.config.deadline_s
+        if deadline_s is not None:
+            budget = min(budget, deadline_s)
+        deadline = time.monotonic() + budget
         keys = {
             model_name: verdict_key(
                 request.instance,

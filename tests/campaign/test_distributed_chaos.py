@@ -1,0 +1,267 @@
+"""Wire-level chaos: the distributed acceptance property under storm.
+
+Two ``repro campaign join`` workers run against one coordinator while a
+seeded fault plan injects connection resets and latency on every wire
+call site (``campaign.claim``/``heartbeat``/``complete``), and the
+coordinator itself is SIGKILLed mid-campaign and restarted.  The final
+``report.json`` must still be byte-identical to an undisturbed
+single-host run — retries, duplicate completions, reclaimed leases, and
+the coordinator's crash-recovery reconciliation must all be invisible
+in the output.
+
+Marked ``chaos``: deselected from tier-1; CI's chaos jobs run it with
+``-m chaos``.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.serve import ReproServer, ServeConfig, VerdictService
+from repro.serve.client import ServeClient
+from repro.serve.retry import RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+REPO = Path(__file__).resolve().parents[2]
+
+SPEC = {
+    "name": "distributed-chaos",
+    "count": 8,
+    "models": ["R1O", "RMS"],
+    "mode": "explore",
+    "shard_size": 2,
+    "n_nodes": 4,
+    "queue_bound": 2,
+    "step_bound": 20000,
+}
+
+LEASE_TTL = "1.0"
+
+#: 20% of every coordinator-bound call dies with a connection reset,
+#: another 20% stalls — the "drop/latency storm" of the acceptance
+#: criterion, deterministic per (site, seed).
+STORM_PLAN = {
+    "name": "wire-storm",
+    "seed": 20090613,
+    "rules": [
+        {"site": "campaign.claim", "kind": "connreset", "probability": 0.2},
+        {"site": "campaign.heartbeat", "kind": "connreset", "probability": 0.2},
+        {"site": "campaign.complete", "kind": "connreset", "probability": 0.2},
+        {
+            "site": "campaign.claim",
+            "kind": "latency",
+            "probability": 0.2,
+            "latency_s": 0.05,
+        },
+        {
+            "site": "campaign.complete",
+            "kind": "latency",
+            "probability": 0.2,
+            "latency_s": 0.05,
+        },
+    ],
+}
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _cli(*argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(),
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def _spawn(*argv, stdout=subprocess.DEVNULL, env=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env or _env(),
+        cwd=str(REPO),
+        stdout=stdout,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _spawn_coordinator(victim_dir, port, log_path):
+    with open(log_path, "a") as log:
+        return _spawn(
+            "campaign", "serve", str(victim_dir),
+            "--port", str(port), "--lease-ttl", LEASE_TTL,
+            stdout=log,
+        )
+
+
+def _await_url(server, log_path, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    seen = len(re.findall(r"on (http://[\d.:]+)", log_path.read_text()))
+    while time.monotonic() < deadline:
+        urls = re.findall(r"on (http://[\d.:]+)", log_path.read_text())
+        if len(urls) > seen or (urls and seen == 0):
+            return urls[-1]
+        assert server.poll() is None, log_path.read_text()
+        time.sleep(0.05)
+    raise AssertionError("coordinator never announced its URL")
+
+
+def test_storm_plus_coordinator_sigkill_restart_report_is_bit_identical(
+    tmp_path,
+):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    plan_path = tmp_path / "storm.json"
+    plan_path.write_text(json.dumps(STORM_PLAN))
+
+    # Undisturbed single-host reference.
+    reference_dir = tmp_path / "reference"
+    done = _cli(
+        "campaign", "run", str(spec_path),
+        "--dir", str(reference_dir), "--workers", "1", "--no-telemetry",
+    )
+    assert done.returncode == 0, done.stderr
+    reference = (reference_dir / "report.json").read_bytes()
+
+    # Materialize the distributed campaign directory (0 shards).
+    victim_dir = tmp_path / "victim"
+    boot = _cli(
+        "campaign", "run", str(spec_path),
+        "--dir", str(victim_dir), "--max-shards", "0", "--no-telemetry",
+    )
+    assert boot.returncode == 0, boot.stderr
+
+    serve_log = tmp_path / "serve.log"
+    server = _spawn_coordinator(victim_dir, 0, serve_log)
+    url = _await_url(server, serve_log)
+    port = int(url.rsplit(":", 1)[1])
+
+    # Both joiners run inside the storm (REPRO_FAULT_PLAN reaches the
+    # CLI via the environment); the coordinator stays fault-free — its
+    # chaos is the SIGKILL below.
+    storm_env = _env({"REPRO_FAULT_PLAN": str(plan_path)})
+    joiners = []
+    try:
+        for _ in range(2):
+            joiners.append(
+                _spawn(
+                    "campaign", "join", url, "--workers", "1",
+                    "--telemetry", str(victim_dir / "telemetry.jsonl"),
+                    env=storm_env,
+                )
+            )
+
+        # SIGKILL the coordinator as soon as real progress exists —
+        # leases out or shards done — then restart it on the same port.
+        deadline = time.monotonic() + 120
+        killed = False
+        while time.monotonic() < deadline:
+            try:
+                queue = json.load(
+                    urllib.request.urlopen(url + "/statz", timeout=5)
+                )["queue"]
+            except OSError:
+                time.sleep(0.05)
+                continue
+            if queue["leased"] >= 1 or queue["done"] >= 1:
+                server.send_signal(signal.SIGKILL)
+                server.wait(timeout=30)
+                killed = True
+                break
+            time.sleep(0.002)
+        assert killed, "no claim was ever observed before the kill window"
+        assert not (victim_dir / "report.json").is_file() or queue[
+            "done"
+        ] < SPEC["count"] // SPEC["shard_size"], (
+            "campaign finished before the kill; widen the spec"
+        )
+
+        # Restart: the new coordinator re-attaches to the durable queue,
+        # reconciles leases against the checkpoints, and resumes
+        # brokering.  Binding the same port can race TIME_WAIT briefly.
+        restart_deadline = time.monotonic() + 30
+        while True:
+            server = _spawn_coordinator(victim_dir, port, serve_log)
+            try:
+                _await_url(server, serve_log, timeout=10)
+                break
+            except AssertionError:
+                if time.monotonic() > restart_deadline:
+                    raise
+                time.sleep(0.5)
+
+        for joiner in joiners:
+            assert joiner.wait(timeout=300) == 0
+        metrics = urllib.request.urlopen(
+            url + "/metrics", timeout=5
+        ).read().decode()
+    finally:
+        for joiner in joiners:
+            if joiner.poll() is None:
+                joiner.kill()
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        server.wait(timeout=60)
+
+    assert (victim_dir / "report.json").read_bytes() == reference
+
+    # The storm was real: the joiners' wire traffic went through the
+    # restarted coordinator, which saw claims — and the kill left at
+    # least the restart visible in lease traffic on /metrics.
+    claimed = re.search(r"repro_campaign_lease_claimed_total (\d+)", metrics)
+    assert claimed and int(claimed.group(1)) >= 1, metrics
+
+
+def test_serve_client_rides_out_send_storm(tmp_path, disagree):
+    """The hardened ServeClient under a 25% connreset storm on its own
+    send site returns exactly what a calm client returns."""
+    service = VerdictService(ServeConfig(cache_dir=str(tmp_path / "cache")))
+    with ReproServer(service) as server:
+        with ServeClient(server.url) as calm:
+            expected = calm.query(disagree, ["R1O", "RMS"], queue_bound=2)
+        plan = FaultPlan(
+            name="send-storm",
+            seed=7,
+            rules=(
+                {
+                    "site": "serve.client.send",
+                    "kind": "connreset",
+                    "probability": 0.25,
+                },
+            ),
+        )
+        with faults.armed(plan):
+            client = ServeClient(
+                server.url,
+                retry_policy=RetryPolicy(
+                    retries=8, seed=3, base_delay_s=0.01, max_delay_s=0.1
+                ),
+            )
+            try:
+                for _ in range(5):
+                    stormy = client.query(
+                        disagree, ["R1O", "RMS"], queue_bound=2
+                    )
+                    assert stormy.data["results"] == expected.data["results"]
+            finally:
+                client.close()

@@ -6,6 +6,7 @@ reclaims exactly the dead worker's shards, completion is terminal, and
 a queue directory refuses to serve a foreign campaign digest.
 """
 
+import json
 import threading
 import time
 
@@ -14,6 +15,7 @@ import pytest
 from repro.campaign.queue import (
     BACKENDS,
     DEFAULT_LEASE_TTL,
+    DEFAULT_QUARANTINE_AFTER,
     QueueError,
     open_queue,
 )
@@ -22,8 +24,20 @@ DIGEST = "ab" * 32
 OTHER_DIGEST = "cd" * 32
 
 
-def make_queue(tmp_path, backend, lease_ttl=DEFAULT_LEASE_TTL, digest=DIGEST):
-    return open_queue(tmp_path, digest, backend=backend, lease_ttl=lease_ttl)
+def make_queue(
+    tmp_path,
+    backend,
+    lease_ttl=DEFAULT_LEASE_TTL,
+    digest=DIGEST,
+    quarantine_after=DEFAULT_QUARANTINE_AFTER,
+):
+    return open_queue(
+        tmp_path,
+        digest,
+        backend=backend,
+        lease_ttl=lease_ttl,
+        quarantine_after=quarantine_after,
+    )
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -162,6 +176,141 @@ def test_racing_claims_never_double_assign(tmp_path, backend):
     assert sorted(shards) == list(range(n_shards))  # each exactly once
     assert len({token for _, _, token in assignments}) == n_shards
     assert q.snapshot()["done"] == n_shards
+    q.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestQuarantine:
+    def _fail_once(self, q, worker):
+        lease = q.claim(worker)
+        assert lease is not None
+        return q.fail(lease)
+
+    def test_distinct_worker_failures_quarantine(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend, quarantine_after=3)
+        q.enroll([0, 1])
+        # Two distinct workers fail shard 0: it stays open (re-leasable).
+        assert self._fail_once(q, "w1") == "open"
+        assert self._fail_once(q, "w2") == "open"
+        assert q.quarantined() == []
+        # The third distinct worker's failure crosses the threshold.
+        assert self._fail_once(q, "w3") == "quarantined"
+        assert q.quarantined() == [0]
+        snap = q.snapshot()
+        assert snap["quarantined"] == 1
+        assert snap["quarantined_shards"] == [0]
+        # A quarantined shard is never leased again; shard 1 still is.
+        lease = q.claim("w4")
+        assert lease is not None and lease.shard == 1
+        q.complete(lease)
+        assert q.claim("w4") is None
+        q.close()
+
+    def test_single_worker_total_failures_cap(self, tmp_path, backend):
+        """One worker alone must not livelock on a poison shard: the
+        3×threshold total-failure cap quarantines even without distinct
+        witnesses."""
+        q = make_queue(tmp_path, backend, quarantine_after=2)
+        q.enroll([0])
+        outcomes = [self._fail_once(q, "only-worker") for _ in range(6)]
+        assert outcomes[:-1] == ["open"] * 5
+        assert outcomes[-1] == "quarantined"
+        assert q.quarantined() == [0]
+        q.close()
+
+    def test_fail_with_stale_token_is_lost(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend, lease_ttl=0.05)
+        q.enroll([0])
+        stale = q.claim("loser")
+        time.sleep(0.1)
+        fresh = q.claim("winner")
+        assert fresh is not None
+        # The loser's fail must not strike the shard: its lease is gone.
+        assert q.fail(stale) == "lost"
+        assert q.quarantined() == []
+        q.complete(fresh)
+        q.close()
+
+    def test_reset_reopens_done_and_quarantined(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend, quarantine_after=1)
+        q.enroll([0, 1])
+        assert self._fail_once(q, "w1") == "quarantined"  # shard 0
+        done = q.claim("w1")
+        q.complete(done)  # shard 1
+        assert q.reset([0, 1]) == [0, 1]
+        snap = q.snapshot()
+        assert snap["open"] == 2 and snap["done"] == 0
+        assert q.quarantined() == []
+        # Failure history is cleared too: the next failure starts the
+        # strike count over instead of instantly re-quarantining.
+        q2 = make_queue(tmp_path, backend, quarantine_after=2)
+        assert self._fail_once(q2, "w1") == "open"
+        q2.close()
+        q.close()
+
+    def test_done_shards_lists_completions(self, tmp_path, backend):
+        q = make_queue(tmp_path, backend)
+        q.enroll(range(3), done=[2])
+        lease = q.claim("w")
+        q.complete(lease)
+        assert q.done_shards() == [0, 2]
+        q.close()
+
+
+# ----------------------------------------------------------------------
+# Reclaim edge cases (file backend uses tombstone renames; both
+# backends must neither lose nor double-complete a shard).
+# ----------------------------------------------------------------------
+
+def test_file_reclaim_racing_live_heartbeat(tmp_path):
+    """A reclaimer that read a stale lease races the owner's renewing
+    heartbeat.  Whoever wins the rename wins the shard; the loser's
+    next heartbeat/complete reports the loss — the shard is never
+    double-completed and never lost."""
+    q = make_queue(tmp_path, "file", lease_ttl=0.1)
+    q.enroll([0])
+    owner = q.claim("owner")
+    time.sleep(0.15)  # past the TTL: reclaimable
+    stale = json.loads(q._lease_path(0).read_text())
+    # The owner's heartbeat lands first (atomic replace of the lease
+    # file), then the reclaimer's rename fires against the same path.
+    renewed = q.heartbeat(owner)
+    assert renewed is not None
+    won = q._try_reclaim(0, stale)
+    if won:
+        # The reclaim took the renewed lease: the owner is now lost.
+        assert q.heartbeat(renewed) is None
+        thief = q.claim("thief")
+        assert thief is not None and thief.shard == 0
+        assert q.complete(renewed) is False  # owner's completion: lost
+        assert q.complete(thief) is True
+    else:
+        assert q.complete(renewed) is True
+    snap = q.snapshot()
+    assert snap["done"] == 1 and snap["leased"] == 0  # exactly once
+    q.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reclaim_with_stale_done_marker(tmp_path, backend):
+    """A worker that completed but crashed before releasing its lease
+    leaves done-state plus an expired lease.  Reclaim must not resurrect
+    the shard: done is terminal."""
+    q = make_queue(tmp_path, backend, lease_ttl=0.05)
+    q.enroll([0])
+    lease = q.claim("crasher")
+    if backend == "file":
+        # Simulate the crash window inside complete(): the done marker
+        # exists but the lease file was never unlinked.
+        q._mark_done(0)
+    else:
+        q.complete(lease)
+    time.sleep(0.1)  # the leftover lease expires
+    assert q.reclaim() == []
+    assert q.claim("other") is None  # done shards are never re-leased
+    snap = q.snapshot()
+    assert snap["done"] == 1
+    assert snap["open"] == 0
     q.close()
 
 

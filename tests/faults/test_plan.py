@@ -100,6 +100,18 @@ def test_raise_and_enospc_carry_the_right_errno():
         assert caught.value.errno == errno.ENOSPC
 
 
+def test_connreset_raises_connection_reset():
+    """``connreset`` surfaces as ConnectionResetError — the exact type
+    a dropped TCP peer produces, so retry layers treat it as wire-level
+    and not as an application failure."""
+    plan = FaultPlan(rules=({"site": "serve.client.send", "kind": "connreset"},))
+    with faults.armed(plan):
+        with pytest.raises(ConnectionResetError) as caught:
+            fault_point("serve.client.send", "/v1/query")
+        assert caught.value.errno == errno.ECONNRESET
+        assert "serve.client.send" in str(caught.value)
+
+
 def test_after_and_times_window():
     plan = FaultPlan(
         rules=({"site": "s", "kind": "raise", "after": 2, "times": 1},)

@@ -1,0 +1,301 @@
+"""The hardened-client retry layer: deterministic backoff, defensive
+Retry-After parsing, the circuit breaker, and deadline propagation."""
+
+import time
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig, VerdictService
+from repro.serve.client import ServeClient
+from repro.serve.protocol import DEADLINE_HEADER
+from repro.serve.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpen,
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+    parse_retry_after,
+)
+
+
+# ----------------------------------------------------------------------
+# parse_retry_after — the satellite fix: malformed headers must parse
+# to None, never crash the client.
+# ----------------------------------------------------------------------
+
+def test_parse_retry_after_seconds():
+    assert parse_retry_after("3") == 3.0
+    assert parse_retry_after("0.25") == 0.25
+    assert parse_retry_after(" 2 ") == 2.0
+
+
+def test_parse_retry_after_clamps_negative():
+    assert parse_retry_after("-5") == 0.0
+
+
+def test_parse_retry_after_http_date():
+    from email.utils import format_datetime
+    from datetime import datetime, timedelta, timezone
+
+    future = datetime.now(timezone.utc) + timedelta(seconds=30)
+    value = parse_retry_after(format_datetime(future, usegmt=True))
+    assert value is not None
+    assert 25.0 < value <= 31.0
+
+
+def test_parse_retry_after_past_date_clamps_to_zero():
+    assert parse_retry_after("Mon, 01 Jan 2001 00:00:00 GMT") == 0.0
+
+
+@pytest.mark.parametrize(
+    "value",
+    [None, "", "soon", "3 seconds", "NaN-ish garbage", "Mon, 99 Foo"],
+)
+def test_parse_retry_after_malformed_is_none(value):
+    assert parse_retry_after(value) is None
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy — deterministic, seeded backoff.
+# ----------------------------------------------------------------------
+
+def test_policy_delays_deterministic_under_fixed_seed():
+    a = RetryPolicy(seed=42)
+    b = RetryPolicy(seed=42)
+    delays_a = [a.delay(i, "/v1/query") for i in range(5)]
+    delays_b = [b.delay(i, "/v1/query") for i in range(5)]
+    assert delays_a == delays_b
+
+
+def test_policy_delays_vary_by_seed_and_endpoint():
+    policy = RetryPolicy(seed=1)
+    other = RetryPolicy(seed=2)
+    assert [policy.delay(i, "/a") for i in range(4)] != [
+        other.delay(i, "/a") for i in range(4)
+    ]
+    assert [policy.delay(i, "/a") for i in range(4)] != [
+        policy.delay(i, "/b") for i in range(4)
+    ]
+
+
+def test_policy_delays_grow_and_cap():
+    policy = RetryPolicy(
+        seed=7, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.4, jitter=0.0
+    )
+    assert [policy.delay(i, "x") for i in range(4)] == [0.1, 0.2, 0.4, 0.4]
+
+
+def test_policy_jitter_stays_in_band():
+    policy = RetryPolicy(seed=3, base_delay_s=1.0, jitter=0.5, multiplier=1.0)
+    for attempt in range(20):
+        delay = policy.delay(attempt, "endpoint")
+        assert 0.5 <= delay < 1.0
+
+
+def test_policy_env_seed(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_SEED", "99")
+    assert RetryPolicy().effective_seed() == 99
+    assert RetryPolicy(seed=5).effective_seed() == 5
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+# ----------------------------------------------------------------------
+# call_with_retry — budget, Retry-After, deadline, cause unwrapping.
+# ----------------------------------------------------------------------
+
+def _no_sleep(_):
+    pass
+
+
+def test_retry_succeeds_after_transients():
+    calls = []
+
+    def send():
+        calls.append(1)
+        if len(calls) < 3:
+            raise TransientError("flaky")
+        return "ok"
+
+    result = call_with_retry(
+        send, policy=RetryPolicy(retries=4, seed=0), sleep=_no_sleep
+    )
+    assert result == "ok"
+    assert len(calls) == 3
+
+
+def test_retry_budget_exhaustion_raises_cause():
+    cause = ConnectionResetError("peer reset")
+
+    def send():
+        raise TransientError("wire", cause=cause)
+
+    with pytest.raises(ConnectionResetError):
+        call_with_retry(
+            send, policy=RetryPolicy(retries=2, seed=0), sleep=_no_sleep
+        )
+
+
+def test_retry_honors_retry_after_hint():
+    slept = []
+    calls = []
+
+    def send():
+        calls.append(1)
+        if len(calls) == 1:
+            raise TransientError("shed", retry_after=0.123)
+        return "done"
+
+    assert (
+        call_with_retry(
+            send, policy=RetryPolicy(retries=2, seed=0), sleep=slept.append
+        )
+        == "done"
+    )
+    assert slept == [0.123]
+
+
+def test_retry_deadline_stops_early():
+    clock = [0.0]
+
+    def send():
+        clock[0] += 10.0
+        raise TransientError("slow", cause=TimeoutError("deadline"))
+
+    with pytest.raises(TimeoutError):
+        call_with_retry(
+            send,
+            policy=RetryPolicy(retries=50, seed=0),
+            deadline=5.0,
+            sleep=_no_sleep,
+            clock=lambda: clock[0],
+        )
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker.
+# ----------------------------------------------------------------------
+
+def test_breaker_opens_after_threshold_and_recovers():
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=3, cooldown_s=10.0, clock=lambda: clock[0]
+    )
+    assert breaker.state == CLOSED
+    for _ in range(3):
+        assert breaker.acquire() == 0.0
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.acquire() == pytest.approx(10.0)
+    # After the cooldown one probe is allowed through (half-open).
+    clock[0] = 11.0
+    assert breaker.acquire() == 0.0
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.acquire() == 0.0
+
+
+def test_breaker_reopens_on_half_open_failure():
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=1, cooldown_s=5.0, clock=lambda: clock[0]
+    )
+    breaker.acquire()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock[0] = 6.0
+    assert breaker.acquire() == 0.0  # the half-open probe
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.acquire() == pytest.approx(5.0)
+
+
+def test_retry_with_open_breaker_raises_breaker_open():
+    clock = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=1, cooldown_s=60.0, clock=lambda: clock[0]
+    )
+    breaker.acquire()
+    breaker.record_failure()  # breaker now OPEN for 60s
+
+    def send():
+        raise AssertionError("must not be called through an open breaker")
+
+    with pytest.raises(BreakerOpen):
+        call_with_retry(
+            send,
+            policy=RetryPolicy(retries=1, seed=0),
+            breaker=breaker,
+            deadline=1.0,  # cannot cover the 60s cooldown
+            sleep=_no_sleep,
+            clock=lambda: clock[0],
+        )
+
+
+# ----------------------------------------------------------------------
+# Deadline propagation end-to-end: the client stamps X-Repro-Deadline,
+# the server clamps its per-request budget to it.
+# ----------------------------------------------------------------------
+
+def test_deadline_header_constant():
+    assert DEADLINE_HEADER == "X-Repro-Deadline"
+
+
+def test_server_clamps_deadline_to_header(tmp_path, disagree):
+    service = VerdictService(
+        ServeConfig(cache_dir=str(tmp_path / "cache"), deadline_s=30.0)
+    )
+    seen = {}
+    original = service._resolve
+
+    def spy(request, tel, deadline_s=None):
+        seen["deadline_s"] = deadline_s
+        return original(request, tel, deadline_s=deadline_s)
+
+    service._resolve = spy
+    with ReproServer(service) as server:
+        with ServeClient(server.url, timeout=7.5) as client:
+            client.query(disagree, ["R1O"], queue_bound=2)
+    assert seen["deadline_s"] is not None
+    assert 0.0 < seen["deadline_s"] <= 7.5
+
+
+def test_client_retries_wire_failures(tmp_path, disagree):
+    """The request layer rides out transient wire failures without
+    surfacing them to the caller."""
+    service = VerdictService(ServeConfig(cache_dir=str(tmp_path / "cache")))
+    with ReproServer(service) as server:
+        client = ServeClient(
+            server.url,
+            timeout=10.0,
+            retry_policy=RetryPolicy(retries=3, seed=11, base_delay_s=0.01),
+        )
+        try:
+            flaky = {"left": 2}
+            original = client._send_once
+
+            def send(method, path, body, headers, deadline):
+                if flaky["left"] > 0:
+                    flaky["left"] -= 1
+                    raise TransientError(
+                        "injected", cause=ConnectionResetError("reset")
+                    )
+                return original(method, path, body, headers, deadline)
+
+            client._send_once = send
+            response = client.query(disagree, ["R1O"], queue_bound=2)
+            assert response.results(disagree)["R1O"].oscillates
+            assert flaky["left"] == 0
+        finally:
+            client.close()
